@@ -1,0 +1,376 @@
+// Command psbench regenerates the paper's tables and figures (DESIGN.md §4)
+// at a selectable scale and prints them as text. Use -csv to also write
+// machine-readable rows.
+//
+// Examples:
+//
+//	psbench -scale test                 # seconds, smoke only
+//	psbench -scale default              # minutes, qualitative shapes hold
+//	psbench -scale default -exp table2  # one experiment
+//	psbench -scale paper                # the full 60k-image workload
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"parallelspikesim/internal/carlsim"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/experiments"
+	"parallelspikesim/internal/synapse"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "test | default | paper")
+		expList   = flag.String("exp", "all", "comma-separated experiments: fig1a,fig1c,fig1d,fig4,fig5a,fig5b,fig6a,fig6b,fig7a,fig7b,fig8c,table2,anchor,ablate-noise,ablate-inh,ablate-window,ablate-theta,ablate-tau,scaling")
+		csvDir    = flag.String("csv", "", "directory to write CSV rows (optional)")
+		neurons   = flag.Int("neurons", 0, "override scale neurons")
+		train     = flag.Int("train", 0, "override scale training images")
+		workers   = flag.Int("workers", 0, "override engine workers")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "psbench: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+	if *neurons > 0 {
+		scale.Neurons = *neurons
+	}
+	if *train > 0 {
+		scale.TrainImages = *train
+	}
+	if *workers > 0 {
+		scale.Workers = *workers
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	writeCSV := func(name string, header []string, rows [][]string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			return
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		_ = w.Write(header)
+		_ = w.WriteAll(rows)
+		w.Flush()
+	}
+
+	fmt.Printf("psbench scale=%s: %d neurons, %d train / %d label / %d infer images\n\n",
+		*scaleName, scale.Neurons, scale.TrainImages, scale.LabelImages, scale.InferImages)
+
+	run := func(name string, fn func() (string, error)) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%v) ===\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
+	}
+
+	run("fig1a", func() (string, error) {
+		res, err := experiments.FigLIFCurve(nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for i := range res.Currents {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", res.Currents[i]),
+				fmt.Sprintf("%g", res.Measured[i]),
+				fmt.Sprintf("%g", res.Analytic[i]),
+			})
+		}
+		writeCSV("fig1a", []string{"current", "measured_hz", "analytic_hz"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig1c", func() (string, error) {
+		cfg, _, err := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+		if err != nil {
+			return "", err
+		}
+		res, err := experiments.FigSTDPCurves(cfg.Stoch, 100, 5)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for i := range res.Pot {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", res.Pot[i].X), fmt.Sprintf("%g", res.Pot[i].Y),
+				fmt.Sprintf("%g", res.Dep[i].X), fmt.Sprintf("%g", res.Dep[i].Y),
+			})
+		}
+		writeCSV("fig1c", []string{"dt_pot", "p_pot", "dt_dep", "p_dep"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig1d", func() (string, error) {
+		res, err := experiments.FigEncoding(encode.BaselineBand())
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, p := range res.Points {
+			rows = append(rows, []string{fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y)})
+		}
+		writeCSV("fig1d", []string{"intensity", "hz"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig4", func() (string, error) {
+		cfg := carlsim.DefaultConfig()
+		res, err := experiments.FigActivityComparison(cfg, 1000, scale.Workers)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("fig4", []string{"simulator", "total_spikes", "mean_hz", "wall_ns"}, [][]string{
+			{"reference", strconv.FormatUint(res.Reference.TotalSpikes, 10), fmt.Sprintf("%g", res.Reference.MeanRateHz), strconv.FormatInt(int64(res.Reference.Wall), 10)},
+			{"mirror_seq", strconv.FormatUint(res.MirrorSeq.TotalSpikes, 10), fmt.Sprintf("%g", res.MirrorSeq.MeanRateHz), strconv.FormatInt(int64(res.MirrorSeq.Wall), 10)},
+			{"mirror_par", strconv.FormatUint(res.MirrorPar.TotalSpikes, 10), fmt.Sprintf("%g", res.MirrorPar.MeanRateHz), strconv.FormatInt(int64(res.MirrorPar.Wall), 10)},
+		})
+		return res.Render(), nil
+	})
+
+	run("fig5a", func() (string, error) {
+		res, err := experiments.FigConductanceMaps(scale, 4)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, e := range res.Entries {
+			rows = append(rows, []string{string(e.Data), e.Rule.String(), fmt.Sprintf("%g", e.Accuracy)})
+		}
+		writeCSV("fig5a", []string{"data", "rule", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig5b", func() (string, error) {
+		res, err := experiments.FigFrequencyMaps(scale, nil, 4)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for i, b := range res.Bands {
+			rows = append(rows, []string{fmt.Sprintf("%g", b.MaxHz), fmt.Sprintf("%g", res.Accuracies[i])})
+		}
+		writeCSV("fig5b", []string{"fmax_hz", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig6a", func() (string, error) {
+		res, err := experiments.FigRasters(scale, 200)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("fig6a", []string{"band", "spikes"}, [][]string{
+			{"low", strconv.Itoa(res.LowSpikes)},
+			{"high", strconv.Itoa(res.HighSpikes)},
+		})
+		return res.Render(), nil
+	})
+
+	run("fig6b", func() (string, error) {
+		res, err := experiments.FigConductanceHistogram(scale, 32)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for i := range res.Stochastic.Counts {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", res.Stochastic.BinCenter(i)),
+				strconv.Itoa(res.Stochastic.Counts[i]),
+				strconv.Itoa(res.Deterministic.Counts[i]),
+			})
+		}
+		writeCSV("fig6b", []string{"g", "stochastic_count", "deterministic_count"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig7a", func() (string, error) {
+		res, err := experiments.FigAccuracyVsFrequency(scale, nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Rule.String(), fmt.Sprintf("%g", row.MaxHz),
+				fmt.Sprintf("%g", row.Accuracy), fmt.Sprintf("%g", row.AccuracyLoss)})
+		}
+		writeCSV("fig7a", []string{"rule", "fmax_hz", "accuracy", "loss"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig7b", func() (string, error) {
+		res, err := experiments.FigAccuracyVsRuntime(scale)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Name, fmt.Sprintf("%g", row.Accuracy),
+				strconv.FormatInt(int64(row.TrainWall), 10), fmt.Sprintf("%g", row.Speedup)})
+		}
+		writeCSV("fig7b", []string{"configuration", "accuracy", "train_wall_ns", "speedup"}, rows)
+		return res.Render(), nil
+	})
+
+	run("fig8c", func() (string, error) {
+		res, err := experiments.FigMovingError(scale)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for i := range res.Baseline {
+			hf := ""
+			if i < len(res.HighFreq) {
+				hf = fmt.Sprintf("%g", res.HighFreq[i])
+			}
+			rows = append(rows, []string{strconv.Itoa(i), fmt.Sprintf("%g", res.Baseline[i]), hf})
+		}
+		writeCSV("fig8c", []string{"image", "baseline_error", "highfreq_error"}, rows)
+		return res.Render(), nil
+	})
+
+	run("table2", func() (string, error) {
+		res, err := experiments.TableRounding(scale)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Rule.String(), row.Format.String(),
+				row.Rounding.String(), fmt.Sprintf("%g", row.Accuracy)})
+		}
+		writeCSV("table2", []string{"rule", "format", "rounding", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("ablate-inh", func() (string, error) {
+		res, err := experiments.AblateInhibition(scale, nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{fmt.Sprintf("%g", row.Value), fmt.Sprintf("%g", row.Accuracy)})
+		}
+		writeCSV("ablate_inh", []string{"tinh_ms", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("ablate-window", func() (string, error) {
+		res, err := experiments.AblateWindow(scale, nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{fmt.Sprintf("%g", row.Value), fmt.Sprintf("%g", row.Accuracy)})
+		}
+		writeCSV("ablate_window", []string{"window_ms", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("ablate-theta", func() (string, error) {
+		res, err := experiments.AblateHomeostasis(scale)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Label, fmt.Sprintf("%g", row.Accuracy)})
+		}
+		writeCSV("ablate_theta", []string{"setting", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("ablate-tau", func() (string, error) {
+		res, err := experiments.AblateSynapticTrace(scale, nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{fmt.Sprintf("%g", row.Value), fmt.Sprintf("%g", row.Accuracy)})
+		}
+		writeCSV("ablate_tau", []string{"tau_ms", "accuracy"}, rows)
+		return res.Render(), nil
+	})
+
+	run("ablate-noise", func() (string, error) {
+		res, err := experiments.AblateNoise(scale)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Corruption,
+				fmt.Sprintf("%g", row.Det), fmt.Sprintf("%g", row.Stoch)})
+		}
+		writeCSV("ablate_noise", []string{"corruption", "deterministic", "stochastic"}, rows)
+		return res.Render(), nil
+	})
+
+	run("scaling", func() (string, error) {
+		res, err := experiments.AblateParallelScaling(scale, nil)
+		if err != nil {
+			return "", err
+		}
+		var rows [][]string
+		for _, row := range res.Rows {
+			rows = append(rows, []string{strconv.Itoa(row.Workers),
+				strconv.FormatInt(int64(row.Wall), 10), fmt.Sprintf("%g", row.Speedup)})
+		}
+		writeCSV("scaling", []string{"workers", "wall_ns", "speedup"}, rows)
+		return res.Render(), nil
+	})
+
+	run("anchor", func() (string, error) {
+		res, err := experiments.TableBaselineAnchor(scale, 3)
+		if err != nil {
+			return "", err
+		}
+		writeCSV("anchor", []string{"data", "rule", "accuracy"}, [][]string{
+			{"digits", "deterministic", fmt.Sprintf("%g", res.BaselineAccuracy)},
+			{"digits", "stochastic", fmt.Sprintf("%g", res.StochasticAccuracy)},
+			{"fashion", "deterministic", fmt.Sprintf("%g", res.FashionBaseline)},
+			{"fashion", "stochastic", fmt.Sprintf("%g", res.FashionStochastic)},
+		})
+		return res.Render(), nil
+	})
+}

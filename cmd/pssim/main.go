@@ -1,0 +1,207 @@
+// Command pssim trains and evaluates one ParallelSpikeSim configuration:
+// the paper's pipeline (train → label → infer) over a chosen data set,
+// learning rule, precision preset, rounding option and frequency control.
+//
+// Examples:
+//
+//	pssim -data digits -rule stochastic -train 2000 -neurons 100
+//	pssim -data fashion -rule deterministic -train 2000
+//	pssim -preset 8bit -rounding truncation -rule stochastic
+//	pssim -preset highfreq -rule stochastic            # fast learning mode
+//	pssim -mnist /data/mnist -rule stochastic           # real IDX files
+//	pssim -config run.json                              # environment file
+//	pssim -save model.pss … ; pssim -load model.pss …   # persist/reuse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parallelspikesim/internal/config"
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+	"parallelspikesim/internal/viz"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "digits", "data set: digits | fashion")
+		mnistDir = flag.String("mnist", "", "directory with real MNIST IDX files (overrides -data)")
+		rule     = flag.String("rule", "stochastic", "learning rule: deterministic | stochastic")
+		preset   = flag.String("preset", "float32", "Table I preset: 2bit|4bit|8bit|16bit|float32|highfreq")
+		rounding = flag.String("rounding", "", "rounding override: truncation | nearest | stochastic")
+		neurons  = flag.Int("neurons", 100, "first-layer neurons")
+		nTrain   = flag.Int("train", 2000, "training images")
+		nLabel   = flag.Int("label", 300, "labeling images (paper: 1000)")
+		nInfer   = flag.Int("infer", 500, "inference images (paper: 9000)")
+		tlearn   = flag.Float64("tlearn", 0, "presentation time ms (0 = preset)")
+		workers  = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = sequential)")
+		seed     = flag.Uint64("seed", 7, "master seed")
+		showMaps = flag.Int("maps", 0, "print N conductance maps after training")
+		progress = flag.Bool("progress", true, "print moving error during training")
+		cfgPath  = flag.String("config", "", "JSON simulation-environment file (overrides most flags)")
+		savePath = flag.String("save", "", "save the trained network snapshot to this file")
+		loadPath = flag.String("load", "", "load a trained snapshot instead of training")
+	)
+	flag.Parse()
+
+	if *cfgPath != "" {
+		f, err := config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pssim:", err)
+			os.Exit(1)
+		}
+		*data, *mnistDir, *rule, *preset, *rounding = f.Data, f.MNISTDir, f.Rule, f.Preset, f.Rounding
+		*neurons, *nTrain, *nLabel, *nInfer = f.Neurons, f.TrainImages, f.LabelImages, f.InferImages
+		*tlearn, *workers, *seed = f.TLearnMS, f.Workers, f.Seed
+	}
+
+	if err := run(*data, *mnistDir, *rule, *preset, *rounding, *neurons,
+		*nTrain, *nLabel, *nInfer, *tlearn, *workers, *seed, *showMaps, *progress,
+		*savePath, *loadPath); err != nil {
+		fmt.Fprintln(os.Stderr, "pssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel, nInfer int,
+	tlearn float64, workers int, seed uint64, showMaps int, progress bool,
+	savePath, loadPath string) error {
+
+	kind, err := synapse.ParseRule(rule)
+	if err != nil {
+		return err
+	}
+	syn, band, err := synapse.PresetConfig(synapse.Preset(preset), kind)
+	if err != nil {
+		return err
+	}
+	if rounding != "" {
+		r, err := fixed.ParseRounding(rounding)
+		if err != nil {
+			return err
+		}
+		syn.Rounding = r
+	}
+	syn.Seed = seed
+
+	var train, test *dataset.Dataset
+	switch {
+	case mnistDir != "":
+		if train, test, err = dataset.LoadMNISTDir(mnistDir); err != nil {
+			return err
+		}
+		if nTrain < train.Len() {
+			train = train.Subset(0, nTrain)
+		}
+	case data == "digits":
+		train = dataset.SynthDigits(nTrain, seed)
+		test = dataset.SynthDigits(nLabel+nInfer, seed+1000)
+	case data == "fashion":
+		train = dataset.SynthFashion(nTrain, seed)
+		test = dataset.SynthFashion(nLabel+nInfer, seed+1000)
+	default:
+		return fmt.Errorf("unknown data set %q", data)
+	}
+	if test.Len() > nLabel+nInfer {
+		test = test.Subset(0, nLabel+nInfer)
+	}
+
+	cfg := network.DefaultConfig(train.Pixels(), neurons, syn)
+	var exec engine.Executor
+	if workers == 1 {
+		exec = engine.Sequential{}
+	} else {
+		exec = engine.NewPool(workers)
+	}
+	defer exec.Close()
+	net, err := network.New(cfg, exec)
+	if err != nil {
+		return err
+	}
+
+	opts := learn.DefaultOptions()
+	opts.Control.Band = encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}
+	if preset == string(synapse.PresetHighFreq) {
+		opts.Control = encode.HighFrequencyControl()
+	}
+	if tlearn > 0 {
+		opts.Control.TLearnMS = tlearn
+	}
+
+	fmt.Printf("pssim: %s / %s / %s rounding=%s | %d inputs × %d neurons | band %.0f-%.0f Hz, %.0f ms/image\n",
+		train.Name, kind, syn.Format, syn.Rounding,
+		train.Pixels(), neurons, opts.Control.Band.MinHz, opts.Control.Band.MaxHz, opts.Control.TLearnMS)
+
+	tr, err := learn.NewTrainer(net, opts, train.NumClasses)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if loadPath != "" {
+		snap, err := netio.LoadFile(loadPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.Restore(net); err != nil {
+			return err
+		}
+		fmt.Printf("loaded trained snapshot from %s (training skipped)\n", loadPath)
+	} else {
+		err = tr.Train(train, func(i int, movingErr float64) {
+			if progress && (i+1)%500 == 0 {
+				fmt.Printf("  trained %5d/%d images, moving error %.1f%%, elapsed %v\n",
+					i+1, train.Len(), 100*movingErr, time.Since(start).Round(time.Second))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	trainWall := time.Since(start)
+
+	labelSet, inferSet := test.LabelInferSplit(nLabel)
+	model, err := tr.Label(labelSet)
+	if err != nil {
+		return err
+	}
+	conf, err := tr.Evaluate(model, inferSet)
+	if err != nil {
+		return err
+	}
+	if savePath != "" {
+		if err := netio.SaveFile(savePath, netio.Capture(net, model)); err != nil {
+			return err
+		}
+		fmt.Printf("saved trained snapshot to %s\n", savePath)
+	}
+
+	fmt.Printf("\naccuracy: %.2f%% (%d/%d, %d unclassified)\n",
+		100*conf.Accuracy(), conf.Correct(), conf.Total(), conf.Misses())
+	fmt.Printf("training wall clock: %v (%d boost re-presentations)\n", trainWall.Round(time.Millisecond), tr.BoostCount)
+	fmt.Printf("confusion matrix:\n%s", conf.String())
+
+	if showMaps > 0 {
+		fmt.Println("\nconductance maps (strongest receptive fields):")
+		rf := make([]float64, train.Pixels())
+		var tiles []string
+		for n := 0; n < showMaps && n < neurons; n++ {
+			net.Syn.Column(n, rf)
+			tile, err := viz.ConductanceASCII(rf, train.Width, train.Height)
+			if err != nil {
+				return err
+			}
+			tiles = append(tiles, tile)
+		}
+		fmt.Println(viz.TileGrid(tiles, 4))
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/network"
+)
+
+// diagnose prints per-class winner consistency and receptive-field contrast.
+func diagnose(net *network.Network, train *dataset.Dataset, winnersByClass map[int]map[int]int) {
+	for c := 0; c < 10; c++ {
+		w := winnersByClass[c]
+		type kv struct{ n, cnt int }
+		var list []kv
+		tot := 0
+		for n, cnt := range w {
+			list = append(list, kv{n, cnt})
+			tot += cnt
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].cnt > list[j].cnt })
+		top := ""
+		for i := 0; i < len(list) && i < 3; i++ {
+			top += fmt.Sprintf(" n%d:%d", list[i].n, list[i].cnt)
+		}
+		fmt.Printf("class %d: %d wins, top%s\n", c, tot, top)
+	}
+	// RF contrast: ratio of top-quartile to bottom-quartile conductance.
+	rf := make([]float64, train.Pixels())
+	var contrasts []float64
+	for n := 0; n < net.Cfg.NumNeurons; n++ {
+		net.Syn.Column(n, rf)
+		sorted := append([]float64(nil), rf...)
+		sort.Float64s(sorted)
+		q := len(sorted) / 4
+		lo, hi := 0.0, 0.0
+		for i := 0; i < q; i++ {
+			lo += sorted[i]
+			hi += sorted[len(sorted)-1-i]
+		}
+		contrasts = append(contrasts, (hi+1e-9)/(lo+1e-9))
+	}
+	sort.Float64s(contrasts)
+	fmt.Printf("RF contrast (hi/lo quartile): median %.2f max %.2f\n",
+		contrasts[len(contrasts)/2], contrasts[len(contrasts)-1])
+	_ = math.Sqrt
+}
+
+// rfAccuracy classifies by direct dot product of receptive fields with the
+// image — an upper bound on what the spiking readout could extract.
+func rfAccuracy(net *network.Network, infer *dataset.Dataset, label *dataset.Dataset) float64 {
+	n := net.Cfg.NumNeurons
+	rfs := make([][]float64, n)
+	for i := range rfs {
+		rfs[i] = make([]float64, infer.Pixels())
+		net.Syn.Column(i, rfs[i])
+	}
+	score := func(img []uint8, rf []float64) float64 {
+		var s, norm float64
+		for p, v := range img {
+			s += rf[p] * float64(v)
+			norm += rf[p] * rf[p]
+		}
+		return s / (math.Sqrt(norm) + 1e-9)
+	}
+	// Assign each neuron the class whose labeling images it scores highest on.
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, 10)
+	}
+	for i := 0; i < label.Len(); i++ {
+		for j := 0; j < n; j++ {
+			resp[j][label.Labels[i]] += score(label.Images[i], rfs[j])
+		}
+	}
+	assigned := make([]int, n)
+	for j := 0; j < n; j++ {
+		best, bv := 0, -1.0
+		for c, v := range resp[j] {
+			if v > bv {
+				best, bv = c, v
+			}
+		}
+		assigned[j] = best
+	}
+	correct := 0
+	for i := 0; i < infer.Len(); i++ {
+		bestN, bv := 0, -1.0
+		for j := 0; j < n; j++ {
+			if s := score(infer.Images[i], rfs[j]); s > bv {
+				bestN, bv = j, s
+			}
+		}
+		if assigned[bestN] == int(infer.Labels[i]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(infer.Len())
+}
+
+// dumpRF prints a neuron's receptive field as ASCII next to a class mean.
+func dumpRF(net *network.Network, train *dataset.Dataset, neuron, class int) {
+	rf := make([]float64, train.Pixels())
+	net.Syn.Column(neuron, rf)
+	mean := make([]float64, train.Pixels())
+	cnt := 0
+	for i, img := range train.Images {
+		if int(train.Labels[i]) != class {
+			continue
+		}
+		cnt++
+		for p, v := range img {
+			mean[p] += float64(v)
+		}
+	}
+	for p := range mean {
+		mean[p] /= float64(cnt) * 255
+	}
+	shade := func(x float64) byte {
+		ramp := " .:-=+*#%@"
+		i := int(x * 10)
+		if i > 9 {
+			i = 9
+		}
+		if i < 0 {
+			i = 0
+		}
+		return ramp[i]
+	}
+	maxG := 0.0
+	for _, g := range rf {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	fmt.Printf("neuron %d RF (max g %.3f) vs class %d mean:\n", neuron, maxG, class)
+	for y := 0; y < 28; y++ {
+		var l, r []byte
+		for x := 0; x < 28; x++ {
+			l = append(l, shade(rf[y*28+x]/(maxG+1e-9)))
+			r = append(r, shade(mean[y*28+x]))
+		}
+		fmt.Printf("%s   %s\n", l, r)
+	}
+}
+
+// dumpResponses prints per-neuron labeling responses, theta and assignment.
+func dumpResponses(net *network.Network, resp [][]int, assigned []int) {
+	th := net.Exc.Theta()
+	fmt.Println("neuron | theta | assigned | total | per-class")
+	for n := range resp {
+		tot := 0
+		for _, c := range resp[n] {
+			tot += c
+		}
+		if n%5 == 0 {
+			fmt.Printf("n%-3d th %5.1f as %2d tot %4d %v\n", n, th[n], assigned[n], tot, resp[n])
+		}
+	}
+}

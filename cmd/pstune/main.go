@@ -1,0 +1,189 @@
+// Command pstune is the calibration harness used to tune the network's
+// electrical constants (drive amplitude, inhibition time, homeostasis,
+// synaptic trace) and the learning-rule parameters against the synthetic
+// digit set. It runs a full train→label→infer pipeline under the chosen
+// knobs and reports accuracy, plus — with -v — winner-consistency
+// diagnostics, receptive-field contrast, an RF/class-mean ASCII dump, and a
+// direct RF-dot-product accuracy upper bound.
+//
+// Example sweeps:
+//
+//	pstune -amp 0.6 -tinh 30 -train 1000
+//	pstune -rule det -window 50 -alphap 0.02 -alphad 0.01 -v
+//	pstune -preset highfreq -hf -train 2000 -neurons 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+var (
+	amp      = flag.Float64("amp", 0.6, "spike current amplitude")
+	tinh     = flag.Float64("tinh", 30, "WTA inhibition time (ms)")
+	thplus   = flag.Float64("thplus", 0.02, "homeostatic threshold increment per spike")
+	thtau    = flag.Float64("thtau", 1e5, "homeostatic decay time constant (ms)")
+	tausyn   = flag.Float64("tausyn", 4, "synaptic trace time constant (ms)")
+	nTrain   = flag.Int("train", 300, "training images")
+	nNeurons = flag.Int("neurons", 50, "first-layer neurons")
+	rule     = flag.String("rule", "stochastic", "learning rule")
+	preset   = flag.String("preset", "float32", "Table I preset")
+	highfreq = flag.Bool("hf", false, "use the high-frequency control (5-78 Hz, 100 ms)")
+	verbose  = flag.Bool("v", false, "verbose diagnostics (winners, contrast, RF dump)")
+	alphaP   = flag.Float64("alphap", 0, "override alpha_p (0 = preset)")
+	alphaD   = flag.Float64("alphad", 0, "override alpha_d (0 = preset)")
+	window   = flag.Float64("window", 0, "override LTP window ms (0 = preset)")
+)
+
+// presentBoost re-presents with a boosted band until enough spikes appear.
+func presentBoost(net *network.Network, img []uint8, ctl encode.Control, learn bool) network.PresentResult {
+	res, err := net.Present(img, ctl, learn, nil)
+	if err != nil {
+		panic(err)
+	}
+	boosted := ctl
+	for tries := 0; tries < 4 && res.TotalSpikes() < 5; tries++ {
+		boosted.Band.MinHz *= 1.6
+		boosted.Band.MaxHz *= 1.6
+		r2, err := net.Present(img, boosted, learn, nil)
+		if err != nil {
+			panic(err)
+		}
+		res = r2
+	}
+	return res
+}
+
+func main() {
+	flag.Parse()
+	start := time.Now()
+	kind, _ := synapse.ParseRule(*rule)
+	train := dataset.SynthDigits(*nTrain, 1)
+	test := dataset.SynthDigits(300, 2)
+	syn, _, _ := synapse.PresetConfig(synapse.Preset(*preset), kind)
+	syn.Seed = 6
+	if *alphaP > 0 {
+		syn.Det.AlphaP = *alphaP
+	}
+	if *alphaD > 0 {
+		syn.Det.AlphaD = *alphaD
+	}
+	if *window > 0 {
+		syn.Det.WindowMS = *window
+	}
+	cfg := network.DefaultConfig(train.Pixels(), *nNeurons, syn)
+	cfg.SpikeAmp = *amp
+	cfg.TInhMS = *tinh
+	cfg.LIF.ThetaPlus = *thplus
+	cfg.LIF.ThetaDecayMS = *thtau
+	cfg.TauSynMS = *tausyn
+	net, err := network.New(cfg, engine.Sequential{})
+	if err != nil {
+		panic(err)
+	}
+	ctl := encode.BaselineControl()
+	if *highfreq {
+		ctl = encode.HighFrequencyControl()
+	}
+	distinctWinners := map[int]int{}
+	winnersByClass := map[int]map[int]int{}
+	for c := 0; c < 10; c++ {
+		winnersByClass[c] = map[int]int{}
+	}
+	for i := 0; i < train.Len(); i++ {
+		res := presentBoost(net, train.Images[i], ctl, true)
+		w, _ := res.Winner()
+		distinctWinners[w]++
+		winnersByClass[int(train.Labels[i])][w]++
+		if *verbose && i%50 == 0 {
+			th := net.Exc.Theta()
+			maxTh, meanTh := 0.0, 0.0
+			for _, t := range th {
+				if t > maxTh {
+					maxTh = t
+				}
+				meanTh += t
+			}
+			nz := 0
+			for _, c := range res.SpikeCounts {
+				if c > 0 {
+					nz++
+				}
+			}
+			fmt.Printf("  img %3d: spikes %3d activeNeurons %2d theta mean %.1f max %.1f\n",
+				i, res.TotalSpikes(), nz, meanTh/float64(len(th)), maxTh)
+		}
+	}
+	if *verbose {
+		diagnose(net, train, winnersByClass)
+	}
+	if *verbose {
+		bestN, bestC, bestW := 0, 0, 0
+		for c := 0; c < 10; c++ {
+			for n, w := range winnersByClass[c] {
+				if n >= 0 && w > bestW {
+					bestN, bestC, bestW = n, c, w
+				}
+			}
+		}
+		dumpRF(net, train, bestN, bestC)
+	}
+	for i, th := 0, net.Exc.Theta(); i < len(th); i++ {
+		th[i] = 0
+	} // evaluation: drop training homeostasis
+	labelSet, inferSet := test.LabelInferSplit(150)
+	resp := make([][]int, *nNeurons)
+	for i := range resp {
+		resp[i] = make([]int, 10)
+	}
+	for i := 0; i < labelSet.Len(); i++ {
+		res := presentBoost(net, labelSet.Images[i], ctl, false)
+		for n, c := range res.SpikeCounts {
+			resp[n][labelSet.Labels[i]] += c
+		}
+	}
+	assigned := make([]int, *nNeurons)
+	for n := range assigned {
+		best, bc := -1, 0
+		for cl, c := range resp[n] {
+			if c > bc {
+				best, bc = cl, c
+			}
+		}
+		assigned[n] = best
+	}
+	if *verbose {
+		dumpResponses(net, resp, assigned)
+	}
+	correct, total := 0, 0
+	for i := 0; i < inferSet.Len(); i++ {
+		res := presentBoost(net, inferSet.Images[i], ctl, false)
+		votes := make([]int, 10)
+		for n, c := range res.SpikeCounts {
+			if assigned[n] >= 0 {
+				votes[assigned[n]] += c
+			}
+		}
+		best, bc := -1, 0
+		for cl, v := range votes {
+			if v > bc {
+				best, bc = cl, v
+			}
+		}
+		total++
+		if best == int(inferSet.Labels[i]) {
+			correct++
+		}
+	}
+	fmt.Printf("rfAcc %.1f%% ", 100*rfAccuracy(net, inferSet, labelSet))
+	fmt.Printf("%s/%s amp=%.2f tinh=%.0f thp=%.2f thtau=%.0g: acc %.1f%% winners %d/%d  %v\n",
+		*rule, *preset, *amp, *tinh, *thplus, *thtau, 100*float64(correct)/float64(total),
+		len(distinctWinners), *nNeurons, time.Since(start).Round(time.Millisecond))
+}

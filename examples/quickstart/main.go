@@ -1,0 +1,46 @@
+// Quickstart: train a small spiking network with stochastic STDP on the
+// synthetic digit set and measure inference accuracy — the whole pipeline
+// in ~20 lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallelspikesim/internal/core"
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/synapse"
+)
+
+func main() {
+	train := dataset.SynthDigits(800, 1) // training images
+	test := dataset.SynthDigits(300, 2)  // labeling + inference images
+
+	sim, err := core.New(core.Options{
+		Inputs:  train.Pixels(),
+		Neurons: 64,
+		Rule:    synapse.Stochastic,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	fmt.Println("training 800 images of synthetic digits…")
+	err = sim.Train(train, func(i int, movingErr float64) {
+		if (i+1)%200 == 0 {
+			fmt.Printf("  %4d images, moving error %.0f%%\n", i+1, 100*movingErr)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conf, err := sim.Evaluate(test, 150) // first 150 test images label the neurons
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inference accuracy: %.1f%% (%d/%d)\n",
+		100*conf.Accuracy(), conf.Correct(), conf.Total())
+}

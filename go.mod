@@ -1,0 +1,3 @@
+module parallelspikesim
+
+go 1.22

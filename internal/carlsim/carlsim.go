@@ -1,0 +1,232 @@
+// Package carlsim is an independent, minimal reference LIF network
+// simulator in the style of CARLsim: array-of-structs neuron state, an
+// explicit synapse list, and a single-threaded event loop.
+//
+// The paper's Fig 4 validates ParallelSpikeSim by showing it "is able to
+// produce spiking activities similar to CARLsim" on a network of 10³ LIF
+// neurons and 10⁴ synapses, while comparing simulation time. This package
+// plays CARLsim's role: a second implementation, structured differently,
+// against which the main engine's spiking activity is cross-checked and its
+// performance compared (experiments.FigActivityComparison).
+//
+// The dynamics deliberately match the main engine's semantics — forward
+// Euler at dt, reset on threshold, recurrent current from the previous
+// step's spikes, counter-based Poisson external drive — so that, given the
+// same topology and seed, the two simulators must produce identical spike
+// trains; any divergence is a bug in one of them.
+package carlsim
+
+import (
+	"fmt"
+	"time"
+
+	"parallelspikesim/internal/rng"
+)
+
+// Config describes a random recurrent LIF network with external Poisson
+// drive.
+type Config struct {
+	N        int // neurons
+	Synapses int // recurrent synapses
+
+	// LIF coefficients (same convention as the main engine: dv/dt =
+	// A + B·v + C·I).
+	A, B, C            float64
+	VThreshold, VReset float64
+	VInit              float64
+
+	DriveHz  float64 // external Poisson spike rate per neuron
+	DriveAmp float64 // current contribution of one external spike
+	RecAmp   float64 // current contribution of one recurrent spike × conductance
+
+	DTms float64
+	Seed uint64
+}
+
+// DefaultConfig returns the Fig 4 workload: 10³ neurons, 10⁴ synapses,
+// paper LIF constants, and enough drive for sustained activity.
+func DefaultConfig() Config {
+	return Config{
+		N:          1000,
+		Synapses:   10000,
+		A:          -6.77,
+		B:          -0.0989,
+		C:          0.314,
+		VThreshold: -60.2,
+		VReset:     -74.7,
+		VInit:      -70.0,
+		DriveHz:    120,
+		DriveAmp:   12,
+		RecAmp:     4,
+		DTms:       1,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("carlsim: N %d", c.N)
+	case c.Synapses < 0:
+		return fmt.Errorf("carlsim: Synapses %d", c.Synapses)
+	case c.B >= 0:
+		return fmt.Errorf("carlsim: non-negative leak B")
+	case c.VReset >= c.VThreshold:
+		return fmt.Errorf("carlsim: VReset >= VThreshold")
+	case c.DTms <= 0:
+		return fmt.Errorf("carlsim: DTms %v", c.DTms)
+	default:
+		return nil
+	}
+}
+
+// Synapse is one recurrent connection.
+type Synapse struct {
+	Pre, Post int
+	G         float64
+}
+
+// RandomTopology draws m random synapses among n neurons (self-loops
+// excluded) with conductances uniform in [0.2, 0.8], deterministically from
+// the seed. Both simulators build their network from this list so the
+// comparison is apples to apples.
+func RandomTopology(n, m int, seed uint64) []Synapse {
+	r := rng.NewStream(rng.Hash64(seed, 0x70b0))
+	syns := make([]Synapse, m)
+	for i := range syns {
+		pre := r.Intn(n)
+		post := r.Intn(n)
+		for post == pre {
+			post = r.Intn(n)
+		}
+		syns[i] = Synapse{Pre: pre, Post: post, G: r.Range(0.2, 0.8)}
+	}
+	return syns
+}
+
+// neuronState is the AoS per-neuron record (CARLsim-style layout).
+type neuronState struct {
+	v          float64
+	current    float64
+	spikeCount uint64
+}
+
+// Sim is a reference simulation instance.
+type Sim struct {
+	Cfg      Config
+	neurons  []neuronState
+	synapses []Synapse
+	// outgoing adjacency: index ranges into sorted synapse list
+	outStart []int
+	sorted   []Synapse
+	step     uint64
+	spiked   []bool // spikes of the previous step
+}
+
+// New builds a simulator over an explicit topology. Pass nil to draw a
+// RandomTopology from the config.
+func New(cfg Config, topology []Synapse) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topology == nil {
+		topology = RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
+	}
+	s := &Sim{
+		Cfg:      cfg,
+		neurons:  make([]neuronState, cfg.N),
+		synapses: topology,
+		spiked:   make([]bool, cfg.N),
+	}
+	for i := range s.neurons {
+		s.neurons[i].v = cfg.VInit
+	}
+	// Bucket synapses by pre neuron for the propagation pass.
+	counts := make([]int, cfg.N+1)
+	for _, syn := range topology {
+		if syn.Pre < 0 || syn.Pre >= cfg.N || syn.Post < 0 || syn.Post >= cfg.N {
+			return nil, fmt.Errorf("carlsim: synapse %d→%d out of range", syn.Pre, syn.Post)
+		}
+		counts[syn.Pre+1]++
+	}
+	for i := 1; i <= cfg.N; i++ {
+		counts[i] += counts[i-1]
+	}
+	s.outStart = counts
+	s.sorted = make([]Synapse, len(topology))
+	fill := make([]int, cfg.N)
+	for _, syn := range topology {
+		idx := s.outStart[syn.Pre] + fill[syn.Pre]
+		s.sorted[idx] = syn
+		fill[syn.Pre]++
+	}
+	return s, nil
+}
+
+// Step advances the network one dt and returns the indices of neurons that
+// spiked, in ascending order.
+func (s *Sim) Step(spikes []int) []int {
+	cfg := s.Cfg
+	// (1) External Poisson drive + recurrent current from last step.
+	p := cfg.DriveHz * cfg.DTms / 1000
+	for i := range s.neurons {
+		s.neurons[i].current = 0
+		if rng.Bernoulli(p, cfg.Seed, 0xd71e, s.step, uint64(i)) {
+			s.neurons[i].current += cfg.DriveAmp
+		}
+	}
+	for pre, fired := range s.spiked {
+		if !fired {
+			continue
+		}
+		for k := s.outStart[pre]; k < s.outStart[pre+1]; k++ {
+			syn := s.sorted[k]
+			s.neurons[syn.Post].current += syn.G * cfg.RecAmp
+		}
+	}
+	// (2) Euler integration + threshold/reset.
+	for i := range s.neurons {
+		s.spiked[i] = false
+		n := &s.neurons[i]
+		n.v += cfg.DTms * (cfg.A + cfg.B*n.v + cfg.C*n.current)
+		if n.v > cfg.VThreshold {
+			n.v = cfg.VReset
+			n.spikeCount++
+			s.spiked[i] = true
+			spikes = append(spikes, i)
+		}
+	}
+	s.step++
+	return spikes
+}
+
+// RunStats summarizes a run.
+type RunStats struct {
+	TotalSpikes uint64
+	PerNeuron   []uint64
+	MeanRateHz  float64
+	Wall        time.Duration
+	Steps       int
+}
+
+// Run simulates durationMS and returns activity statistics.
+func (s *Sim) Run(durationMS float64) RunStats {
+	steps := int(durationMS / s.Cfg.DTms)
+	start := time.Now()
+	var buf []int
+	for i := 0; i < steps; i++ {
+		buf = s.Step(buf[:0])
+	}
+	wall := time.Since(start)
+	stats := RunStats{PerNeuron: make([]uint64, s.Cfg.N), Wall: wall, Steps: steps}
+	for i := range s.neurons {
+		stats.PerNeuron[i] = s.neurons[i].spikeCount
+		stats.TotalSpikes += s.neurons[i].spikeCount
+	}
+	stats.MeanRateHz = float64(stats.TotalSpikes) / float64(s.Cfg.N) / (durationMS / 1000)
+	return stats
+}
+
+// V returns neuron i's membrane potential (for tests).
+func (s *Sim) V(i int) float64 { return s.neurons[i].v }

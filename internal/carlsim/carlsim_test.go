@@ -1,0 +1,224 @@
+package carlsim
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/engine"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 100
+	cfg.Synapses = 1000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.N = 0
+	if bad.Validate() == nil {
+		t.Error("zero neurons accepted")
+	}
+	bad = DefaultConfig()
+	bad.B = 0.1
+	if bad.Validate() == nil {
+		t.Error("positive leak accepted")
+	}
+	bad = DefaultConfig()
+	bad.DTms = 0
+	if bad.Validate() == nil {
+		t.Error("zero dt accepted")
+	}
+	bad = DefaultConfig()
+	bad.VReset = bad.VThreshold + 1
+	if bad.Validate() == nil {
+		t.Error("reset above threshold accepted")
+	}
+}
+
+func TestRandomTopology(t *testing.T) {
+	syns := RandomTopology(50, 500, 7)
+	if len(syns) != 500 {
+		t.Fatalf("%d synapses", len(syns))
+	}
+	for _, s := range syns {
+		if s.Pre < 0 || s.Pre >= 50 || s.Post < 0 || s.Post >= 50 {
+			t.Fatalf("synapse out of range: %+v", s)
+		}
+		if s.Pre == s.Post {
+			t.Fatalf("self loop: %+v", s)
+		}
+		if s.G < 0.2 || s.G > 0.8 {
+			t.Fatalf("conductance out of range: %v", s.G)
+		}
+	}
+	// Deterministic per seed.
+	again := RandomTopology(50, 500, 7)
+	for i := range syns {
+		if syns[i] != again[i] {
+			t.Fatal("topology not deterministic")
+		}
+	}
+	other := RandomTopology(50, 500, 8)
+	same := 0
+	for i := range syns {
+		if syns[i] == other[i] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d/500 identical synapses", same)
+	}
+}
+
+func TestNewRejectsBadTopology(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := New(cfg, []Synapse{{Pre: -1, Post: 0, G: 0.5}}); err == nil {
+		t.Fatal("negative pre accepted")
+	}
+	if _, err := New(cfg, []Synapse{{Pre: 0, Post: 1000, G: 0.5}}); err == nil {
+		t.Fatal("out-of-range post accepted")
+	}
+}
+
+func TestSimProducesActivity(t *testing.T) {
+	sim, err := New(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Run(1000)
+	if stats.TotalSpikes == 0 {
+		t.Fatal("no spikes in 1 s")
+	}
+	if stats.MeanRateHz <= 0 || stats.MeanRateHz > 500 {
+		t.Fatalf("implausible mean rate %v Hz", stats.MeanRateHz)
+	}
+	if stats.Steps != 1000 {
+		t.Fatalf("steps %d", stats.Steps)
+	}
+	active := 0
+	for _, c := range stats.PerNeuron {
+		if c > 0 {
+			active++
+		}
+	}
+	if active < 50 {
+		t.Fatalf("only %d/100 neurons active", active)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, _ := New(cfg, nil)
+	b, _ := New(cfg, nil)
+	sa := a.Run(500)
+	sb := b.Run(500)
+	if sa.TotalSpikes != sb.TotalSpikes {
+		t.Fatalf("runs differ: %d vs %d spikes", sa.TotalSpikes, sb.TotalSpikes)
+	}
+	for i := range sa.PerNeuron {
+		if sa.PerNeuron[i] != sb.PerNeuron[i] {
+			t.Fatalf("neuron %d differs", i)
+		}
+	}
+}
+
+func TestMirrorMatchesReferenceExactly(t *testing.T) {
+	// The Fig 4 cross-check, strengthened to bit-exactness: the main
+	// engine (SoA + worker pool) and the AoS reference must emit identical
+	// spike trains on the same topology and drive.
+	cfg := smallConfig()
+	topo := RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
+
+	ref, err := New(cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	mir, err := NewMirror(cfg, topo, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bufA, bufB []int
+	for step := 0; step < 2000; step++ {
+		bufA = ref.Step(bufA[:0])
+		bufB = mir.Step(bufB[:0])
+		if len(bufA) != len(bufB) {
+			t.Fatalf("step %d: %d vs %d spikes", step, len(bufA), len(bufB))
+		}
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("step %d: spike %d differs (%d vs %d)", step, i, bufA[i], bufB[i])
+			}
+		}
+	}
+	// Membranes must agree too.
+	for i := 0; i < cfg.N; i++ {
+		if ref.V(i) != mir.Pop.V[i] {
+			t.Fatalf("membrane %d diverged: %v vs %v", i, ref.V(i), mir.Pop.V[i])
+		}
+	}
+}
+
+func TestMirrorSequentialMatchesParallel(t *testing.T) {
+	cfg := smallConfig()
+	topo := RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
+	seq, _ := NewMirror(cfg, topo, engine.Sequential{})
+	pool := engine.NewPool(3)
+	defer pool.Close()
+	par, _ := NewMirror(cfg, topo, pool)
+	ss := seq.Run(500)
+	sp := par.Run(500)
+	if ss.TotalSpikes != sp.TotalSpikes {
+		t.Fatalf("total spikes differ: %d vs %d", ss.TotalSpikes, sp.TotalSpikes)
+	}
+	for i := range ss.PerNeuron {
+		if ss.PerNeuron[i] != sp.PerNeuron[i] {
+			t.Fatalf("neuron %d differs", i)
+		}
+	}
+}
+
+func TestNoDriveNoSpikes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DriveHz = 0
+	sim, _ := New(cfg, nil)
+	stats := sim.Run(500)
+	if stats.TotalSpikes != 0 {
+		t.Fatalf("%d spikes without drive", stats.TotalSpikes)
+	}
+}
+
+func BenchmarkReferenceStep1000x10000(b *testing.B) {
+	sim, _ := New(DefaultConfig(), nil)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sim.Step(buf[:0])
+	}
+}
+
+func BenchmarkMirrorStepSequential(b *testing.B) {
+	mir, _ := NewMirror(DefaultConfig(), nil, engine.Sequential{})
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = mir.Step(buf[:0])
+	}
+}
+
+func BenchmarkMirrorStepParallel(b *testing.B) {
+	pool := engine.NewPool(0)
+	defer pool.Close()
+	mir, _ := NewMirror(DefaultConfig(), nil, pool)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = mir.Step(buf[:0])
+	}
+}

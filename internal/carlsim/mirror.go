@@ -1,0 +1,134 @@
+package carlsim
+
+import (
+	"time"
+
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/neuron"
+	"parallelspikesim/internal/rng"
+)
+
+// Mirror runs the same random-recurrent-network workload on the main
+// engine's structure-of-arrays population and (optionally parallel)
+// executor — the "ParallelSpikeSim side" of Fig 4. Given the same Config
+// and topology, Mirror and Sim must produce identical spike trains.
+type Mirror struct {
+	Cfg Config
+	Pop *neuron.Population
+
+	exec     engine.Executor
+	outStart []int
+	sorted   []Synapse
+	current  []float64
+	spiked   []bool
+	bufs     [][]int
+	step     uint64
+}
+
+// NewMirror builds the main-engine implementation of the Fig 4 workload.
+// Pass nil topology to draw RandomTopology(cfg). Pass nil exec for
+// sequential execution.
+func NewMirror(cfg Config, topology []Synapse, exec engine.Executor) (*Mirror, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topology == nil {
+		topology = RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
+	}
+	if exec == nil {
+		exec = engine.Sequential{}
+	}
+	params := neuron.LIFParams{
+		A: cfg.A, B: cfg.B, C: cfg.C,
+		VThreshold: cfg.VThreshold, VReset: cfg.VReset, VInit: cfg.VInit,
+	}
+	pop, err := neuron.NewPopulation(cfg.N, params)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mirror{
+		Cfg:     cfg,
+		Pop:     pop,
+		exec:    exec,
+		current: make([]float64, cfg.N),
+		spiked:  make([]bool, cfg.N),
+		bufs:    make([][]int, exec.Workers()),
+	}
+	// Same pre-bucketed adjacency as the reference.
+	counts := make([]int, cfg.N+1)
+	for _, syn := range topology {
+		counts[syn.Pre+1]++
+	}
+	for i := 1; i <= cfg.N; i++ {
+		counts[i] += counts[i-1]
+	}
+	m.outStart = counts
+	m.sorted = make([]Synapse, len(topology))
+	fill := make([]int, cfg.N)
+	for _, syn := range topology {
+		idx := m.outStart[syn.Pre] + fill[syn.Pre]
+		m.sorted[idx] = syn
+		fill[syn.Pre]++
+	}
+	return m, nil
+}
+
+// Step advances one dt; spike indices are appended to spikes (ascending).
+func (m *Mirror) Step(spikes []int) []int {
+	cfg := m.Cfg
+	p := cfg.DriveHz * cfg.DTms / 1000
+	// External drive: identical counter-based draws to the reference.
+	m.exec.For(cfg.N, func(chunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.current[i] = 0
+			if rng.Bernoulli(p, cfg.Seed, 0xd71e, m.step, uint64(i)) {
+				m.current[i] += cfg.DriveAmp
+			}
+		}
+	})
+	// Recurrent propagation from last step's spikes. Sequential: writes
+	// scatter across posts (the reference does the same work).
+	for pre, fired := range m.spiked {
+		if !fired {
+			continue
+		}
+		for k := m.outStart[pre]; k < m.outStart[pre+1]; k++ {
+			syn := m.sorted[k]
+			m.current[syn.Post] += syn.G * cfg.RecAmp
+		}
+	}
+	// Parallel SoA integration.
+	now := float64(m.step) * cfg.DTms
+	m.exec.For(cfg.N, func(chunk, lo, hi int) {
+		m.bufs[chunk] = m.Pop.StepRange(lo, hi, cfg.DTms, now, m.current, m.bufs[chunk][:0])
+	})
+	for i := range m.spiked {
+		m.spiked[i] = false
+	}
+	for _, buf := range m.bufs[:m.exec.Workers()] {
+		for _, i := range buf {
+			m.spiked[i] = true
+			spikes = append(spikes, i)
+		}
+	}
+	m.step++
+	return spikes
+}
+
+// Run simulates durationMS and returns activity statistics.
+func (m *Mirror) Run(durationMS float64) RunStats {
+	steps := int(durationMS / m.Cfg.DTms)
+	start := time.Now()
+	var buf []int
+	for i := 0; i < steps; i++ {
+		buf = m.Step(buf[:0])
+	}
+	wall := time.Since(start)
+	stats := RunStats{PerNeuron: make([]uint64, m.Cfg.N), Wall: wall, Steps: steps}
+	for i, c := range m.Pop.SpikeCounts() {
+		stats.PerNeuron[i] = c
+		stats.TotalSpikes += c
+	}
+	stats.MeanRateHz = float64(stats.TotalSpikes) / float64(m.Cfg.N) / (durationMS / 1000)
+	return stats
+}

@@ -1,0 +1,194 @@
+// Package config reads and writes simulation-environment files. The
+// paper's Fig 2 flow has the CPU "construct the simulation environment with
+// configuration and input data file"; this package is that configuration
+// file: a JSON document selecting the data set, network geometry, learning
+// rule, precision, rounding, frequency control and engine parallelism, with
+// validation and defaulting.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+// File is the on-disk configuration schema. Zero/omitted fields take the
+// paper defaults at Resolve time.
+type File struct {
+	// Data selects the workload: "digits", "fashion", or a directory of
+	// real MNIST IDX files.
+	Data     string `json:"data"`
+	MNISTDir string `json:"mnist_dir,omitempty"`
+
+	TrainImages int `json:"train_images"`
+	LabelImages int `json:"label_images"`
+	InferImages int `json:"infer_images"`
+
+	Neurons int `json:"neurons"`
+
+	Rule     string `json:"rule"`               // "deterministic" | "stochastic"
+	Preset   string `json:"preset"`             // Table I row
+	Rounding string `json:"rounding,omitempty"` // override
+
+	// Frequency control (0 = preset default).
+	MinHz    float64 `json:"min_hz,omitempty"`
+	MaxHz    float64 `json:"max_hz,omitempty"`
+	TLearnMS float64 `json:"tlearn_ms,omitempty"`
+
+	// Electrical overrides (0 = DefaultConfig values).
+	TInhMS   float64 `json:"tinh_ms,omitempty"`
+	SpikeAmp float64 `json:"spike_amp,omitempty"`
+	TauSynMS float64 `json:"tau_syn_ms,omitempty"`
+	DTms     float64 `json:"dt_ms,omitempty"`
+
+	Workers int    `json:"workers,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+}
+
+// Default returns the baseline configuration: stochastic STDP at float32 on
+// the synthetic digits, paper bands.
+func Default() File {
+	return File{
+		Data:        "digits",
+		TrainImages: 2000,
+		LabelImages: 300,
+		InferImages: 500,
+		Neurons:     100,
+		Rule:        "stochastic",
+		Preset:      "float32",
+		Seed:        7,
+	}
+}
+
+// Load parses a configuration file, applying defaults for omitted fields.
+func Load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	return Parse(raw)
+}
+
+// Parse decodes JSON bytes, applying defaults for omitted fields. Unknown
+// fields are rejected to catch typos in experiment configs.
+func Parse(raw []byte) (File, error) {
+	f := Default()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	return f, f.Validate()
+}
+
+// Save writes the configuration as indented JSON.
+func (f File) Save(path string) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Validate checks field consistency without building anything.
+func (f File) Validate() error {
+	switch {
+	case f.Data != "digits" && f.Data != "fashion" && f.MNISTDir == "":
+		return fmt.Errorf("config: data must be digits|fashion (or set mnist_dir), got %q", f.Data)
+	case f.TrainImages <= 0 || f.LabelImages <= 0 || f.InferImages <= 0:
+		return fmt.Errorf("config: image counts must be positive")
+	case f.Neurons <= 0:
+		return fmt.Errorf("config: neurons must be positive")
+	case f.MinHz < 0 || f.MaxHz < 0 || (f.MaxHz > 0 && f.MinHz > f.MaxHz):
+		return fmt.Errorf("config: bad band [%v, %v]", f.MinHz, f.MaxHz)
+	}
+	if _, err := synapse.ParseRule(f.Rule); err != nil {
+		return err
+	}
+	if _, _, err := synapse.PresetConfig(synapse.Preset(f.Preset), synapse.Stochastic); err != nil {
+		return err
+	}
+	if f.Rounding != "" {
+		if _, err := fixed.ParseRounding(f.Rounding); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resolved is the fully-constructed run setup.
+type Resolved struct {
+	Net     network.Config
+	Learn   learn.Options
+	Workers int
+	Seed    uint64
+}
+
+// Resolve turns the file into concrete network and pipeline configurations
+// for the given input count (pixels per image).
+func (f File) Resolve(numInputs int) (Resolved, error) {
+	if err := f.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	kind, err := synapse.ParseRule(f.Rule)
+	if err != nil {
+		return Resolved{}, err
+	}
+	syn, band, err := synapse.PresetConfig(synapse.Preset(f.Preset), kind)
+	if err != nil {
+		return Resolved{}, err
+	}
+	if f.Rounding != "" {
+		r, err := fixed.ParseRounding(f.Rounding)
+		if err != nil {
+			return Resolved{}, err
+		}
+		syn.Rounding = r
+	}
+	syn.Seed = f.Seed
+
+	cfg := network.DefaultConfig(numInputs, f.Neurons, syn)
+	if f.TInhMS > 0 {
+		cfg.TInhMS = f.TInhMS
+	}
+	if f.SpikeAmp > 0 {
+		cfg.SpikeAmp = f.SpikeAmp
+	}
+	if f.TauSynMS > 0 {
+		cfg.TauSynMS = f.TauSynMS
+	}
+	if f.DTms > 0 {
+		cfg.DTms = f.DTms
+	}
+
+	opts := learn.DefaultOptions()
+	opts.Control.Band = encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}
+	if f.Preset == string(synapse.PresetHighFreq) {
+		opts.Control = encode.HighFrequencyControl()
+	}
+	if f.MinHz > 0 {
+		opts.Control.Band.MinHz = f.MinHz
+	}
+	if f.MaxHz > 0 {
+		opts.Control.Band.MaxHz = f.MaxHz
+	}
+	if f.TLearnMS > 0 {
+		opts.Control.TLearnMS = f.TLearnMS
+	}
+
+	res := Resolved{Net: cfg, Learn: opts, Workers: f.Workers, Seed: f.Seed}
+	if err := res.Net.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	if err := res.Learn.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parallelspikesim/internal/fixed"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	f, err := Parse([]byte(`{"neurons": 50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Neurons != 50 {
+		t.Fatalf("neurons %d", f.Neurons)
+	}
+	if f.Data != "digits" || f.Rule != "stochastic" || f.TrainImages != 2000 {
+		t.Fatalf("defaults not applied: %+v", f)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"nuerons": 50}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"data": "cifar"}`,
+		`{"neurons": -3}`,
+		`{"rule": "magic"}`,
+		`{"preset": "Q9.9"}`,
+		`{"rounding": "banker"}`,
+		`{"min_hz": 50, "max_hz": 10}`,
+		`{"train_images": 0}`,
+		`{not json`,
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := Default()
+	f.Neurons = 77
+	f.Preset = "8bit"
+	f.Rounding = "truncation"
+	f.MaxHz = 60
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatalf("round trip: %+v != %+v", got, f)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestResolveBuildsConfigs(t *testing.T) {
+	f := Default()
+	f.Preset = "8bit"
+	f.Rounding = "nearest"
+	f.TInhMS = 12
+	f.SpikeAmp = 0.9
+	f.MaxHz = 44
+	f.TLearnMS = 250
+	f.Workers = 2
+	res, err := f.Resolve(784)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.NumInputs != 784 || res.Net.NumNeurons != f.Neurons {
+		t.Fatalf("geometry %d×%d", res.Net.NumInputs, res.Net.NumNeurons)
+	}
+	if res.Net.Syn.Format != fixed.Q1p7 || res.Net.Syn.Rounding != fixed.Nearest {
+		t.Fatalf("synapse config %v/%v", res.Net.Syn.Format, res.Net.Syn.Rounding)
+	}
+	if res.Net.TInhMS != 12 || res.Net.SpikeAmp != 0.9 {
+		t.Fatalf("electrical overrides lost: %+v", res.Net)
+	}
+	if res.Learn.Control.Band.MaxHz != 44 || res.Learn.Control.TLearnMS != 250 {
+		t.Fatalf("control overrides lost: %+v", res.Learn.Control)
+	}
+	if res.Workers != 2 {
+		t.Fatalf("workers %d", res.Workers)
+	}
+}
+
+func TestResolveHighFreqPreset(t *testing.T) {
+	f := Default()
+	f.Preset = "highfreq"
+	res, err := f.Resolve(784)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Learn.Control.TLearnMS != 100 || res.Learn.Control.Band.MaxHz != 78 {
+		t.Fatalf("highfreq control %+v", res.Learn.Control)
+	}
+}
+
+func TestResolveRejectsInvalid(t *testing.T) {
+	f := Default()
+	f.Neurons = 0
+	if _, err := f.Resolve(784); err == nil {
+		t.Error("invalid file resolved")
+	}
+	f = Default()
+	if _, err := f.Resolve(0); err == nil {
+		t.Error("zero inputs resolved")
+	}
+}
+
+func TestSaveIsIndentedJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := Default().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\n  \"data\"") {
+		t.Errorf("not indented: %q", raw[:40])
+	}
+}

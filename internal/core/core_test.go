@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/synapse"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("missing geometry accepted")
+	}
+	if _, err := New(Options{Inputs: 784}); err == nil {
+		t.Error("missing neurons accepted")
+	}
+	if _, err := New(Options{Inputs: 784, Neurons: 10, Preset: "nope"}); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	sim, err := New(Options{Inputs: 784, Neurons: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.Net.Cfg.Syn.Format != fixed.Float32 {
+		t.Errorf("default format %v", sim.Net.Cfg.Syn.Format)
+	}
+	if sim.Opts.Control.TLearnMS != 500 {
+		t.Errorf("default TLearn %v", sim.Opts.Control.TLearnMS)
+	}
+	if sim.Opts.Control.Band.MaxHz != 22 {
+		t.Errorf("default band max %v", sim.Opts.Control.Band.MaxHz)
+	}
+}
+
+func TestHighFrequencyOption(t *testing.T) {
+	sim, err := New(Options{Inputs: 784, Neurons: 10, HighFrequency: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.Opts.Control.TLearnMS != 100 || sim.Opts.Control.Band.MaxHz != 78 {
+		t.Errorf("high-frequency control = %+v", sim.Opts.Control)
+	}
+	// The highfreq preset implies the fast control too.
+	sim2, err := New(Options{Inputs: 784, Neurons: 10, Preset: synapse.PresetHighFreq, Rule: synapse.Stochastic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim2.Close()
+	if sim2.Opts.Control.TLearnMS != 100 {
+		t.Errorf("preset did not imply fast control: %+v", sim2.Opts.Control)
+	}
+}
+
+func TestPresetBandPropagates(t *testing.T) {
+	sim, err := New(Options{Inputs: 784, Neurons: 10, Preset: synapse.Preset8Bit, Rule: synapse.Stochastic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.Net.Cfg.Syn.Format != fixed.Q1p7 {
+		t.Errorf("format %v", sim.Net.Cfg.Syn.Format)
+	}
+	if sim.Opts.Control.Band.MinHz != 1 || sim.Opts.Control.Band.MaxHz != 22 {
+		t.Errorf("band %+v", sim.Opts.Control.Band)
+	}
+}
+
+func TestRoundingOverride(t *testing.T) {
+	r := fixed.Truncate
+	sim, err := New(Options{Inputs: 784, Neurons: 10, Preset: synapse.Preset8Bit, Rounding: &r, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.Net.Cfg.Syn.Rounding != fixed.Truncate {
+		t.Errorf("rounding %v", sim.Net.Cfg.Syn.Rounding)
+	}
+}
+
+func TestTLearnOverrideAndWorkers(t *testing.T) {
+	sim, err := New(Options{Inputs: 784, Neurons: 10, TLearnMS: 42, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.Opts.Control.TLearnMS != 42 {
+		t.Errorf("TLearn override %v", sim.Opts.Control.TLearnMS)
+	}
+}
+
+func TestTrainEvaluateSmoke(t *testing.T) {
+	sim, err := New(Options{Inputs: 784, Neurons: 15, Rule: synapse.Stochastic, TLearnMS: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	train := dataset.SynthDigits(12, 1)
+	if err := sim.Train(train, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.MovingErrorCurve()) != 12 {
+		t.Fatalf("moving curve %d", len(sim.MovingErrorCurve()))
+	}
+	conf, err := sim.Evaluate(dataset.SynthDigits(16, 2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != 8 {
+		t.Fatalf("inference count %d", conf.Total())
+	}
+	rf := sim.ReceptiveField(0)
+	if len(rf) != 784 {
+		t.Fatalf("rf length %d", len(rf))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	sim, err := New(Options{Inputs: 10, Neurons: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Close()
+	sim.Close()
+}

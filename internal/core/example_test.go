@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/core"
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/synapse"
+)
+
+// Example shows the whole pipeline: build a simulator, train with
+// unsupervised stochastic STDP, then label and evaluate.
+func Example() {
+	train := dataset.SynthDigits(30, 1)
+	test := dataset.SynthDigits(20, 2)
+
+	sim, err := core.New(core.Options{
+		Inputs:   train.Pixels(),
+		Neurons:  10,
+		Rule:     synapse.Stochastic,
+		TLearnMS: 60, // tiny presentation so the example runs instantly
+		Workers:  1,
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+
+	if err := sim.Train(train, nil); err != nil {
+		panic(err)
+	}
+	conf, err := sim.Evaluate(test, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("evaluated images:", conf.Total())
+	// Output: evaluated images: 10
+}
+
+// Example_lowPrecision configures 2-bit synapses with stochastic rounding —
+// the paper's extreme operating point.
+func Example_lowPrecision() {
+	r := fixed.Stochastic
+	sim, err := core.New(core.Options{
+		Inputs:   784,
+		Neurons:  8,
+		Rule:     synapse.Stochastic,
+		Preset:   synapse.Preset2Bit,
+		Rounding: &r,
+		Workers:  1,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+	fmt.Println(sim.Net.Cfg.Syn.Format, sim.Net.Cfg.Syn.Rounding)
+	// Output: Q0.2 stochastic
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import "math"
+
+// canvas is a tiny 8-bit grayscale raster used by the synthetic generators.
+// Coordinates are (x, y) with the origin top-left, matching the IDX layout.
+type canvas struct {
+	w, h int
+	px   []uint8
+}
+
+func newCanvas(w, h int) *canvas {
+	return &canvas{w: w, h: h, px: make([]uint8, w*h)}
+}
+
+func (c *canvas) set(x, y int, v uint8) {
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return
+	}
+	i := y*c.w + x
+	if v > c.px[i] {
+		c.px[i] = v
+	}
+}
+
+func (c *canvas) at(x, y int) uint8 {
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return 0
+	}
+	return c.px[y*c.w+x]
+}
+
+// dot stamps a filled disc of the given radius.
+func (c *canvas) dot(x, y int, radius float64, v uint8) {
+	r := int(math.Ceil(radius))
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if float64(dx*dx+dy*dy) <= radius*radius+0.25 {
+				c.set(x+dx, y+dy, v)
+			}
+		}
+	}
+}
+
+// line draws a thick line segment between two points (float coordinates)
+// by stamping dots along the segment.
+func (c *canvas) line(x0, y0, x1, y1, thickness float64, v uint8) {
+	dx, dy := x1-x0, y1-y0
+	dist := math.Hypot(dx, dy)
+	steps := int(dist*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		c.dot(int(math.Round(x0+t*dx)), int(math.Round(y0+t*dy)), thickness/2, v)
+	}
+}
+
+// polyline strokes consecutive points.
+func (c *canvas) polyline(pts [][2]float64, thickness float64, v uint8) {
+	for i := 1; i < len(pts); i++ {
+		c.line(pts[i-1][0], pts[i-1][1], pts[i][0], pts[i][1], thickness, v)
+	}
+}
+
+// ellipseArc strokes the arc of an axis-aligned ellipse centered at
+// (cx, cy) from angle a0 to a1 (radians, counterclockwise in raster
+// coordinates).
+func (c *canvas) ellipseArc(cx, cy, rx, ry, a0, a1, thickness float64, v uint8) {
+	steps := int(math.Abs(a1-a0)*math.Max(rx, ry)) + 8
+	for s := 0; s <= steps; s++ {
+		a := a0 + (a1-a0)*float64(s)/float64(steps)
+		x := cx + rx*math.Cos(a)
+		y := cy + ry*math.Sin(a)
+		c.dot(int(math.Round(x)), int(math.Round(y)), thickness/2, v)
+	}
+}
+
+// fillRect fills an axis-aligned rectangle (inclusive bounds).
+func (c *canvas) fillRect(x0, y0, x1, y1 int, v uint8) {
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c.set(x, y, v)
+		}
+	}
+}
+
+// fillTrapezoid fills a vertical trapezoid: at each row y in [y0, y1] the
+// horizontal extent interpolates from [xl0, xr0] to [xl1, xr1].
+func (c *canvas) fillTrapezoid(y0, y1 int, xl0, xr0, xl1, xr1 float64, v uint8) {
+	if y1 == y0 {
+		return
+	}
+	for y := y0; y <= y1; y++ {
+		t := float64(y-y0) / float64(y1-y0)
+		xl := xl0 + t*(xl1-xl0)
+		xr := xr0 + t*(xr1-xr0)
+		for x := int(math.Round(xl)); x <= int(math.Round(xr)); x++ {
+			c.set(x, y, v)
+		}
+	}
+}
+
+// fillEllipse fills an axis-aligned ellipse.
+func (c *canvas) fillEllipse(cx, cy, rx, ry float64, v uint8) {
+	x0, x1 := int(cx-rx)-1, int(cx+rx)+1
+	y0, y1 := int(cy-ry)-1, int(cy+ry)+1
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			nx := (float64(x) - cx) / rx
+			ny := (float64(y) - cy) / ry
+			if nx*nx+ny*ny <= 1 {
+				c.set(x, y, v)
+			}
+		}
+	}
+}
+
+// blur applies a 3×3 box blur, softening stroke edges the way scanned
+// handwriting looks.
+func (c *canvas) blur() {
+	out := make([]uint8, len(c.px))
+	for y := 0; y < c.h; y++ {
+		for x := 0; x < c.w; x++ {
+			sum, n := 0, 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < 0 || xx >= c.w || yy < 0 || yy >= c.h {
+						continue
+					}
+					sum += int(c.at(xx, yy))
+					n++
+				}
+			}
+			out[y*c.w+x] = uint8(sum / n)
+		}
+	}
+	c.px = out
+}
+
+// shifted returns a copy of the raster translated by (dx, dy), zero-filled.
+func (c *canvas) shifted(dx, dy int) []uint8 {
+	out := make([]uint8, len(c.px))
+	for y := 0; y < c.h; y++ {
+		for x := 0; x < c.w; x++ {
+			sx, sy := x-dx, y-dy
+			if sx < 0 || sx >= c.w || sy < 0 || sy >= c.h {
+				continue
+			}
+			out[y*c.w+x] = c.px[sy*c.w+sx]
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package dataset provides the image data sets the paper evaluates on.
+//
+// The paper trains on MNIST and Fashion-MNIST (60 000 training images,
+// 10 000 test images; the first 1 000 test images label the neurons and the
+// remaining 9 000 measure inference accuracy). This package reads the
+// standard IDX file format those sets ship in, and — because this module is
+// built fully offline — also synthesizes two stand-in data sets with the
+// same geometry and the evaluation-relevant properties:
+//
+//   - SynthDigits: well-separated stroke-drawn digit classes (the "simple"
+//     regime where both STDP rules learn);
+//   - SynthFashion: textured apparel silhouettes with heavy inter-class
+//     overlap (the "complex, feature-rich" regime where deterministic STDP
+//     collapses onto shared features, per paper §IV-B).
+//
+// See DESIGN.md §2 for the substitution rationale. Real MNIST files drop in
+// via LoadIDXPair without code changes.
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Dataset is a labeled image collection. Images are row-major 8-bit
+// grayscale, all the same size.
+type Dataset struct {
+	Name       string
+	Width      int
+	Height     int
+	NumClasses int
+	Images     [][]uint8
+	Labels     []uint8
+}
+
+// Len returns the number of images.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Pixels returns Width*Height.
+func (d *Dataset) Pixels() int { return d.Width * d.Height }
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if d.Width <= 0 || d.Height <= 0 {
+		return fmt.Errorf("dataset %q: bad dimensions %dx%d", d.Name, d.Width, d.Height)
+	}
+	if len(d.Images) != len(d.Labels) {
+		return fmt.Errorf("dataset %q: %d images vs %d labels", d.Name, len(d.Images), len(d.Labels))
+	}
+	if d.NumClasses <= 0 {
+		return fmt.Errorf("dataset %q: NumClasses %d", d.Name, d.NumClasses)
+	}
+	for i, img := range d.Images {
+		if len(img) != d.Pixels() {
+			return fmt.Errorf("dataset %q: image %d has %d pixels, want %d", d.Name, i, len(img), d.Pixels())
+		}
+		if int(d.Labels[i]) >= d.NumClasses {
+			return fmt.Errorf("dataset %q: label %d out of range at %d", d.Name, d.Labels[i], i)
+		}
+	}
+	return nil
+}
+
+// Subset returns a shallow view of images [lo, hi).
+func (d *Dataset) Subset(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.Len() || lo > hi {
+		panic(fmt.Sprintf("dataset: Subset[%d:%d) of %d", lo, hi, d.Len()))
+	}
+	return &Dataset{
+		Name:       d.Name,
+		Width:      d.Width,
+		Height:     d.Height,
+		NumClasses: d.NumClasses,
+		Images:     d.Images[lo:hi],
+		Labels:     d.Labels[lo:hi],
+	}
+}
+
+// LabelInferSplit splits a test set the way the paper does: the first
+// nLabel images label the neurons, the rest measure inference accuracy.
+func (d *Dataset) LabelInferSplit(nLabel int) (label, infer *Dataset) {
+	if nLabel > d.Len() {
+		nLabel = d.Len()
+	}
+	return d.Subset(0, nLabel), d.Subset(nLabel, d.Len())
+}
+
+// ClassCounts returns how many images carry each label.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	return counts
+}
+
+// IDX magic numbers (big-endian): 0x08 = unsigned byte elements, followed by
+// the dimension count.
+const (
+	idxMagicLabels = 0x00000801 // 1-D: labels
+	idxMagicImages = 0x00000803 // 3-D: images
+)
+
+// ReadIDXImages parses an idx3-ubyte stream (the MNIST image format).
+func ReadIDXImages(r io.Reader) (images [][]uint8, width, height int, err error) {
+	var hdr [4]uint32
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("dataset: reading IDX image header: %w", err)
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, 0, 0, fmt.Errorf("dataset: bad IDX image magic %#x", hdr[0])
+	}
+	n, rows, cols := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	// Compute the pixel count in uint64: forged 32-bit dimensions must not
+	// overflow the int product and sneak past the sanity bound.
+	if n < 0 || rows <= 0 || cols <= 0 || uint64(hdr[2])*uint64(hdr[3]) > 1<<20 {
+		return nil, 0, 0, fmt.Errorf("dataset: implausible IDX dimensions %d×%d×%d", n, rows, cols)
+	}
+	// Grow incrementally rather than trusting the header's count, so a
+	// forged header cannot force a huge upfront allocation.
+	for i := 0; i < n; i++ {
+		img := make([]uint8, rows*cols)
+		if _, err := io.ReadFull(r, img); err != nil {
+			return nil, 0, 0, fmt.Errorf("dataset: reading IDX image %d: %w", i, err)
+		}
+		images = append(images, img)
+	}
+	return images, cols, rows, nil
+}
+
+// ReadIDXLabels parses an idx1-ubyte stream (the MNIST label format).
+func ReadIDXLabels(r io.Reader) ([]uint8, error) {
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("dataset: reading IDX label header: %w", err)
+	}
+	if hdr[0] != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: bad IDX label magic %#x", hdr[0])
+	}
+	// Read in bounded chunks: the header count is untrusted and must not
+	// drive a single huge allocation.
+	var labels []uint8
+	remaining := int(hdr[1])
+	buf := make([]uint8, 64<<10)
+	for remaining > 0 {
+		chunk := buf
+		if remaining < len(chunk) {
+			chunk = chunk[:remaining]
+		}
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("dataset: reading IDX labels: %w", err)
+		}
+		labels = append(labels, chunk...)
+		remaining -= len(chunk)
+	}
+	return labels, nil
+}
+
+// WriteIDXImages writes images in idx3-ubyte format.
+func WriteIDXImages(w io.Writer, images [][]uint8, width, height int) error {
+	hdr := [4]uint32{idxMagicImages, uint32(len(images)), uint32(height), uint32(width)}
+	if err := binary.Write(w, binary.BigEndian, hdr); err != nil {
+		return err
+	}
+	for i, img := range images {
+		if len(img) != width*height {
+			return fmt.Errorf("dataset: image %d has %d pixels, want %d", i, len(img), width*height)
+		}
+		if _, err := w.Write(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIDXLabels writes labels in idx1-ubyte format.
+func WriteIDXLabels(w io.Writer, labels []uint8) error {
+	hdr := [2]uint32{idxMagicLabels, uint32(len(labels))}
+	if err := binary.Write(w, binary.BigEndian, hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(labels)
+	return err
+}
+
+// openMaybeGzip opens a file, transparently decompressing ".gz" paths. The
+// returned closer must be closed by the caller.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: opening gzip %s: %w", path, err)
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{gz, f}, nil
+}
+
+// LoadIDXPair loads a (images, labels) IDX file pair into a Dataset with 10
+// classes (the MNIST family convention). Either path may be gzip-compressed.
+func LoadIDXPair(name, imagesPath, labelsPath string) (*Dataset, error) {
+	ir, err := openMaybeGzip(imagesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	images, w, h, err := ReadIDXImages(ir)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := openMaybeGzip(labelsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	labels, err := ReadIDXLabels(lr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Name: name, Width: w, Height: h, NumClasses: 10, Images: images, Labels: labels}
+	return d, d.Validate()
+}
+
+// LoadMNISTDir looks for the standard MNIST file names under dir
+// (train-images-idx3-ubyte[.gz] etc.) and loads the train and test sets.
+func LoadMNISTDir(dir string) (train, test *Dataset, err error) {
+	find := func(base string) (string, error) {
+		for _, suffix := range []string{"", ".gz"} {
+			p := filepath.Join(dir, base+suffix)
+			if _, err := os.Stat(p); err == nil {
+				return p, nil
+			}
+		}
+		return "", fmt.Errorf("dataset: %s not found under %s", base, dir)
+	}
+	trImg, err := find("train-images-idx3-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	trLbl, err := find("train-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	teImg, err := find("t10k-images-idx3-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	teLbl, err := find("t10k-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	if train, err = LoadIDXPair("mnist-train", trImg, trLbl); err != nil {
+		return nil, nil, err
+	}
+	if test, err = LoadIDXPair("mnist-test", teImg, teLbl); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

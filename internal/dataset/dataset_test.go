@@ -1,0 +1,368 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		Name: "tiny", Width: 2, Height: 2, NumClasses: 2,
+		Images: [][]uint8{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}},
+		Labels: []uint8{0, 1, 0},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := tinyDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyDataset()
+	bad.Labels = bad.Labels[:2]
+	if bad.Validate() == nil {
+		t.Error("label/image count mismatch accepted")
+	}
+	bad = tinyDataset()
+	bad.Images[1] = []uint8{1}
+	if bad.Validate() == nil {
+		t.Error("short image accepted")
+	}
+	bad = tinyDataset()
+	bad.Labels[0] = 9
+	if bad.Validate() == nil {
+		t.Error("out-of-range label accepted")
+	}
+	bad = tinyDataset()
+	bad.Width = 0
+	if bad.Validate() == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	d := tinyDataset()
+	s := d.Subset(1, 3)
+	if s.Len() != 2 || s.Labels[0] != 1 {
+		t.Fatalf("Subset wrong: len %d labels %v", s.Len(), s.Labels)
+	}
+	label, infer := d.LabelInferSplit(1)
+	if label.Len() != 1 || infer.Len() != 2 {
+		t.Fatalf("split sizes %d/%d", label.Len(), infer.Len())
+	}
+	// Oversized nLabel clamps.
+	label, infer = d.LabelInferSplit(10)
+	if label.Len() != 3 || infer.Len() != 0 {
+		t.Fatalf("clamped split sizes %d/%d", label.Len(), infer.Len())
+	}
+}
+
+func TestSubsetPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Subset range did not panic")
+		}
+	}()
+	tinyDataset().Subset(2, 1)
+}
+
+func TestClassCounts(t *testing.T) {
+	got := tinyDataset().ClassCounts()
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("ClassCounts = %v", got)
+	}
+}
+
+func TestIDXImagesRoundTrip(t *testing.T) {
+	images := [][]uint8{{1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12}}
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, images, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, w, h, err := ReadIDXImages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 || h != 2 || len(got) != 2 {
+		t.Fatalf("round trip dims %dx%d n=%d", w, h, len(got))
+	}
+	for i := range images {
+		if !bytes.Equal(images[i], got[i]) {
+			t.Fatalf("image %d mismatch", i)
+		}
+	}
+}
+
+func TestIDXLabelsRoundTrip(t *testing.T) {
+	labels := []uint8{0, 1, 2, 9}
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(labels, got) {
+		t.Fatalf("labels %v != %v", got, labels)
+	}
+}
+
+func TestReadIDXRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 0, 8, 99, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1})
+	if _, _, _, err := ReadIDXImages(buf); err == nil {
+		t.Error("bad image magic accepted")
+	}
+	buf = bytes.NewBuffer([]byte{0, 0, 8, 99, 0, 0, 0, 0})
+	if _, err := ReadIDXLabels(buf); err == nil {
+		t.Error("bad label magic accepted")
+	}
+}
+
+func TestReadIDXRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteIDXImages(&buf, [][]uint8{{1, 2, 3, 4}}, 2, 2)
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated image file accepted")
+	}
+}
+
+func TestWriteIDXImagesRejectsWrongSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, [][]uint8{{1, 2}}, 3, 2); err == nil {
+		t.Error("wrong-sized image accepted")
+	}
+}
+
+func TestLoadIDXPairAndMNISTDir(t *testing.T) {
+	dir := t.TempDir()
+	images := [][]uint8{make([]uint8, 784), make([]uint8, 784)}
+	images[0][100] = 255
+	labels := []uint8{3, 7}
+
+	writePair := func(imgName, lblName string, gz bool) {
+		var ibuf, lbuf bytes.Buffer
+		if err := WriteIDXImages(&ibuf, images, 28, 28); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteIDXLabels(&lbuf, labels); err != nil {
+			t.Fatal(err)
+		}
+		write := func(name string, data []byte) {
+			if gz {
+				var z bytes.Buffer
+				zw := gzip.NewWriter(&z)
+				zw.Write(data)
+				zw.Close()
+				data = z.Bytes()
+				name += ".gz"
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(imgName, ibuf.Bytes())
+		write(lblName, lbuf.Bytes())
+	}
+
+	writePair("train-images-idx3-ubyte", "train-labels-idx1-ubyte", false)
+	writePair("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", true) // gz path
+
+	train, test, err := LoadMNISTDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 2 || test.Len() != 2 {
+		t.Fatalf("loaded %d/%d images", train.Len(), test.Len())
+	}
+	if train.Images[0][100] != 255 || train.Labels[1] != 7 {
+		t.Fatal("loaded content mismatch")
+	}
+	if test.Width != 28 || test.Height != 28 {
+		t.Fatalf("test dims %dx%d", test.Width, test.Height)
+	}
+}
+
+func TestLoadMNISTDirMissing(t *testing.T) {
+	if _, _, err := LoadMNISTDir(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestSynthDigitsBasics(t *testing.T) {
+	d := SynthDigits(100, 42)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 || d.Width != 28 || d.Height != 28 || d.NumClasses != 10 {
+		t.Fatalf("dataset shape: %d images %dx%d", d.Len(), d.Width, d.Height)
+	}
+	// First 10 samples cover all classes.
+	for i := 0; i < 10; i++ {
+		if int(d.Labels[i]) != i {
+			t.Fatalf("label[%d] = %d, want %d", i, d.Labels[i], i)
+		}
+	}
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("class %d has no samples", c)
+		}
+	}
+}
+
+func TestSynthDigitsHaveInk(t *testing.T) {
+	d := SynthDigits(50, 7)
+	for i, img := range d.Images {
+		lit := 0
+		for _, p := range img {
+			if p > 60 {
+				lit++
+			}
+		}
+		if lit < 15 || lit > 500 {
+			t.Errorf("image %d (class %d) has %d lit pixels", i, d.Labels[i], lit)
+		}
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := SynthDigits(20, 99)
+	b := SynthDigits(20, 99)
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i], b.Images[i]) {
+			t.Fatalf("image %d differs across identical generations", i)
+		}
+	}
+	c := SynthDigits(20, 100)
+	diff := false
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i], c.Images[i]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSynthPrefixStable(t *testing.T) {
+	// Sample i must not depend on how many samples are generated.
+	a := SynthDigits(10, 5)
+	b := SynthDigits(40, 5)
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(a.Images[i], b.Images[i]) {
+			t.Fatalf("sample %d changed when generating more data", i)
+		}
+	}
+}
+
+func TestSynthFashionBasics(t *testing.T) {
+	d := SynthFashion(100, 42)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses != 10 {
+		t.Fatal("wrong class count")
+	}
+	// Fashion silhouettes are filled: far more lit pixels than digits.
+	for i := 0; i < 20; i++ {
+		lit := 0
+		for _, p := range d.Images[i] {
+			if p > 60 {
+				lit++
+			}
+		}
+		if lit < 60 {
+			t.Errorf("fashion image %d (class %d) only %d lit pixels", i, d.Labels[i], lit)
+		}
+	}
+}
+
+func TestFashionOverlapExceedsDigits(t *testing.T) {
+	// The property the substitution must preserve (DESIGN.md §2): fashion
+	// classes overlap much more than digit classes. Measure mean pairwise
+	// overlap (cosine similarity of class-mean images).
+	overlap := func(d *Dataset) float64 {
+		means := make([][]float64, d.NumClasses)
+		counts := make([]int, d.NumClasses)
+		for c := range means {
+			means[c] = make([]float64, d.Pixels())
+		}
+		for i, img := range d.Images {
+			c := d.Labels[i]
+			counts[c]++
+			for p, v := range img {
+				means[c][p] += float64(v)
+			}
+		}
+		cos := func(a, b []float64) float64 {
+			var dot, na, nb float64
+			for i := range a {
+				dot += a[i] * b[i]
+				na += a[i] * a[i]
+				nb += b[i] * b[i]
+			}
+			if na == 0 || nb == 0 {
+				return 0
+			}
+			return dot / (sqrt(na) * sqrt(nb))
+		}
+		sum, n := 0.0, 0
+		for a := 0; a < d.NumClasses; a++ {
+			for b := a + 1; b < d.NumClasses; b++ {
+				sum += cos(means[a], means[b])
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	digits := overlap(SynthDigits(300, 1))
+	fashion := overlap(SynthFashion(300, 1))
+	if fashion <= digits {
+		t.Fatalf("fashion overlap %v should exceed digits overlap %v", fashion, digits)
+	}
+}
+
+func sqrt(x float64) float64 {
+	// local helper to avoid importing math in the test twice
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestFashionClassNames(t *testing.T) {
+	names := FashionClassNames()
+	if len(names) != 10 {
+		t.Fatalf("%d class names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("bad class name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func BenchmarkSynthDigits100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SynthDigits(100, uint64(i))
+	}
+}
+
+func BenchmarkSynthFashion100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SynthFashion(100, uint64(i))
+	}
+}

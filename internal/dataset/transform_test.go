@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWithSaltPepper(t *testing.T) {
+	d := SynthDigits(20, 1)
+	noisy, err := d.WithSaltPepper(0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noisy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels preserved, name annotated.
+	for i := range d.Labels {
+		if noisy.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	if noisy.Name == d.Name {
+		t.Fatal("name not annotated")
+	}
+	// Roughly p of pixels flipped to an extreme.
+	changed := 0
+	total := 0
+	for i := range d.Images {
+		for px := range d.Images[i] {
+			total++
+			if d.Images[i][px] != noisy.Images[i][px] {
+				changed++
+				if noisy.Images[i][px] != 0 && noisy.Images[i][px] != 255 {
+					t.Fatal("salt-pepper produced a non-extreme value")
+				}
+			}
+		}
+	}
+	frac := float64(changed) / float64(total)
+	// Most corrupted pixels change value (black pixels salted to 0 don't).
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("changed fraction %v for p=0.2", frac)
+	}
+	// Original untouched.
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithSaltPepperDeterministic(t *testing.T) {
+	d := SynthDigits(5, 1)
+	a, _ := d.WithSaltPepper(0.1, 7)
+	b, _ := d.WithSaltPepper(0.1, 7)
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i], b.Images[i]) {
+			t.Fatal("salt-pepper not deterministic")
+		}
+	}
+	c, _ := d.WithSaltPepper(0.1, 8)
+	same := true
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i], c.Images[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestWithSaltPepperValidation(t *testing.T) {
+	d := SynthDigits(2, 1)
+	if _, err := d.WithSaltPepper(-0.1, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := d.WithSaltPepper(1.5, 1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	clean, err := d.WithSaltPepper(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Images {
+		if !bytes.Equal(clean.Images[i], d.Images[i]) {
+			t.Fatal("p=0 changed pixels")
+		}
+	}
+}
+
+func TestWithOcclusion(t *testing.T) {
+	d := SynthDigits(10, 2)
+	occ, err := d.WithOcclusion(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := occ.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each image must contain an 8×8 zero block; count zeroed-out pixels.
+	for i := range d.Images {
+		zeroed := 0
+		for px := range d.Images[i] {
+			if d.Images[i][px] != 0 && occ.Images[i][px] == 0 {
+				zeroed++
+			}
+		}
+		// The block may fall on background; but over the whole image the
+		// occluded copy can never have MORE lit pixels.
+		lit0, lit1 := 0, 0
+		for px := range d.Images[i] {
+			if d.Images[i][px] > 0 {
+				lit0++
+			}
+			if occ.Images[i][px] > 0 {
+				lit1++
+			}
+		}
+		if lit1 > lit0 {
+			t.Fatalf("occlusion added pixels in image %d", i)
+		}
+	}
+}
+
+func TestWithOcclusionValidation(t *testing.T) {
+	d := SynthDigits(2, 1)
+	if _, err := d.WithOcclusion(-1, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := d.WithOcclusion(100, 1); err == nil {
+		t.Error("oversized block accepted")
+	}
+	same, err := d.WithOcclusion(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same.Images[0], d.Images[0]) {
+		t.Fatal("size 0 changed pixels")
+	}
+}
+
+func TestWithIntensityScale(t *testing.T) {
+	d := SynthDigits(5, 1)
+	dim, err := d.WithIntensityScale(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Images {
+		for px := range d.Images[i] {
+			want := uint8(float64(d.Images[i][px]) * 0.5)
+			if dim.Images[i][px] != want {
+				t.Fatalf("pixel %d: %d, want %d", px, dim.Images[i][px], want)
+			}
+		}
+	}
+	// Saturation.
+	bright, _ := d.WithIntensityScale(10, 0)
+	for px, v := range d.Images[0] {
+		if v > 25 && bright.Images[0][px] != 255 {
+			t.Fatalf("pixel %d should saturate", px)
+		}
+	}
+	if _, err := d.WithIntensityScale(-1, 0); err == nil {
+		t.Error("negative factor accepted")
+	}
+}

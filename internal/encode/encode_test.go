@@ -1,0 +1,381 @@
+package encode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandValidate(t *testing.T) {
+	if err := BaselineBand().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Band{{-1, 10}, {5, 0}, {10, 5}} {
+		if b.Validate() == nil {
+			t.Errorf("band %+v accepted", b)
+		}
+	}
+}
+
+func TestPaperBands(t *testing.T) {
+	if b := BaselineBand(); b.MinHz != 1 || b.MaxHz != 22 {
+		t.Errorf("baseline band = %+v, want 1-22 Hz", b)
+	}
+	if b := HighFrequencyBand(); b.MinHz != 5 || b.MaxHz != 78 {
+		t.Errorf("high frequency band = %+v, want 5-78 Hz", b)
+	}
+}
+
+func TestRateLinearInIntensity(t *testing.T) {
+	b := BaselineBand()
+	if got := b.Rate(0); got != 1 {
+		t.Errorf("Rate(0) = %v, want MinHz", got)
+	}
+	if got := b.Rate(255); got != 22 {
+		t.Errorf("Rate(255) = %v, want MaxHz", got)
+	}
+	mid := b.Rate(128)
+	if mid <= b.Rate(64) || mid >= b.Rate(192) {
+		t.Error("Rate not monotone in intensity")
+	}
+	// Linearity: equal intensity steps give equal rate steps.
+	d1 := b.Rate(100) - b.Rate(50)
+	d2 := b.Rate(150) - b.Rate(100)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("Rate not linear: %v vs %v", d1, d2)
+	}
+}
+
+func TestRatesFill(t *testing.T) {
+	b := Band{MinHz: 0, MaxHz: 255}
+	img := []uint8{0, 128, 255}
+	dst := make([]float64, 3)
+	b.Rates(img, dst)
+	if dst[0] != 0 || dst[2] != 255 || dst[1] != 128 {
+		t.Fatalf("Rates = %v", dst)
+	}
+}
+
+func TestRatesPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dst length mismatch")
+		}
+	}()
+	BaselineBand().Rates([]uint8{1, 2}, make([]float64, 3))
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	if _, err := NewSource(nil, BaselineBand(), Poisson, 1, 0); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := NewSource([]uint8{1}, Band{10, 5}, Poisson, 1, 0); err == nil {
+		t.Error("invalid band accepted")
+	}
+	s, err := NewSource([]uint8{0, 255}, BaselineBand(), Poisson, 1, 0)
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("NewSource: %v", err)
+	}
+	if s.Rate(0) != 1 || s.Rate(1) != 22 {
+		t.Fatalf("rates = %v, %v", s.Rate(0), s.Rate(1))
+	}
+}
+
+func TestPoissonRateAccuracy(t *testing.T) {
+	// A 255-intensity pixel in a 5-78 Hz band should spike ~78 times/s.
+	img := []uint8{255, 128, 0}
+	s, _ := NewSource(img, HighFrequencyBand(), Poisson, 99, 0)
+	const steps = 200000 // 200 s at dt=1ms
+	counts := make([]int, 3)
+	var spikes []int
+	for step := uint64(0); step < steps; step++ {
+		spikes = s.Step(step, 1, spikes[:0])
+		for _, i := range spikes {
+			counts[i]++
+		}
+	}
+	for i := range img {
+		want := s.Rate(i)
+		got := float64(counts[i]) / (steps / 1000.0)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("pixel %d: measured %v Hz, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPoissonReproducible(t *testing.T) {
+	img := []uint8{200, 100}
+	a, _ := NewSource(img, BaselineBand(), Poisson, 7, 3)
+	b, _ := NewSource(img, BaselineBand(), Poisson, 7, 3)
+	for step := uint64(0); step < 1000; step++ {
+		sa := a.Step(step, 1, nil)
+		sb := b.Step(step, 1, nil)
+		if len(sa) != len(sb) {
+			t.Fatalf("step %d: %v vs %v", step, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("step %d: %v vs %v", step, sa, sb)
+			}
+		}
+	}
+}
+
+func TestPoissonStepOrderIndependent(t *testing.T) {
+	// Counter-based draws: querying steps out of order gives the same
+	// spikes as in order.
+	img := []uint8{255}
+	s, _ := NewSource(img, HighFrequencyBand(), Poisson, 5, 1)
+	forward := map[uint64]bool{}
+	for step := uint64(0); step < 500; step++ {
+		forward[step] = len(s.Step(step, 1, nil)) > 0
+	}
+	for step := uint64(499); ; step-- {
+		got := len(s.Step(step, 1, nil)) > 0
+		if got != forward[step] {
+			t.Fatalf("step %d differs when queried in reverse", step)
+		}
+		if step == 0 {
+			break
+		}
+	}
+}
+
+func TestPresentationsDecorrelated(t *testing.T) {
+	img := []uint8{255}
+	a, _ := NewSource(img, HighFrequencyBand(), Poisson, 5, 1)
+	b, _ := NewSource(img, HighFrequencyBand(), Poisson, 5, 2)
+	same, fires := 0, 0
+	for step := uint64(0); step < 5000; step++ {
+		fa := len(a.Step(step, 1, nil)) > 0
+		fb := len(b.Step(step, 1, nil)) > 0
+		if fa {
+			fires++
+			if fb {
+				same++
+			}
+		}
+	}
+	if fires == 0 {
+		t.Fatal("no spikes at all")
+	}
+	// Independence: coincidence rate should be ~rate·dt (=0.078), not ~1.
+	if float64(same)/float64(fires) > 0.3 {
+		t.Fatalf("presentations correlated: %d/%d coincidences", same, fires)
+	}
+}
+
+func TestRegularTrainRate(t *testing.T) {
+	img := []uint8{255, 128}
+	s, _ := NewSource(img, Band{MinHz: 10, MaxHz: 50}, Regular, 3, 0)
+	const steps = 10000 // 10 s at dt=1ms
+	counts := make([]int, 2)
+	var spikes []int
+	for step := uint64(0); step < steps; step++ {
+		spikes = s.Step(step, 1, spikes[:0])
+		for _, i := range spikes {
+			counts[i]++
+		}
+	}
+	for i := range img {
+		want := s.Rate(i) * steps / 1000
+		if math.Abs(float64(counts[i])-want) > 2 {
+			t.Errorf("regular train %d: %d spikes, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestRegularTrainEvenSpacing(t *testing.T) {
+	img := []uint8{255}
+	s, _ := NewSource(img, Band{MinHz: 0, MaxHz: 100}, Regular, 11, 0) // 100 Hz → every 10 ms
+	var times []uint64
+	for step := uint64(0); step < 1000; step++ {
+		if len(s.Step(step, 1, nil)) > 0 {
+			times = append(times, step)
+		}
+	}
+	if len(times) < 50 {
+		t.Fatalf("too few spikes: %d", len(times))
+	}
+	for i := 2; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < 9 || gap > 11 {
+			t.Fatalf("irregular gap %d at spike %d", gap, i)
+		}
+	}
+}
+
+func TestRegularZeroRateNeverSpikes(t *testing.T) {
+	img := []uint8{0}
+	s, _ := NewSource(img, Band{MinHz: 0, MaxHz: 100}, Regular, 1, 0)
+	for step := uint64(0); step < 1000; step++ {
+		if len(s.Step(step, 1, nil)) > 0 {
+			t.Fatal("zero-rate regular train spiked")
+		}
+	}
+}
+
+func TestExpectedSpikes(t *testing.T) {
+	img := []uint8{255, 255}
+	s, _ := NewSource(img, Band{MinHz: 0, MaxHz: 10}, Poisson, 1, 0)
+	if got := s.ExpectedSpikes(1000); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("ExpectedSpikes = %v, want 20", got)
+	}
+}
+
+func TestControls(t *testing.T) {
+	base := BaselineControl()
+	if base.TLearnMS != 500 || base.Band != BaselineBand() {
+		t.Errorf("baseline control = %+v", base)
+	}
+	hf := HighFrequencyControl()
+	if hf.TLearnMS != 100 || hf.Band != HighFrequencyBand() {
+		t.Errorf("high frequency control = %+v", hf)
+	}
+	// The paper's headline: high-frequency mode is 5× less biological time
+	// per image.
+	if got := hf.SpeedupOver(base); got != 5 {
+		t.Errorf("speedup = %v, want 5", got)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.TLearnMS = 0
+	if bad.Validate() == nil {
+		t.Error("zero presentation time accepted")
+	}
+}
+
+func TestWithMaxHz(t *testing.T) {
+	c := BaselineControl().WithMaxHz(40)
+	if c.Band.MaxHz != 40 || c.Band.MinHz != 1 || c.TLearnMS != 500 {
+		t.Fatalf("WithMaxHz = %+v", c)
+	}
+	// Original unchanged (value semantics).
+	if BaselineControl().Band.MaxHz != 22 {
+		t.Fatal("WithMaxHz mutated the receiver")
+	}
+}
+
+func TestTrainKindString(t *testing.T) {
+	if Poisson.String() != "poisson" || Regular.String() != "regular" {
+		t.Fatal("TrainKind.String mismatch")
+	}
+}
+
+// Property: rates always stay inside the band for any intensity.
+func TestRateWithinBandProperty(t *testing.T) {
+	check := func(minHz, span float64, px uint8) bool {
+		b := Band{MinHz: math.Mod(math.Abs(minHz), 50), MaxHz: 0}
+		b.MaxHz = b.MinHz + 1 + math.Mod(math.Abs(span), 100)
+		r := b.Rate(px)
+		return r >= b.MinHz-1e-12 && r <= b.MaxHz+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a higher band produces at least as many expected spikes per
+// presentation as a lower one for the same image.
+func TestBandMonotoneProperty(t *testing.T) {
+	img := []uint8{10, 100, 200, 255}
+	check := func(boost float64) bool {
+		boost = 1 + math.Mod(math.Abs(boost), 5)
+		lo := BaselineBand()
+		hi := Band{MinHz: lo.MinHz * boost, MaxHz: lo.MaxHz * boost}
+		sLo, err1 := NewSource(img, lo, Poisson, 1, 0)
+		sHi, err2 := NewSource(img, hi, Poisson, 1, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sHi.ExpectedSpikes(100) >= sLo.ExpectedSpikes(100)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoissonStep784(b *testing.B) {
+	img := make([]uint8, 784)
+	for i := range img {
+		img[i] = uint8(i % 256)
+	}
+	s, _ := NewSource(img, HighFrequencyBand(), Poisson, 1, 0)
+	var spikes []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spikes = s.Step(uint64(i), 1, spikes[:0])
+	}
+}
+
+func TestStepRangeMatchesStep(t *testing.T) {
+	img := []uint8{10, 100, 200, 255, 0, 50}
+	for _, kind := range []TrainKind{Poisson, Regular} {
+		s, _ := NewSource(img, HighFrequencyBand(), kind, 21, 4)
+		for step := uint64(0); step < 300; step++ {
+			full := s.Step(step, 1, nil)
+			var split []int
+			split = s.StepRange(step, 1, 0, 3, split)
+			split = s.StepRange(step, 1, 3, 6, split)
+			if len(full) != len(split) {
+				t.Fatalf("%v step %d: %v vs %v", kind, step, full, split)
+			}
+			for i := range full {
+				if full[i] != split[i] {
+					t.Fatalf("%v step %d: %v vs %v", kind, step, full, split)
+				}
+			}
+		}
+	}
+}
+
+func TestPreparedMatchesUnprepared(t *testing.T) {
+	img := []uint8{0, 30, 100, 200, 255}
+	a, _ := NewSource(img, HighFrequencyBand(), Poisson, 17, 5)
+	b, _ := NewSource(img, HighFrequencyBand(), Poisson, 17, 5)
+	b.Prepare(1)
+	for step := uint64(0); step < 2000; step++ {
+		sa := a.Step(step, 1, nil)
+		sb := b.Step(step, 1, nil)
+		if len(sa) != len(sb) {
+			t.Fatalf("step %d: %v vs %v", step, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("step %d: %v vs %v", step, sa, sb)
+			}
+		}
+	}
+}
+
+func TestPrepareRefreshOnDTChange(t *testing.T) {
+	img := []uint8{255}
+	s, _ := NewSource(img, Band{MinHz: 0, MaxHz: 1000}, Poisson, 3, 0)
+	s.Prepare(1)
+	// Stepping with a different dt must not use the stale thresholds:
+	// p = 1000 Hz × 0.1 ms = 0.1 → ~10% spike rate, not ~100%.
+	fires := 0
+	for step := uint64(0); step < 10000; step++ {
+		if len(s.Step(step, 0.1, nil)) > 0 {
+			fires++
+		}
+	}
+	rate := float64(fires) / 10000
+	if rate > 0.15 {
+		t.Fatalf("stale thresholds used after dt change: fire rate %v", rate)
+	}
+}
+
+func TestPoissonSaturatedProbability(t *testing.T) {
+	// rate·dt ≥ 1: the train must spike every step.
+	img := []uint8{255}
+	s, _ := NewSource(img, Band{MinHz: 0, MaxHz: 2000}, Poisson, 3, 0)
+	s.Prepare(1)
+	for step := uint64(0); step < 100; step++ {
+		if len(s.Step(step, 1, nil)) != 1 {
+			t.Fatalf("saturated train skipped step %d", step)
+		}
+	}
+}

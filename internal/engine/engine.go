@@ -1,0 +1,146 @@
+// Package engine provides the execution substrate that stands in for the
+// paper's CUDA GPU: a data-parallel range executor backed by a persistent
+// goroutine worker pool.
+//
+// The simulator's hot loops — input-current accumulation, LIF integration,
+// and pre-spike depression — are all "for each element in [0, n)" kernels
+// over disjoint state, exactly the shape the paper launches as GPU thread
+// grids. Executor.For partitions such a range into one contiguous chunk per
+// worker. Because every stochastic decision in the simulator is
+// counter-based (see internal/rng), the parallel executor is bit-identical
+// to the sequential one; TestParallelMatchesSequential in the network
+// package pins that property.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Executor runs range kernels, possibly concurrently.
+type Executor interface {
+	// For partitions [0, n) into contiguous chunks and invokes
+	// fn(chunk, lo, hi) for each; chunk is the worker/partition index in
+	// [0, Workers()). For returns after every chunk completes. fn must
+	// only touch state owned by its chunk (or indexed by [lo, hi)).
+	For(n int, fn func(chunk, lo, hi int))
+	// Workers returns the number of partitions For will use.
+	Workers() int
+	// Close releases pool resources. The executor must not be used after.
+	Close()
+}
+
+// Sequential executes kernels on the calling goroutine with a single
+// partition. It is the reference implementation for determinism tests.
+type Sequential struct{}
+
+// For invokes fn(0, 0, n) directly.
+func (Sequential) For(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, 0, n)
+}
+
+// Workers returns 1.
+func (Sequential) Workers() int { return 1 }
+
+// Close is a no-op.
+func (Sequential) Close() {}
+
+// Pool is a persistent worker pool. Each worker owns a fixed partition
+// index, so per-worker scratch buffers never race.
+type Pool struct {
+	n       int
+	jobs    []chan job
+	closed  bool
+	closeMu sync.Mutex
+}
+
+type job struct {
+	lo, hi int
+	fn     func(chunk, lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// NewPool creates a pool with the given number of workers. workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{n: workers, jobs: make([]chan job, workers)}
+	for i := range p.jobs {
+		ch := make(chan job, 1)
+		p.jobs[i] = ch
+		go func(chunk int, ch chan job) {
+			for j := range ch {
+				j.fn(chunk, j.lo, j.hi)
+				j.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.n }
+
+// For splits [0, n) into p.n near-equal contiguous chunks and dispatches
+// one to each worker, blocking until all finish. Workers with an empty
+// chunk are still invoked with lo == hi so chunk-indexed reductions can
+// zero their slot.
+func (p *Pool) For(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.n == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.n)
+	for c := 0; c < p.n; c++ {
+		lo, hi := Partition(n, p.n, c)
+		p.jobs[c] <- job{lo: lo, hi: hi, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. Safe to call once; For must not be called
+// afterwards.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// Partition returns the half-open range of chunk c when dividing n items
+// into k near-equal contiguous chunks (the first n%k chunks get one extra).
+func Partition(n, k, c int) (lo, hi int) {
+	if k <= 0 || c < 0 || c >= k {
+		panic(fmt.Sprintf("engine: Partition(n=%d, k=%d, c=%d)", n, k, c))
+	}
+	base := n / k
+	rem := n % k
+	lo = c*base + min(c, rem)
+	hi = lo + base
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateInhibitionSmoke(t *testing.T) {
+	res, err := AblateInhibition(TestScale(), []float64{0, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if !strings.Contains(res.Render(), "t_inh") {
+		t.Error("render missing knob name")
+	}
+}
+
+func TestAblateWindowSmoke(t *testing.T) {
+	res, err := AblateWindow(TestScale(), []float64{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+}
+
+func TestAblateHomeostasisSmoke(t *testing.T) {
+	res, err := AblateHomeostasis(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Label != "enabled" || res.Rows[1].Label != "disabled" {
+		t.Fatalf("labels %v", res.Rows)
+	}
+}
+
+func TestAblateSynapticTraceSmoke(t *testing.T) {
+	res, err := AblateSynapticTrace(TestScale(), []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+}
+
+func TestAblateParallelScaling(t *testing.T) {
+	s := TestScale()
+	s.TrainImages = 20
+	res, err := AblateParallelScaling(s, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Speedup != 1 {
+		t.Error("first row speedup should be 1")
+	}
+	for _, row := range res.Rows {
+		if row.Wall <= 0 {
+			t.Errorf("worker count %d: wall %v", row.Workers, row.Wall)
+		}
+	}
+	if !strings.Contains(res.Render(), "workers") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblateNoiseSmoke(t *testing.T) {
+	s := TestScale()
+	res, err := AblateNoise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Corruption != "clean" {
+		t.Fatalf("first row %q", res.Rows[0].Corruption)
+	}
+	for _, row := range res.Rows {
+		if row.Det < 0 || row.Det > 1 || row.Stoch < 0 || row.Stoch > 1 {
+			t.Fatalf("accuracy out of range: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Render(), "robustness") {
+		t.Error("render header missing")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/neuron"
+	"parallelspikesim/internal/synapse"
+)
+
+// CurvePoint is one (x, y) sample of a figure curve.
+type CurvePoint struct {
+	X float64
+	Y float64
+}
+
+// LIFCurveResult is the Fig 1(a) data: measured and analytic spiking
+// frequency versus input current for the paper's LIF parameters.
+type LIFCurveResult struct {
+	Currents []float64
+	Measured []float64 // simulated at dt = 0.1 ms
+	Analytic []float64 // closed-form rate of the linear LIF ODE
+}
+
+// FigLIFCurve regenerates Fig 1(a).
+func FigLIFCurve(currents []float64) (*LIFCurveResult, error) {
+	if len(currents) == 0 {
+		for c := 0.0; c <= 50; c += 2.5 {
+			currents = append(currents, c)
+		}
+	}
+	params := neuron.PaperLIF()
+	measured, err := neuron.FICurve(params, currents, 5000, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	analytic := make([]float64, len(currents))
+	for i, c := range currents {
+		analytic[i] = params.SteadyRate(c)
+	}
+	return &LIFCurveResult{Currents: currents, Measured: measured, Analytic: analytic}, nil
+}
+
+// Render formats the Fig 1(a) rows.
+func (r *LIFCurveResult) Render() string {
+	rows := make([][]string, len(r.Currents))
+	for i := range r.Currents {
+		rows[i] = []string{
+			fmt.Sprintf("%.1f", r.Currents[i]),
+			fmt.Sprintf("%.1f", r.Measured[i]),
+			fmt.Sprintf("%.1f", r.Analytic[i]),
+		}
+	}
+	return "Fig 1(a): LIF spiking frequency vs input current\n" +
+		renderTable([]string{"I", "measured Hz", "analytic Hz"}, rows)
+}
+
+// STDPCurvesResult is the Fig 1(c) data: potentiation and depression
+// probabilities versus the signed spike-time difference.
+type STDPCurvesResult struct {
+	Params synapse.StochParams
+	Pot    []CurvePoint // Δt ≥ 0
+	Dep    []CurvePoint // Δt ≤ 0
+}
+
+// FigSTDPCurves regenerates Fig 1(c) for the given Table I row.
+func FigSTDPCurves(params synapse.StochParams, maxDtMS float64, step float64) (*STDPCurvesResult, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDtMS <= 0 || step <= 0 {
+		return nil, fmt.Errorf("experiments: bad Δt range %v/%v", maxDtMS, step)
+	}
+	res := &STDPCurvesResult{Params: params}
+	for dt := 0.0; dt <= maxDtMS; dt += step {
+		res.Pot = append(res.Pot, CurvePoint{X: dt, Y: params.PPot(dt)})
+		res.Dep = append(res.Dep, CurvePoint{X: -dt, Y: params.PDep(-dt)})
+	}
+	return res, nil
+}
+
+// Render formats the Fig 1(c) rows.
+func (r *STDPCurvesResult) Render() string {
+	rows := make([][]string, len(r.Pot))
+	for i := range r.Pot {
+		rows[i] = []string{
+			fmt.Sprintf("%.0f", r.Pot[i].X),
+			fmt.Sprintf("%.4f", r.Pot[i].Y),
+			fmt.Sprintf("%.0f", r.Dep[i].X),
+			fmt.Sprintf("%.4f", r.Dep[i].Y),
+		}
+	}
+	return "Fig 1(c): stochastic STDP probabilities vs Δt\n" +
+		renderTable([]string{"Δt", "P_pot", "Δt", "P_dep"}, rows)
+}
+
+// EncodingResult is the Fig 1(d) data: pixel intensity → spike-train
+// frequency for a band.
+type EncodingResult struct {
+	Band   encode.Band
+	Points []CurvePoint
+}
+
+// FigEncoding regenerates Fig 1(d).
+func FigEncoding(band encode.Band) (*EncodingResult, error) {
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	res := &EncodingResult{Band: band}
+	for px := 0; px <= 255; px += 15 {
+		res.Points = append(res.Points, CurvePoint{X: float64(px), Y: band.Rate(uint8(px))})
+	}
+	return res, nil
+}
+
+// Render formats the Fig 1(d) rows.
+func (r *EncodingResult) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{fmt.Sprintf("%.0f", p.X), fmt.Sprintf("%.2f", p.Y)}
+	}
+	return fmt.Sprintf("Fig 1(d): pixel intensity → spike frequency (%.0f–%.0f Hz band)\n",
+		r.Band.MinHz, r.Band.MaxHz) +
+		renderTable([]string{"intensity", "Hz"}, rows)
+}

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"parallelspikesim/internal/carlsim"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{TestScale(), DefaultScale(), PaperScale()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scale %+v invalid: %v", s, err)
+		}
+	}
+	if (Scale{}).Validate() == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestMakeData(t *testing.T) {
+	s := TestScale()
+	for _, kind := range []DataKind{Digits, Fashion} {
+		train, test, err := makeData(kind, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if train.Len() != s.TrainImages {
+			t.Errorf("%s train %d", kind, train.Len())
+		}
+		if test.Len() != s.LabelImages+s.InferImages {
+			t.Errorf("%s test %d", kind, test.Len())
+		}
+	}
+	if _, _, err := makeData("nope", s); err == nil {
+		t.Error("unknown data kind accepted")
+	}
+}
+
+func TestFigLIFCurve(t *testing.T) {
+	res, err := FigLIFCurve([]float64{0, 5, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measured) != 4 || len(res.Analytic) != 4 {
+		t.Fatal("wrong point count")
+	}
+	if res.Measured[0] != 0 {
+		t.Errorf("zero current fired: %v", res.Measured[0])
+	}
+	if res.Measured[3] <= res.Measured[1] {
+		t.Errorf("f–I not increasing: %v", res.Measured)
+	}
+	// Measured and analytic agree within 10% where firing.
+	for i := range res.Measured {
+		if res.Analytic[i] == 0 {
+			continue
+		}
+		if math.Abs(res.Measured[i]-res.Analytic[i])/res.Analytic[i] > 0.1 {
+			t.Errorf("point %d: measured %v vs analytic %v", i, res.Measured[i], res.Analytic[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 1(a)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigLIFCurveDefaultSweep(t *testing.T) {
+	res, err := FigLIFCurve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Currents) < 10 {
+		t.Fatalf("default sweep only %d points", len(res.Currents))
+	}
+}
+
+func TestFigSTDPCurves(t *testing.T) {
+	params := synapse.StochParams{GammaPot: 0.9, TauPotMS: 30, GammaDep: 0.9, TauDepMS: 10}
+	res, err := FigSTDPCurves(params, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pot[0].Y != 0.9 || res.Dep[0].Y != 0.9 {
+		t.Errorf("peaks: pot %v dep %v", res.Pot[0].Y, res.Dep[0].Y)
+	}
+	// Pot decays with Δt; dep decays with |Δt|.
+	last := len(res.Pot) - 1
+	if res.Pot[last].Y >= res.Pot[0].Y || res.Dep[last].Y >= res.Dep[0].Y {
+		t.Error("curves do not decay")
+	}
+	if _, err := FigSTDPCurves(params, -1, 10); err == nil {
+		t.Error("bad range accepted")
+	}
+	if !strings.Contains(res.Render(), "P_pot") {
+		t.Error("render missing column")
+	}
+}
+
+func TestFigEncoding(t *testing.T) {
+	res, err := FigEncoding(encode.BaselineBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Y != 1 {
+		t.Errorf("intensity 0 rate %v", res.Points[0].Y)
+	}
+	lastY := res.Points[len(res.Points)-1].Y
+	if lastY != 22 {
+		t.Errorf("intensity 255 rate %v", lastY)
+	}
+	if _, err := FigEncoding(encode.Band{MinHz: 5, MaxHz: 1}); err == nil {
+		t.Error("bad band accepted")
+	}
+	if !strings.Contains(res.Render(), "Fig 1(d)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigActivityComparison(t *testing.T) {
+	cfg := carlsim.DefaultConfig()
+	cfg.N = 100
+	cfg.Synapses = 1000
+	res, err := FigActivityComparison(cfg, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("spiking activity diverged between simulators")
+	}
+	if res.Reference.TotalSpikes == 0 {
+		t.Fatal("no activity")
+	}
+	if res.Reference.TotalSpikes != res.MirrorPar.TotalSpikes {
+		t.Fatal("spike totals differ")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Fig 4") || !strings.Contains(out, "identical: true") {
+		t.Errorf("render: %q", out)
+	}
+	if _, err := FigActivityComparison(cfg, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunPipelineSmoke(t *testing.T) {
+	out, err := runPipeline(RunSpec{Data: Digits, Rule: synapse.Stochastic, Preset: synapse.PresetHighFreq}, TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accuracy < 0 || out.Accuracy > 1 {
+		t.Fatalf("accuracy %v", out.Accuracy)
+	}
+	if out.TrainWall <= 0 {
+		t.Fatal("no train wall clock")
+	}
+	if len(out.MovingError) != TestScale().TrainImages {
+		t.Fatalf("moving error %d points", len(out.MovingError))
+	}
+	if out.Net == nil {
+		t.Fatal("trained network missing")
+	}
+}
+
+func TestRunPipelineRejectsBadSpec(t *testing.T) {
+	if _, err := runPipeline(RunSpec{Data: "nope", Rule: synapse.Stochastic, Preset: synapse.PresetFloat}, TestScale()); err == nil {
+		t.Error("bad data kind accepted")
+	}
+	if _, err := runPipeline(RunSpec{Data: Digits, Rule: synapse.Stochastic, Preset: "nope"}, TestScale()); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if _, err := runPipeline(RunSpec{Data: Digits, Rule: synapse.Stochastic, Preset: synapse.PresetFloat}, Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestFigConductanceMapsSmoke(t *testing.T) {
+	res, err := FigConductanceMaps(TestScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 { // 2 rules × 2 data sets
+		t.Fatalf("%d entries", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if len(e.Tiles) != 2 {
+			t.Fatalf("%d tiles", len(e.Tiles))
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 5(a)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigFrequencyMapsSmoke(t *testing.T) {
+	res, err := FigFrequencyMaps(TestScale(), []float64{22, 120}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bands) != 2 || len(res.Accuracies) != 2 {
+		t.Fatal("wrong band count")
+	}
+	if !strings.Contains(res.Render(), "Fig 5(b)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigRasters(t *testing.T) {
+	res, err := FigRasters(TestScale(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HighSpikes <= res.LowSpikes {
+		t.Fatalf("high band spikes (%d) should exceed low band (%d)", res.HighSpikes, res.LowSpikes)
+	}
+	if res.SpikesRatioMeasured < 2 {
+		t.Errorf("spike ratio %v, expected several times more at 5-78 Hz", res.SpikesRatioMeasured)
+	}
+	if !strings.Contains(res.Render(), "Fig 6(a)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigConductanceHistogramSmoke(t *testing.T) {
+	res, err := FigConductanceHistogram(TestScale(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stochastic.N == 0 || res.Deterministic.N == 0 {
+		t.Fatal("empty histograms")
+	}
+	if !strings.Contains(res.Render(), "Fig 6(b)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigAccuracyVsFrequencySmoke(t *testing.T) {
+	res, err := FigAccuracyVsFrequency(TestScale(), []float64{22, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // 2 rules × 2 frequencies
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AccuracyLoss < -1e-9 {
+			t.Errorf("negative loss: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 7(a)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigAccuracyVsRuntimeSmoke(t *testing.T) {
+	res, err := FigAccuracyVsRuntime(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Speedup != 1 {
+		t.Error("baseline speedup should be 1")
+	}
+	// The high-frequency row presents 5× less biological time; its wall
+	// clock must be clearly below the baseline's.
+	if res.Rows[2].TrainWall >= res.Rows[0].TrainWall {
+		t.Errorf("high-frequency training (%v) not faster than baseline (%v)",
+			res.Rows[2].TrainWall, res.Rows[0].TrainWall)
+	}
+	if !strings.Contains(res.Render(), "Fig 7(b)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigMovingErrorSmoke(t *testing.T) {
+	res, err := FigMovingError(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baseline) == 0 || len(res.HighFreq) == 0 {
+		t.Fatal("empty curves")
+	}
+	if !strings.Contains(res.Render(), "Fig 8(c)") {
+		t.Error("render header missing")
+	}
+}
+
+func TestTableRoundingSmoke(t *testing.T) {
+	// Minimal scale: 24 pipeline runs even tiny take a few seconds.
+	s := TestScale()
+	s.TrainImages = 20
+	s.LabelImages = 10
+	s.InferImages = 10
+	res, err := TableRounding(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(res.Rows))
+	}
+	if res.Cell(synapse.Stochastic, fixed.Q1p7, fixed.Nearest) < 0 {
+		t.Error("cell lookup failed")
+	}
+	if res.Cell(synapse.Stochastic, fixed.Float32, fixed.Nearest) != -1 {
+		t.Error("missing cell should return -1")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "Stochastic") || !strings.Contains(out, "Q1.15") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestTableBaselineAnchorSmoke(t *testing.T) {
+	res, err := TableBaselineAnchor(TestScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []float64{res.BaselineAccuracy, res.StochasticAccuracy, res.FashionBaseline, res.FashionStochastic} {
+		if a < 0 || a > 1 {
+			t.Fatalf("accuracy out of range: %+v", res)
+		}
+	}
+	if !strings.Contains(res.Render(), "anchors") {
+		t.Error("render header missing")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := renderTable([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+}
+
+func TestTopContrastNeurons(t *testing.T) {
+	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	syn.Seed = 1
+	net, err := network.New(network.DefaultConfig(16, 3, syn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neuron 1: high contrast (half max, half zero); neurons 0, 2: flat.
+	for pre := 0; pre < 16; pre++ {
+		net.Syn.Set(pre, 0, 0.5)
+		net.Syn.Set(pre, 2, 0.5)
+		if pre < 8 {
+			net.Syn.Set(pre, 1, 1.0)
+		} else {
+			net.Syn.Set(pre, 1, 0.0)
+		}
+	}
+	top := topContrastNeurons(net, 2)
+	if len(top) != 2 || top[0] != 1 {
+		t.Fatalf("topContrastNeurons = %v, want neuron 1 first", top)
+	}
+	// Asking for more than exist clamps.
+	if got := topContrastNeurons(net, 10); len(got) != 3 {
+		t.Fatalf("clamped length %d", len(got))
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/synapse"
+)
+
+// RoundingRow is one Table II cell.
+type RoundingRow struct {
+	Rule     synapse.RuleKind
+	Format   fixed.Format
+	Rounding fixed.Rounding
+	Accuracy float64
+}
+
+// RoundingResult is the Table II data: accuracy for every combination of
+// rule × precision × rounding option.
+type RoundingResult struct {
+	Rows []RoundingRow
+}
+
+// TableRounding regenerates Table II: {baseline, stochastic} ×
+// {Q0.2, Q0.4, Q1.7, Q1.15} × {truncation, nearest, stochastic rounding}.
+// 24 full pipeline runs — the most expensive experiment.
+func TableRounding(s Scale) (*RoundingResult, error) {
+	presets := []synapse.Preset{synapse.Preset2Bit, synapse.Preset4Bit, synapse.Preset8Bit, synapse.Preset16Bit}
+	roundings := []fixed.Rounding{fixed.Truncate, fixed.Nearest, fixed.Stochastic}
+	res := &RoundingResult{}
+	for _, rule := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
+		for _, preset := range presets {
+			for _, rounding := range roundings {
+				r := rounding
+				out, err := runPipeline(RunSpec{
+					Data: Digits, Rule: rule, Preset: preset, Rounding: &r,
+				}, s)
+				if err != nil {
+					return nil, err
+				}
+				cfg, _, _ := synapse.PresetConfig(preset, rule)
+				res.Rows = append(res.Rows, RoundingRow{
+					Rule: rule, Format: cfg.Format, Rounding: rounding, Accuracy: out.Accuracy,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the accuracy for a specific (rule, format, rounding), or
+// -1 when absent.
+func (r *RoundingResult) Cell(rule synapse.RuleKind, format fixed.Format, rounding fixed.Rounding) float64 {
+	for _, row := range r.Rows {
+		if row.Rule == rule && row.Format == format && row.Rounding == rounding {
+			return row.Accuracy
+		}
+	}
+	return -1
+}
+
+// Render formats Table II in the paper's layout (rule blocks × precision
+// rows × rounding columns).
+func (r *RoundingResult) Render() string {
+	formats := []fixed.Format{fixed.Q0p2, fixed.Q0p4, fixed.Q1p7, fixed.Q1p15}
+	out := "Table II: accuracy (%) for rounding options\n"
+	for _, rule := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
+		name := "Baseline"
+		if rule == synapse.Stochastic {
+			name = "Stochastic"
+		}
+		out += "\n" + name + "\n"
+		var rows [][]string
+		for _, f := range formats {
+			row := []string{f.String()}
+			for _, rd := range []fixed.Rounding{fixed.Truncate, fixed.Nearest, fixed.Stochastic} {
+				acc := r.Cell(rule, f, rd)
+				row = append(row, fmt.Sprintf("%.1f", 100*acc))
+			}
+			rows = append(rows, row)
+		}
+		out += renderTable([]string{"", "truncation", "nearest", "stochastic"}, rows)
+	}
+	return out
+}
+
+// AnchorResult is the §IV-A sanity anchor: deterministic and stochastic
+// float32 accuracy on the simple set (the paper quotes Diehl's 91.9% and
+// reports 92.2% baseline / 96.1% stochastic at full scale).
+type AnchorResult struct {
+	BaselineAccuracy   float64
+	StochasticAccuracy float64
+	FashionBaseline    float64
+	FashionStochastic  float64
+	Repeats            int
+}
+
+// TableBaselineAnchor regenerates the §IV-A / §IV-B headline numbers at the
+// given scale: both rules on both data sets at float32. Each cell is the
+// mean over `repeats` seeds (repeats ≤ 1 runs once) — unsupervised WTA
+// learning at reduced scale has noticeable seed variance, especially on the
+// complex set.
+func TableBaselineAnchor(s Scale, repeats int) (*AnchorResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	res := &AnchorResult{Repeats: repeats}
+	cells := []struct {
+		data DataKind
+		rule synapse.RuleKind
+		dst  *float64
+	}{
+		{Digits, synapse.Deterministic, &res.BaselineAccuracy},
+		{Digits, synapse.Stochastic, &res.StochasticAccuracy},
+		{Fashion, synapse.Deterministic, &res.FashionBaseline},
+		{Fashion, synapse.Stochastic, &res.FashionStochastic},
+	}
+	for _, c := range cells {
+		sum := 0.0
+		for r := 0; r < repeats; r++ {
+			sr := s
+			sr.Seed = s.Seed + uint64(r)*101
+			out, err := runPipeline(RunSpec{Data: c.data, Rule: c.rule, Preset: synapse.PresetFloat}, sr)
+			if err != nil {
+				return nil, err
+			}
+			sum += out.Accuracy
+		}
+		*c.dst = sum / float64(repeats)
+	}
+	return res, nil
+}
+
+// Render formats the anchor rows.
+func (r *AnchorResult) Render() string {
+	rows := [][]string{
+		{"digits (simple)", fmt.Sprintf("%.1f", 100*r.BaselineAccuracy), fmt.Sprintf("%.1f", 100*r.StochasticAccuracy)},
+		{"fashion (complex)", fmt.Sprintf("%.1f", 100*r.FashionBaseline), fmt.Sprintf("%.1f", 100*r.FashionStochastic)},
+	}
+	return fmt.Sprintf("§IV-A/B anchors: float32 accuracy (%%), mean of %d seed(s)\n", r.Repeats) +
+		renderTable([]string{"data set", "baseline", "stochastic"}, rows)
+}

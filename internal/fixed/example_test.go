@@ -1,0 +1,23 @@
+package fixed_test
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/fixed"
+)
+
+// Example quantizes a conductance value under the three rounding options of
+// the paper's Table II.
+func Example() {
+	f := fixed.Q0p2 // 2-bit: values {0, 0.25, 0.5, 0.75}
+	x := 0.30
+	fmt.Println("truncate:", f.Quantize(x, fixed.Truncate, 0))
+	fmt.Println("nearest: ", f.Quantize(x, fixed.Nearest, 0))
+	// Stochastic rounding takes the uniform draw as an argument; with a
+	// roll of 0.1 the residue 0.05/0.25 = 0.2 exceeds it, so it rounds up.
+	fmt.Println("stochastic(roll=0.1):", f.Quantize(x, fixed.Stochastic, 0.1))
+	// Output:
+	// truncate: 0.25
+	// nearest:  0.25
+	// stochastic(roll=0.1): 0.5
+}

@@ -1,0 +1,325 @@
+// Package learn implements the paper's unsupervised learning pipeline
+// (Fig 2, §III-B): train on the full training set with STDP, label the
+// first-layer neurons using the first part of the test set (the paper uses
+// the first 1 000 test images), then infer on the remainder by spike-count
+// voting.
+//
+// Two liveness/readout mechanisms from the baseline lineage (Diehl & Cook
+// 2015, which the paper reproduces as its deterministic anchor, §IV-A) are
+// included:
+//
+//   - adaptive boost: if a presentation elicits fewer than BoostMinSpikes
+//     first-layer spikes, it is repeated with the input band scaled up, so
+//     sparse images still drive learning and evaluation;
+//   - evaluation mode: during labeling and inference the homeostatic
+//     thresholds are zeroed and frozen, so the winner-take-all competition
+//     ranks neurons purely by learned receptive-field match.
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/stats"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	Control encode.Control // input band + presentation time
+
+	// Adaptive boost (0 disables): re-present with Band × BoostFactor
+	// until at least BoostMinSpikes first-layer spikes occur, at most
+	// MaxBoosts times.
+	BoostMinSpikes int
+	BoostFactor    float64
+	MaxBoosts      int
+
+	// MovingWindow is the window (in images) of the training-time moving
+	// error rate (Fig 8c).
+	MovingWindow int
+}
+
+// DefaultOptions returns the baseline operating point.
+func DefaultOptions() Options {
+	return Options{
+		Control:        encode.BaselineControl(),
+		BoostMinSpikes: 5,
+		BoostFactor:    1.6,
+		MaxBoosts:      4,
+		MovingWindow:   100,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Control.Validate(); err != nil {
+		return err
+	}
+	if o.BoostMinSpikes > 0 && (o.BoostFactor <= 1 || o.MaxBoosts <= 0) {
+		return fmt.Errorf("learn: boost needs factor > 1 and MaxBoosts > 0")
+	}
+	if o.MovingWindow <= 0 {
+		return fmt.Errorf("learn: MovingWindow %d", o.MovingWindow)
+	}
+	return nil
+}
+
+// Trainer drives the unsupervised learning pipeline over a network.
+type Trainer struct {
+	Net  *network.Network
+	Opts Options
+
+	numClasses int
+	resp       [][]int // training-time response counts [neuron][class]
+	moving     *stats.MovingError
+
+	// ImagesSeen counts training presentations (excluding boost repeats).
+	ImagesSeen int
+	// BoostCount counts boost re-presentations performed.
+	BoostCount int
+}
+
+// NewTrainer binds a network to pipeline options. numClasses is the label
+// arity of the data (10 for the MNIST family).
+func NewTrainer(net *network.Network, opts Options, numClasses int) (*Trainer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("learn: numClasses %d", numClasses)
+	}
+	mv, err := stats.NewMovingError(opts.MovingWindow)
+	if err != nil {
+		return nil, err
+	}
+	resp := make([][]int, net.Cfg.NumNeurons)
+	for i := range resp {
+		resp[i] = make([]int, numClasses)
+	}
+	return &Trainer{
+		Net:        net,
+		Opts:       opts,
+		numClasses: numClasses,
+		resp:       resp,
+		moving:     mv,
+	}, nil
+}
+
+// present shows one image with adaptive boost.
+func (t *Trainer) present(img []uint8, learning bool) (network.PresentResult, error) {
+	res, err := t.Net.Present(img, t.Opts.Control, learning, nil)
+	if err != nil {
+		return res, err
+	}
+	if t.Opts.BoostMinSpikes <= 0 {
+		return res, nil
+	}
+	boosted := t.Opts.Control
+	for tries := 0; tries < t.Opts.MaxBoosts && res.TotalSpikes() < t.Opts.BoostMinSpikes; tries++ {
+		boosted.Band.MinHz *= t.Opts.BoostFactor
+		boosted.Band.MaxHz *= t.Opts.BoostFactor
+		t.BoostCount++
+		if res, err = t.Net.Present(img, boosted, learning, nil); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// TrainImage presents one labeled training image with learning enabled and
+// updates the moving error rate: the image is "predicted" with the current
+// provisional neuron assignments before its own response is added.
+func (t *Trainer) TrainImage(img []uint8, label uint8) (network.PresentResult, error) {
+	if int(label) >= t.numClasses {
+		return network.PresentResult{}, fmt.Errorf("learn: label %d out of range", label)
+	}
+	res, err := t.present(img, true)
+	if err != nil {
+		return res, err
+	}
+	pred := t.predict(res.SpikeCounts)
+	t.moving.Observe(pred != int(label))
+	for n, c := range res.SpikeCounts {
+		t.resp[n][label] += c
+	}
+	t.ImagesSeen++
+	return res, nil
+}
+
+// Train runs TrainImage over the whole data set. progress (optional) is
+// called after every image with the index and current moving error rate.
+func (t *Trainer) Train(ds *dataset.Dataset, progress func(i int, movingError float64)) error {
+	for i := 0; i < ds.Len(); i++ {
+		if _, err := t.TrainImage(ds.Images[i], ds.Labels[i]); err != nil {
+			return fmt.Errorf("learn: training image %d: %w", i, err)
+		}
+		if progress != nil {
+			progress(i, t.moving.Rate())
+		}
+	}
+	return nil
+}
+
+// predict votes with the current training-time response counts.
+func (t *Trainer) predict(spikes []int) int {
+	assigned := assignments(t.resp)
+	return vote(spikes, assigned, t.numClasses)
+}
+
+// MovingError returns the current training moving error rate.
+func (t *Trainer) MovingError() float64 { return t.moving.Rate() }
+
+// MovingErrorCurve returns the moving error after each training image
+// (Fig 8c).
+func (t *Trainer) MovingErrorCurve() []float64 { return t.moving.Curve() }
+
+// Model is the labeled readout: one class per neuron (-1 if the neuron
+// never responded during labeling).
+type Model struct {
+	Assignments []int
+	Responses   [][]int
+	NumClasses  int
+}
+
+// EnterEvaluationMode freezes and zeroes the homeostatic thresholds so the
+// WTA competition ranks neurons purely by receptive-field match. Training
+// must be complete; further TrainImage calls after this are invalid.
+func (t *Trainer) EnterEvaluationMode() {
+	th := t.Net.Exc.Theta()
+	for i := range th {
+		th[i] = 0
+	}
+	t.Net.Exc.FreezeTheta = true
+}
+
+// Label presents the labeling subset (no learning) and assigns each neuron
+// the class it responded to most — the paper's procedure with the first
+// 1 000 test images. It switches the network into evaluation mode.
+func (t *Trainer) Label(ds *dataset.Dataset) (*Model, error) {
+	t.EnterEvaluationMode()
+	resp := make([][]int, t.Net.Cfg.NumNeurons)
+	for i := range resp {
+		resp[i] = make([]int, t.numClasses)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		res, err := t.present(ds.Images[i], false)
+		if err != nil {
+			return nil, fmt.Errorf("learn: labeling image %d: %w", i, err)
+		}
+		for n, c := range res.SpikeCounts {
+			resp[n][ds.Labels[i]] += c
+		}
+	}
+	return &Model{
+		Assignments: assignments(resp),
+		Responses:   resp,
+		NumClasses:  t.numClasses,
+	}, nil
+}
+
+// Infer classifies one image with a labeled model: spike counts vote for
+// their neuron's assigned class. Returns -1 when no assigned neuron spiked.
+func (t *Trainer) Infer(m *Model, img []uint8) (int, error) {
+	res, err := t.present(img, false)
+	if err != nil {
+		return -1, err
+	}
+	return vote(res.SpikeCounts, m.Assignments, m.NumClasses), nil
+}
+
+// Evaluate runs inference over a data set and returns the confusion matrix.
+func (t *Trainer) Evaluate(m *Model, ds *dataset.Dataset) (*stats.Confusion, error) {
+	conf, err := stats.NewConfusion(t.numClasses)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ds.Len(); i++ {
+		pred, err := t.Infer(m, ds.Images[i])
+		if err != nil {
+			return nil, fmt.Errorf("learn: inference image %d: %w", i, err)
+		}
+		conf.Add(int(ds.Labels[i]), pred)
+	}
+	return conf, nil
+}
+
+// assignments maps each neuron to its strongest class (-1 when silent).
+func assignments(resp [][]int) []int {
+	out := make([]int, len(resp))
+	for n := range resp {
+		best, bc := -1, 0
+		for class, c := range resp[n] {
+			if c > bc {
+				best, bc = class, c
+			}
+		}
+		out[n] = best
+	}
+	return out
+}
+
+// vote sums spike counts per assigned class and returns the argmax
+// (-1 when every vote is zero).
+func vote(spikes []int, assigned []int, numClasses int) int {
+	votes := make([]int, numClasses)
+	for n, c := range spikes {
+		if a := assigned[n]; a >= 0 {
+			votes[a] += c
+		}
+	}
+	best, bc := -1, 0
+	for class, v := range votes {
+		if v > bc {
+			best, bc = class, v
+		}
+	}
+	return best
+}
+
+// Result summarizes a full pipeline run.
+type Result struct {
+	Accuracy    float64
+	Confusion   *stats.Confusion
+	MovingError []float64
+	TrainWall   time.Duration
+	EvalWall    time.Duration
+	ImagesSeen  int
+	BoostCount  int
+}
+
+// Run executes the complete pipeline: train on trainSet, label with the
+// first labelCount images of testSet, infer on the rest.
+func Run(net *network.Network, opts Options, trainSet, testSet *dataset.Dataset, labelCount int) (*Result, error) {
+	tr, err := NewTrainer(net, opts, trainSet.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := tr.Train(trainSet, nil); err != nil {
+		return nil, err
+	}
+	trainWall := time.Since(start)
+
+	labelSet, inferSet := testSet.LabelInferSplit(labelCount)
+	start = time.Now()
+	model, err := tr.Label(labelSet)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := tr.Evaluate(model, inferSet)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Accuracy:    conf.Accuracy(),
+		Confusion:   conf,
+		MovingError: tr.MovingErrorCurve(),
+		TrainWall:   trainWall,
+		EvalWall:    time.Since(start),
+		ImagesSeen:  tr.ImagesSeen,
+		BoostCount:  tr.BoostCount,
+	}, nil
+}

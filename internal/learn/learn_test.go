@@ -1,0 +1,286 @@
+package learn
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+func testNet(t *testing.T, kind synapse.RuleKind, neurons int, seed uint64) *network.Network {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(synapse.PresetFloat, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = seed
+	cfg := network.DefaultConfig(784, neurons, syn)
+	net, err := network.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// fastOptions shrinks presentation time so tests stay quick.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Control.TLearnMS = 150
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.BoostFactor = 1.0
+	if bad.Validate() == nil {
+		t.Error("boost factor 1.0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.MovingWindow = 0
+	if bad.Validate() == nil {
+		t.Error("zero moving window accepted")
+	}
+	bad = DefaultOptions()
+	bad.Control.TLearnMS = -5
+	if bad.Validate() == nil {
+		t.Error("invalid control accepted")
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	net := testNet(t, synapse.Stochastic, 5, 1)
+	if _, err := NewTrainer(net, fastOptions(), 0); err == nil {
+		t.Error("zero classes accepted")
+	}
+	bad := fastOptions()
+	bad.MovingWindow = -1
+	if _, err := NewTrainer(net, bad, 10); err == nil {
+		t.Error("invalid options accepted")
+	}
+	tr, err := NewTrainer(net, fastOptions(), 10)
+	if err != nil || tr == nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainImageRejectsBadLabel(t *testing.T) {
+	net := testNet(t, synapse.Stochastic, 5, 1)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	if _, err := tr.TrainImage(make([]uint8, 784), 10); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestTrainAccumulatesState(t *testing.T) {
+	data := dataset.SynthDigits(10, 7)
+	net := testNet(t, synapse.Stochastic, 10, 2)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	if err := tr.Train(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ImagesSeen != 10 {
+		t.Fatalf("ImagesSeen = %d", tr.ImagesSeen)
+	}
+	if len(tr.MovingErrorCurve()) != 10 {
+		t.Fatalf("moving curve length %d", len(tr.MovingErrorCurve()))
+	}
+	if rate := tr.MovingError(); rate < 0 || rate > 1 {
+		t.Fatalf("moving error %v", rate)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	data := dataset.SynthDigits(5, 7)
+	net := testNet(t, synapse.Stochastic, 5, 2)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	calls := 0
+	if err := tr.Train(data, func(i int, e float64) {
+		if i != calls {
+			t.Fatalf("progress index %d, want %d", i, calls)
+		}
+		calls++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("progress called %d times", calls)
+	}
+}
+
+func TestBoostTriggersOnSilentImages(t *testing.T) {
+	// An almost-black image at the baseline band elicits nearly no spikes;
+	// the adaptive boost must kick in.
+	net := testNet(t, synapse.Stochastic, 5, 3)
+	opts := fastOptions()
+	opts.Control.Band = encode.Band{MinHz: 0.05, MaxHz: 1} // deliberately weak
+	tr, _ := NewTrainer(net, opts, 10)
+	dark := make([]uint8, 784)
+	for i := 200; i < 260; i++ {
+		dark[i] = 40
+	}
+	if _, err := tr.TrainImage(dark, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.BoostCount == 0 {
+		t.Fatal("boost never triggered on a near-silent presentation")
+	}
+}
+
+func TestEnterEvaluationModeZeroesTheta(t *testing.T) {
+	net := testNet(t, synapse.Stochastic, 5, 4)
+	th := net.Exc.Theta()
+	th[2] = 7
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	tr.EnterEvaluationMode()
+	if th[2] != 0 {
+		t.Fatal("theta not zeroed")
+	}
+	if !net.Exc.FreezeTheta {
+		t.Fatal("theta not frozen")
+	}
+}
+
+func TestLabelAssignsClasses(t *testing.T) {
+	data := dataset.SynthDigits(30, 9)
+	net := testNet(t, synapse.Stochastic, 10, 5)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	if err := tr.Train(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	model, err := tr.Label(dataset.SynthDigits(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Assignments) != 10 {
+		t.Fatalf("assignments length %d", len(model.Assignments))
+	}
+	anyAssigned := false
+	for _, a := range model.Assignments {
+		if a >= 10 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+		if a >= 0 {
+			anyAssigned = true
+		}
+	}
+	if !anyAssigned {
+		t.Fatal("no neuron was assigned any class")
+	}
+}
+
+func TestInferReturnsValidClass(t *testing.T) {
+	data := dataset.SynthDigits(30, 9)
+	net := testNet(t, synapse.Stochastic, 10, 5)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	tr.Train(data, nil)
+	model, _ := tr.Label(dataset.SynthDigits(20, 10))
+	pred, err := tr.Infer(model, data.Images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < -1 || pred >= 10 {
+		t.Fatalf("prediction %d out of range", pred)
+	}
+}
+
+func TestEvaluateProducesConfusion(t *testing.T) {
+	data := dataset.SynthDigits(30, 9)
+	net := testNet(t, synapse.Stochastic, 10, 5)
+	tr, _ := NewTrainer(net, fastOptions(), 10)
+	tr.Train(data, nil)
+	model, _ := tr.Label(dataset.SynthDigits(20, 10))
+	test := dataset.SynthDigits(20, 11)
+	conf, err := tr.Evaluate(model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != 20 {
+		t.Fatalf("confusion total %d", conf.Total())
+	}
+}
+
+func TestAssignmentsHelper(t *testing.T) {
+	resp := [][]int{
+		{0, 5, 2},  // class 1
+		{0, 0, 0},  // silent: -1
+		{10, 1, 1}, // class 0
+	}
+	got := assignments(resp)
+	want := []int{1, -1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignments = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVoteHelper(t *testing.T) {
+	assigned := []int{0, 1, -1, 1}
+	spikes := []int{3, 2, 100, 2} // the unassigned neuron's 100 spikes ignored
+	if got := vote(spikes, assigned, 2); got != 1 {
+		t.Fatalf("vote = %d, want 1", got)
+	}
+	if got := vote([]int{0, 0, 0, 0}, assigned, 2); got != -1 {
+		t.Fatalf("silent vote = %d, want -1", got)
+	}
+}
+
+func TestEndToEndLearnsAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end learning test skipped in -short mode")
+	}
+	// Integration: a small network on the synthetic digit set must land
+	// clearly above the 10% chance level for both rules. High-frequency
+	// control keeps the test fast (100 ms/image); full-scale accuracy is
+	// exercised by the experiment benches.
+	trainSet := dataset.SynthDigits(1200, 21)
+	testSet := dataset.SynthDigits(160, 22)
+	for _, kind := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
+		// Both rules use the float32 row with the LTP window matched to
+		// the 5-78 Hz band (the highfreq preset's slow γ would need far
+		// more images than a unit test can afford).
+		syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, kind)
+		syn.Det.WindowMS = 15 // match the 5-78 Hz band
+		syn.Seed = 6
+		net, err := network.New(network.DefaultConfig(784, 60, syn), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Control = encode.HighFrequencyControl()
+		res, err := Run(net, opts, trainSet, testSet, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accuracy < 0.16 {
+			t.Errorf("%v: end-to-end accuracy %.3f not above chance", kind, res.Accuracy)
+		}
+		if res.ImagesSeen != 1200 {
+			t.Errorf("%v: ImagesSeen %d", kind, res.ImagesSeen)
+		}
+		if len(res.MovingError) != 1200 {
+			t.Errorf("%v: moving curve %d", kind, len(res.MovingError))
+		}
+	}
+}
+
+func TestRunReportsWallClock(t *testing.T) {
+	trainSet := dataset.SynthDigits(10, 1)
+	testSet := dataset.SynthDigits(10, 2)
+	net := testNet(t, synapse.Stochastic, 5, 1)
+	res, err := Run(net, fastOptions(), trainSet, testSet, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainWall <= 0 || res.EvalWall <= 0 {
+		t.Fatalf("wall clocks: train %v eval %v", res.TrainWall, res.EvalWall)
+	}
+	if res.Confusion == nil {
+		t.Fatal("no confusion matrix")
+	}
+}

@@ -1,0 +1,193 @@
+// Package netio persists trained networks: the conductance matrix, the
+// homeostatic thresholds and the neuron labeling, in a small versioned
+// binary format (magic "PSS1", big-endian). This is what lets a network
+// trained once with cmd/pssim be reloaded for inference or visualization
+// without retraining.
+package netio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/network"
+)
+
+// magic identifies the format; the trailing digit is the version.
+var magic = [4]byte{'P', 'S', 'S', '1'}
+
+// Snapshot is the serializable state of a trained network plus (optionally)
+// its labeling model.
+type Snapshot struct {
+	NumInputs  int
+	NumNeurons int
+	Format     fixed.Format
+
+	G     []float64 // conductances, pre-major
+	Theta []float64 // homeostatic thresholds
+
+	// Assignments is the neuron labeling (-1 = unassigned); empty if the
+	// network was saved before labeling.
+	Assignments []int
+}
+
+// Capture extracts a snapshot from a live network and optional model.
+func Capture(net *network.Network, model *learn.Model) *Snapshot {
+	s := &Snapshot{
+		NumInputs:  net.Cfg.NumInputs,
+		NumNeurons: net.Cfg.NumNeurons,
+		Format:     net.Cfg.Syn.Format,
+		G:          append([]float64(nil), net.Syn.G...),
+		Theta:      append([]float64(nil), net.Exc.Theta()...),
+	}
+	if model != nil {
+		s.Assignments = append([]int(nil), model.Assignments...)
+	}
+	return s
+}
+
+// Restore loads the snapshot's conductances and thresholds into a network
+// with matching geometry and format.
+func (s *Snapshot) Restore(net *network.Network) error {
+	if net.Cfg.NumInputs != s.NumInputs || net.Cfg.NumNeurons != s.NumNeurons {
+		return fmt.Errorf("netio: geometry mismatch: snapshot %d×%d, network %d×%d",
+			s.NumInputs, s.NumNeurons, net.Cfg.NumInputs, net.Cfg.NumNeurons)
+	}
+	if net.Cfg.Syn.Format != s.Format {
+		return fmt.Errorf("netio: format mismatch: snapshot %s, network %s",
+			s.Format, net.Cfg.Syn.Format)
+	}
+	if len(s.G) != len(net.Syn.G) || len(s.Theta) != net.Cfg.NumNeurons {
+		return fmt.Errorf("netio: corrupt snapshot (G %d, theta %d)", len(s.G), len(s.Theta))
+	}
+	copy(net.Syn.G, s.G)
+	copy(net.Exc.Theta(), s.Theta)
+	return nil
+}
+
+// Write serializes the snapshot.
+func (s *Snapshot) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	fmtCode := uint32(0)
+	if !s.Format.Float {
+		fmtCode = 1<<31 | uint32(s.Format.IntBits)<<16 | uint32(s.Format.FracBits)
+	}
+	hdr := []uint32{uint32(s.NumInputs), uint32(s.NumNeurons), fmtCode, uint32(len(s.Assignments))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	writeFloats := func(xs []float64) error {
+		for _, x := range xs {
+			if err := binary.Write(bw, binary.BigEndian, math.Float64bits(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeFloats(s.G); err != nil {
+		return err
+	}
+	if err := writeFloats(s.Theta); err != nil {
+		return err
+	}
+	for _, a := range s.Assignments {
+		if err := binary.Write(bw, binary.BigEndian, int32(a)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("netio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("netio: bad magic %q", m)
+	}
+	var hdr [4]uint32
+	if err := binary.Read(br, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("netio: reading header: %w", err)
+	}
+	nIn, nNeu, fmtCode, nAssign := int(hdr[0]), int(hdr[1]), hdr[2], int(hdr[3])
+	// The synapse count is computed in uint64 so forged 32-bit dimensions
+	// cannot overflow the product and bypass the sanity bound.
+	if nIn <= 0 || nNeu <= 0 || uint64(hdr[0])*uint64(hdr[1]) > 1<<24 || nAssign < 0 || nAssign > nNeu {
+		return nil, fmt.Errorf("netio: implausible header %v", hdr)
+	}
+	s := &Snapshot{NumInputs: nIn, NumNeurons: nNeu}
+	if fmtCode == 0 {
+		s.Format = fixed.Float32
+	} else {
+		f, err := fixed.NewFormat(int(fmtCode>>16&0x7fff), int(fmtCode&0xffff))
+		if err != nil {
+			return nil, fmt.Errorf("netio: bad format code %#x: %w", fmtCode, err)
+		}
+		s.Format = f
+	}
+	readFloats := func(n int) ([]float64, error) {
+		out := make([]float64, n)
+		for i := range out {
+			var bits uint64
+			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(bits)
+		}
+		return out, nil
+	}
+	var err error
+	if s.G, err = readFloats(nIn * nNeu); err != nil {
+		return nil, fmt.Errorf("netio: reading conductances: %w", err)
+	}
+	if s.Theta, err = readFloats(nNeu); err != nil {
+		return nil, fmt.Errorf("netio: reading thresholds: %w", err)
+	}
+	if nAssign > 0 {
+		s.Assignments = make([]int, nAssign)
+		for i := range s.Assignments {
+			var a int32
+			if err := binary.Read(br, binary.BigEndian, &a); err != nil {
+				return nil, fmt.Errorf("netio: reading assignments: %w", err)
+			}
+			s.Assignments[i] = int(a)
+		}
+	}
+	return s, nil
+}
+
+// SaveFile writes the snapshot to a file.
+func SaveFile(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,286 @@
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/rng"
+	"parallelspikesim/internal/synapse"
+)
+
+func testNet(t *testing.T, preset synapse.Preset) *network.Network {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(preset, synapse.Stochastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = 3
+	net, err := network.New(network.DefaultConfig(16, 4, syn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	net.Syn.Set(3, 2, 0.7)
+	net.Exc.Theta()[1] = 4.5
+	model := &learn.Model{Assignments: []int{2, -1, 0, 9}, NumClasses: 10}
+
+	snap := Capture(net, model)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testNet(t, synapse.PresetFloat)
+	fresh.Syn.Fill(0)
+	if err := got.Restore(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Syn.At(3, 2) != 0.7 {
+		t.Fatalf("conductance lost: %v", fresh.Syn.At(3, 2))
+	}
+	if fresh.Exc.Theta()[1] != 4.5 {
+		t.Fatalf("theta lost: %v", fresh.Exc.Theta()[1])
+	}
+	if len(got.Assignments) != 4 || got.Assignments[0] != 2 || got.Assignments[1] != -1 {
+		t.Fatalf("assignments %v", got.Assignments)
+	}
+}
+
+func TestSnapshotWithoutModel(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	snap := Capture(net, nil)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Assignments) != 0 {
+		t.Fatalf("unexpected assignments %v", got.Assignments)
+	}
+}
+
+func TestFixedFormatRoundTrip(t *testing.T) {
+	net := testNet(t, synapse.Preset8Bit)
+	snap := Capture(net, nil)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != fixed.Q1p7 {
+		t.Fatalf("format %v", got.Format)
+	}
+	fresh := testNet(t, synapse.Preset8Bit)
+	if err := got.Restore(fresh); err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Syn.G {
+		if net.Syn.G[i] != fresh.Syn.G[i] {
+			t.Fatalf("conductance %d mismatch", i)
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	snap := Capture(net, nil)
+
+	other := testNet(t, synapse.Preset8Bit)
+	if err := snap.Restore(other); err == nil {
+		t.Error("format mismatch accepted")
+	}
+
+	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	syn.Seed = 3
+	big, _ := network.New(network.DefaultConfig(16, 8, syn), nil)
+	if err := snap.Restore(big); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated after header.
+	net := testNet(t, synapse.PresetFloat)
+	var buf bytes.Buffer
+	if err := Capture(net, nil).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:30]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	path := filepath.Join(t.TempDir(), "model.pss")
+	if err := SaveFile(path, Capture(net, nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumInputs != 16 || got.NumNeurons != 4 {
+		t.Fatalf("geometry %dx%d", got.NumInputs, got.NumNeurons)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.pss")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Property: arbitrary snapshots survive a write/read round trip bit-exactly.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	check := func(seed uint64, nIn8, nNeu8 uint8, hasModel bool) bool {
+		nIn := 1 + int(nIn8%20)
+		nNeu := 1 + int(nNeu8%10)
+		r := rng.NewStream(seed)
+		s := &Snapshot{
+			NumInputs:  nIn,
+			NumNeurons: nNeu,
+			Format:     fixed.Float32,
+			G:          make([]float64, nIn*nNeu),
+			Theta:      make([]float64, nNeu),
+		}
+		for i := range s.G {
+			s.G[i] = r.Float64()
+		}
+		for i := range s.Theta {
+			s.Theta[i] = r.Range(0, 10)
+		}
+		if hasModel {
+			s.Assignments = make([]int, nNeu)
+			for i := range s.Assignments {
+				s.Assignments[i] = r.Intn(11) - 1
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumInputs != s.NumInputs || got.NumNeurons != s.NumNeurons || got.Format != s.Format {
+			return false
+		}
+		for i := range s.G {
+			if got.G[i] != s.G[i] {
+				return false
+			}
+		}
+		for i := range s.Theta {
+			if got.Theta[i] != s.Theta[i] {
+				return false
+			}
+		}
+		if len(got.Assignments) != len(s.Assignments) {
+			return false
+		}
+		for i := range s.Assignments {
+			if got.Assignments[i] != s.Assignments[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failWriter errors after n bytes, exercising the Write error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, fmt.Errorf("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestWritePropagatesErrors(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	snap := Capture(net, &learn.Model{Assignments: []int{1, 2, 3, 0}})
+	// Sweep failure points across the whole record: every prefix must
+	// produce an error, never a silent truncation.
+	var full bytes.Buffer
+	if err := snap.Write(&full); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n += 97 {
+		if err := snap.Write(&failWriter{left: n}); err == nil {
+			t.Fatalf("write with %d-byte budget succeeded", n)
+		}
+	}
+}
+
+func TestSaveFileRejectsBadPath(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	if err := SaveFile("/nonexistent-dir/x/y.pss", Capture(net, nil)); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestRestoreRejectsCorruptLengths(t *testing.T) {
+	net := testNet(t, synapse.PresetFloat)
+	snap := Capture(net, nil)
+	snap.G = snap.G[:10] // corrupt
+	if err := snap.Restore(net); err == nil {
+		t.Fatal("corrupt snapshot restored")
+	}
+}
+
+// FuzzRead ensures the snapshot reader never panics or over-allocates on
+// malformed input.
+func FuzzRead(f *testing.F) {
+	netF := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		s := &Snapshot{NumInputs: 2, NumNeurons: 2, Format: fixed.Float32,
+			G: []float64{1, 2, 3, 4}, Theta: []float64{0, 1}, Assignments: []int{0, -1}}
+		_ = s.Write(&buf)
+		return &buf
+	}
+	f.Add(netF().Bytes())
+	f.Add([]byte("PSS1"))
+	f.Add([]byte{'P', 'S', 'S', '1', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
+			t.Fatalf("inconsistent snapshot accepted: %d G, %d theta", len(s.G), len(s.Theta))
+		}
+	})
+}

@@ -1,0 +1,381 @@
+// Package network assembles ParallelSpikeSim's unsupervised-learning
+// architecture (paper Fig 3): an array of input spike trains (one per
+// pixel), an all-to-all plastic conductance matrix into a first layer of
+// excitatory LIF neurons, and a second layer of one-to-one inhibition relays
+// implementing winner-take-all — when a first-layer neuron spikes, its
+// second-layer partner suppresses every *other* first-layer neuron for
+// t_inh milliseconds.
+//
+// The per-step schedule keeps STDP causality clean:
+//
+//  1. generate this step's input spikes;
+//  2. stochastic-rule depression for each input spike against earlier
+//     post spikes (eq. 7 — anti-causal pairs only, so this runs before the
+//     neurons integrate);
+//  3. accumulate input current (eq. 3), optionally through an exponential
+//     synaptic trace;
+//  4. record the new pre-spike times;
+//  5. integrate the LIF layer (eqs. 1–2);
+//  6. for each post spike: learning-rule potentiation (eq. 6 / eqs. 4–5),
+//     inhibition of the other neurons, post-spike time update.
+//
+// All kernels run through an engine.Executor; with counter-based RNG the
+// parallel pool is bit-identical to sequential execution.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/neuron"
+	"parallelspikesim/internal/rng"
+	"parallelspikesim/internal/synapse"
+)
+
+// Config describes a full network instance.
+type Config struct {
+	NumInputs  int // input spike trains (pixels)
+	NumNeurons int // first-layer excitatory LIF neurons
+
+	LIF neuron.LIFParams
+	Syn synapse.Config
+
+	TInhMS   float64 // winner-take-all inhibition duration t_inh
+	SpikeAmp float64 // current injected per pre spike per unit conductance
+	TauSynMS float64 // synaptic current trace decay; 0 = instantaneous
+	DTms     float64 // integration step
+
+	TrainKind        encode.TrainKind
+	InitGLo, InitGHi float64 // uniform conductance initialization range
+
+	Seed uint64
+}
+
+// DefaultConfig returns a calibrated configuration for the given geometry
+// and synapse setup. The electrical constants (SpikeAmp, TauSynMS, TInhMS,
+// homeostasis) are tuned so that with the paper's LIF parameters and the
+// baseline 1–22 Hz input band, first-layer winners fire at a few tens of Hz
+// during a presentation — the regime the paper's learning operates in.
+func DefaultConfig(numInputs, numNeurons int, syn synapse.Config) Config {
+	lif := neuron.PaperLIF()
+	lif.ThetaPlus = 0.02
+	lif.ThetaDecayMS = 1e5
+	return Config{
+		NumInputs:  numInputs,
+		NumNeurons: numNeurons,
+		LIF:        lif,
+		Syn:        syn,
+		TInhMS:     30,
+		SpikeAmp:   0.6,
+		TauSynMS:   4,
+		DTms:       1,
+		TrainKind:  encode.Poisson,
+		InitGLo:    0.15,
+		InitGHi:    0.45,
+		Seed:       syn.Seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumInputs <= 0 || c.NumNeurons <= 0:
+		return fmt.Errorf("network: geometry %d inputs × %d neurons", c.NumInputs, c.NumNeurons)
+	case c.DTms <= 0:
+		return fmt.Errorf("network: DTms %v", c.DTms)
+	case c.TInhMS < 0:
+		return fmt.Errorf("network: negative TInhMS")
+	case c.SpikeAmp <= 0:
+		return fmt.Errorf("network: SpikeAmp %v", c.SpikeAmp)
+	case c.TauSynMS < 0:
+		return fmt.Errorf("network: negative TauSynMS")
+	case c.InitGLo < 0 || c.InitGHi < c.InitGLo:
+		return fmt.Errorf("network: init range [%v, %v]", c.InitGLo, c.InitGHi)
+	}
+	if err := c.LIF.Validate(); err != nil {
+		return err
+	}
+	return c.Syn.Validate()
+}
+
+// Network is a live simulation instance. It is not safe for concurrent use
+// by multiple goroutines; internal kernels parallelize through the executor.
+type Network struct {
+	Cfg Config
+
+	Exc   *neuron.Population // first layer
+	Syn   *synapse.Matrix
+	Plast *synapse.Plasticity
+
+	exec engine.Executor
+
+	lastPre  []float64 // last spike time per input train
+	lastPost []float64 // last spike time per first-layer neuron
+	current  []float64 // per-neuron input current (trace)
+
+	inputBufs [][]int // per-chunk input spike scratch
+	spikeBufs [][]int // per-chunk neuron spike scratch
+
+	step uint64  // global step counter (keys RNG draws)
+	now  float64 // absolute simulation time, ms
+
+	// Diagnostics.
+	TotalInputSpikes uint64
+	TotalExcSpikes   uint64
+	TotalInhEvents   uint64 // layer-2 relay activations (== WTA triggers)
+}
+
+// New constructs a network with randomly initialized conductances.
+func New(cfg Config, exec engine.Executor) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if exec == nil {
+		exec = engine.Sequential{}
+	}
+	exc, err := neuron.NewPopulation(cfg.NumNeurons, cfg.LIF)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := synapse.NewMatrix(cfg.NumInputs, cfg.NumNeurons, cfg.Syn.Format)
+	if err != nil {
+		return nil, err
+	}
+	mat.InitUniform(rng.NewStream(rng.Hash64(cfg.Seed, 0x1717)), cfg.InitGLo, cfg.InitGHi)
+	plast, err := synapse.NewPlasticity(cfg.Syn, mat)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:      cfg,
+		Exc:      exc,
+		Syn:      mat,
+		Plast:    plast,
+		exec:     exec,
+		lastPre:  make([]float64, cfg.NumInputs),
+		lastPost: make([]float64, cfg.NumNeurons),
+		current:  make([]float64, cfg.NumNeurons),
+	}
+	w := exec.Workers()
+	n.inputBufs = make([][]int, w)
+	n.spikeBufs = make([][]int, w)
+	n.resetTimers()
+	return n, nil
+}
+
+func (n *Network) resetTimers() {
+	for i := range n.lastPre {
+		n.lastPre[i] = synapse.Never
+	}
+	for i := range n.lastPost {
+		n.lastPost[i] = synapse.Never
+	}
+	for i := range n.current {
+		n.current[i] = 0
+	}
+}
+
+// Now returns the absolute simulation time in ms.
+func (n *Network) Now() float64 { return n.now }
+
+// Step returns the global step counter.
+func (n *Network) Step() uint64 { return n.step }
+
+// Recorder captures spike events for raster plots (Figs 4, 6a). A nil
+// *Recorder disables recording.
+type Recorder struct {
+	InputSpikes  []SpikeEvent
+	NeuronSpikes []SpikeEvent
+}
+
+// SpikeEvent is one (time, unit) spike.
+type SpikeEvent struct {
+	TimeMS float64
+	Index  int
+}
+
+// PresentResult summarizes one image presentation.
+type PresentResult struct {
+	SpikeCounts []int // spikes per first-layer neuron during this presentation
+	InputSpikes int   // total input spikes delivered
+	Steps       int   // simulation steps executed
+}
+
+// Winner returns the index of the most active neuron (-1 if silent).
+func (r PresentResult) Winner() (idx, count int) {
+	idx = -1
+	for i, c := range r.SpikeCounts {
+		if c > count {
+			idx, count = i, c
+		}
+	}
+	return idx, count
+}
+
+// TotalSpikes sums the first-layer spike counts.
+func (r PresentResult) TotalSpikes() int {
+	sum := 0
+	for _, c := range r.SpikeCounts {
+		sum += c
+	}
+	return sum
+}
+
+// Present shows one image to the network for ctl.TLearnMS milliseconds.
+// When learn is true the STDP rule updates conductances. Membranes and
+// spike timers are reset at the start of the presentation; homeostatic
+// thresholds persist.
+func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Recorder) (PresentResult, error) {
+	if len(img) != n.Cfg.NumInputs {
+		return PresentResult{}, fmt.Errorf("network: image has %d pixels, network expects %d", len(img), n.Cfg.NumInputs)
+	}
+	if err := ctl.Validate(); err != nil {
+		return PresentResult{}, err
+	}
+	presentation := n.step // unique per presentation; decorrelates spike trains
+	src, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), presentation)
+	if err != nil {
+		return PresentResult{}, err
+	}
+	src.Prepare(n.Cfg.DTms) // precompute spike thresholds before parallel stepping
+
+	n.Exc.ResetMembranes()
+	n.Exc.FreezeTheta = !learn // evaluation mode: homeostasis frozen
+	n.resetTimers()
+	countsBefore := append([]int(nil), asInts(n.Exc.SpikeCounts())...)
+
+	steps := int(ctl.TLearnMS / n.Cfg.DTms)
+	dt := n.Cfg.DTms
+	decay := 0.0
+	if n.Cfg.TauSynMS > 0 {
+		decay = math.Exp(-dt / n.Cfg.TauSynMS)
+	}
+	res := PresentResult{Steps: steps}
+
+	for s := 0; s < steps; s++ {
+		now := n.now
+		step := n.step
+
+		// (1) Input spikes, generated chunk-parallel over pixels.
+		n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
+			n.inputBufs[chunk] = src.StepRange(step, dt, lo, hi, n.inputBufs[chunk][:0])
+		})
+		inputSpikes := mergeBufs(n.inputBufs[:n.exec.Workers()])
+		res.InputSpikes += len(inputSpikes)
+		n.TotalInputSpikes += uint64(len(inputSpikes))
+		if rec != nil {
+			for _, px := range inputSpikes {
+				rec.InputSpikes = append(rec.InputSpikes, SpikeEvent{TimeMS: now, Index: px})
+			}
+		}
+
+		// (2) Input current accumulation (eq. 3).
+		n.exec.For(n.Cfg.NumNeurons, func(chunk, lo, hi int) {
+			cur := n.current
+			if decay == 0 {
+				for i := lo; i < hi; i++ {
+					cur[i] = 0
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					cur[i] *= decay
+				}
+			}
+			amp := n.Cfg.SpikeAmp
+			for _, pre := range inputSpikes {
+				row := n.Syn.Row(pre)
+				for i := lo; i < hi; i++ {
+					cur[i] += row[i] * amp
+				}
+			}
+		})
+
+		// (3) Pre-spike time bookkeeping.
+		for _, pre := range inputSpikes {
+			n.lastPre[pre] = now
+		}
+
+		// (4) LIF integration: collect threshold crossers without
+		// committing spikes yet.
+		n.exec.For(n.Cfg.NumNeurons, func(chunk, lo, hi int) {
+			n.spikeBufs[chunk] = n.Exc.CandidatesRange(lo, hi, dt, now, n.current, n.spikeBufs[chunk][:0])
+		})
+		candidates := mergeBufs(n.spikeBufs[:n.exec.Workers()])
+
+		// (5) Winner-take-all + post-spike learning. With inhibition
+		// enabled, only the strongest same-step crosser fires (it would
+		// have crossed first in continuous time and its layer-2 relay
+		// inhibits the rest); the losers are suppressed.
+		postSpikes := candidates
+		if n.Cfg.TInhMS > 0 && len(candidates) > 1 {
+			winner := candidates[0]
+			for _, c := range candidates[1:] {
+				if n.Exc.Overshoot(c) > n.Exc.Overshoot(winner) {
+					winner = c
+				}
+			}
+			for _, c := range candidates {
+				if c != winner {
+					n.Exc.Suppress(c)
+				}
+			}
+			postSpikes = candidates[:1]
+			postSpikes[0] = winner
+		}
+		for _, post := range postSpikes {
+			n.Exc.Fire(post, now)
+			if learn {
+				// Partition the 784-synapse column update across workers.
+				n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
+					n.Plast.OnPostSpikeRange(post, now, n.lastPre, step, lo, hi)
+				})
+			}
+			n.lastPost[post] = now
+			if n.Cfg.TInhMS > 0 {
+				// Layer-2 relay fires and inhibits all other neurons.
+				n.Exc.Inhibit(post, now+n.Cfg.TInhMS)
+				n.TotalInhEvents++
+			}
+			n.TotalExcSpikes++
+			if rec != nil {
+				rec.NeuronSpikes = append(rec.NeuronSpikes, SpikeEvent{TimeMS: now, Index: post})
+			}
+		}
+
+		n.step++
+		n.now += dt
+	}
+
+	res.SpikeCounts = make([]int, n.Cfg.NumNeurons)
+	after := n.Exc.SpikeCounts()
+	for i := range res.SpikeCounts {
+		res.SpikeCounts[i] = int(after[i]) - countsBefore[i]
+	}
+	return res, nil
+}
+
+// mergeBufs concatenates per-chunk index buffers in chunk order, preserving
+// ascending index order (chunks are contiguous ranges).
+func mergeBufs(bufs [][]int) []int {
+	switch len(bufs) {
+	case 0:
+		return nil
+	case 1:
+		return bufs[0]
+	}
+	out := bufs[0]
+	for _, b := range bufs[1:] {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func asInts(u []uint64) []int {
+	out := make([]int, len(u))
+	for i, v := range u {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/synapse"
+)
+
+func testConfig(t *testing.T, kind synapse.RuleKind, neurons int) Config {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(synapse.PresetFloat, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = 42
+	return DefaultConfig(28*28, neurons, syn)
+}
+
+func testImage() []uint8 {
+	img := make([]uint8, 784)
+	// A bright block: rows 10-17, cols 10-17.
+	for y := 10; y < 18; y++ {
+		for x := 10; x < 18; x++ {
+			img[y*28+x] = 255
+		}
+	}
+	return img
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig(t, synapse.Stochastic, 10)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.NumInputs = 0
+	if bad.Validate() == nil {
+		t.Error("zero inputs accepted")
+	}
+	bad = cfg
+	bad.DTms = 0
+	if bad.Validate() == nil {
+		t.Error("zero dt accepted")
+	}
+	bad = cfg
+	bad.SpikeAmp = -1
+	if bad.Validate() == nil {
+		t.Error("negative amp accepted")
+	}
+	bad = cfg
+	bad.InitGHi = bad.InitGLo - 0.1
+	if bad.Validate() == nil {
+		t.Error("inverted init range accepted")
+	}
+	bad = cfg
+	bad.TauSynMS = -1
+	if bad.Validate() == nil {
+		t.Error("negative TauSyn accepted")
+	}
+}
+
+func TestNewNetwork(t *testing.T) {
+	cfg := testConfig(t, synapse.Stochastic, 10)
+	net, err := New(cfg, nil) // nil executor defaults to sequential
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Exc.Len() != 10 || net.Syn.NPre != 784 || net.Syn.NPost != 10 {
+		t.Fatal("geometry wrong")
+	}
+	minG, maxG, _ := net.Syn.Stats()
+	if minG < cfg.InitGLo-0.01 || maxG > cfg.InitGHi+0.01 {
+		t.Fatalf("init conductances out of range: %v..%v", minG, maxG)
+	}
+	bad := cfg
+	bad.NumNeurons = 0
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPresentRejectsWrongImageSize(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	if _, err := net.Present(make([]uint8, 100), encode.BaselineControl(), false, nil); err == nil {
+		t.Fatal("wrong image size accepted")
+	}
+}
+
+func TestPresentRejectsInvalidControl(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	bad := encode.Control{Band: encode.Band{MinHz: 10, MaxHz: 5}, TLearnMS: 100}
+	if _, err := net.Present(testImage(), bad, false, nil); err == nil {
+		t.Fatal("invalid control accepted")
+	}
+}
+
+func TestPresentDrivesSpikes(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
+	res, err := net.Present(testImage(), ctl, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputSpikes == 0 {
+		t.Fatal("no input spikes")
+	}
+	if res.TotalSpikes() == 0 {
+		t.Fatal("no first-layer spikes under high-frequency drive")
+	}
+	if res.Steps != 300 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+	w, c := res.Winner()
+	if w < 0 || c <= 0 {
+		t.Fatalf("no winner: %d/%d", w, c)
+	}
+}
+
+func TestWTASingleActiveNeuron(t *testing.T) {
+	// With inhibition enabled and one strong stimulus, the winner should
+	// lock: almost all spikes belong to one neuron.
+	net, _ := New(testConfig(t, synapse.Stochastic, 20), nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 400}
+	res, _ := net.Present(testImage(), ctl, false, nil)
+	_, winnerSpikes := res.Winner()
+	if total := res.TotalSpikes(); total > 0 && float64(winnerSpikes)/float64(total) < 0.6 {
+		t.Fatalf("winner took %d of %d spikes; WTA not locking", winnerSpikes, total)
+	}
+}
+
+func TestNoWTAManyActiveNeurons(t *testing.T) {
+	cfg := testConfig(t, synapse.Stochastic, 20)
+	cfg.TInhMS = 0
+	net, _ := New(cfg, nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 400}
+	res, _ := net.Present(testImage(), ctl, false, nil)
+	active := 0
+	for _, c := range res.SpikeCounts {
+		if c > 0 {
+			active++
+		}
+	}
+	if active < 10 {
+		t.Fatalf("only %d neurons active without inhibition", active)
+	}
+}
+
+func TestLearningChangesConductance(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	before := net.Syn.Clone()
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
+	if _, err := net.Present(testImage(), ctl, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range before.G {
+		if before.G[i] != net.Syn.G[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("learning presentation changed no conductances")
+	}
+}
+
+func TestNoLearningKeepsConductance(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Deterministic, 10), nil)
+	before := net.Syn.Clone()
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
+	if _, err := net.Present(testImage(), ctl, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.G {
+		if before.G[i] != net.Syn.G[i] {
+			t.Fatal("inference presentation changed conductances")
+		}
+	}
+}
+
+func TestLearningImprintsStimulus(t *testing.T) {
+	// After repeated presentations of one pattern, the winner's receptive
+	// field must be higher on stimulated pixels than elsewhere.
+	net, _ := New(testConfig(t, synapse.Deterministic, 5), nil)
+	img := testImage()
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
+	var last PresentResult
+	for i := 0; i < 5; i++ {
+		last, _ = net.Present(img, ctl, true, nil)
+	}
+	w, _ := last.Winner()
+	if w < 0 {
+		t.Fatal("no winner after training")
+	}
+	rf := make([]float64, 784)
+	net.Syn.Column(w, rf)
+	var onSum, offSum float64
+	var onN, offN int
+	for p, g := range rf {
+		if img[p] > 0 {
+			onSum += g
+			onN++
+		} else {
+			offSum += g
+			offN++
+		}
+	}
+	onMean, offMean := onSum/float64(onN), offSum/float64(offN)
+	if onMean <= offMean*1.5 {
+		t.Fatalf("no imprint: on-pixel mean g %v vs off %v", onMean, offMean)
+	}
+}
+
+func TestRecorderCapturesSpikes(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	rec := &Recorder{}
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 200}
+	res, _ := net.Present(testImage(), ctl, false, rec)
+	if len(rec.InputSpikes) != res.InputSpikes {
+		t.Fatalf("recorder input spikes %d != result %d", len(rec.InputSpikes), res.InputSpikes)
+	}
+	if len(rec.NeuronSpikes) != res.TotalSpikes() {
+		t.Fatalf("recorder neuron spikes %d != result %d", len(rec.NeuronSpikes), res.TotalSpikes())
+	}
+	for _, ev := range rec.InputSpikes {
+		if ev.Index < 0 || ev.Index >= 784 || ev.TimeMS < 0 || ev.TimeMS >= net.Now() {
+			t.Fatalf("bad input event %+v", ev)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The central reproducibility claim: the worker-pool engine produces
+	// bit-identical results to sequential execution, for both rules.
+	data := dataset.SynthDigits(6, 3)
+	for _, kind := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
+		cfg := testConfig(t, kind, 23) // odd count: uneven partitions
+		seqNet, err := New(cfg, engine.Sequential{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := engine.NewPool(4)
+		defer pool.Close()
+		parNet, err := New(cfg, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 150}
+		for i := 0; i < data.Len(); i++ {
+			rs, err1 := seqNet.Present(data.Images[i], ctl, true, nil)
+			rp, err2 := parNet.Present(data.Images[i], ctl, true, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			for n := range rs.SpikeCounts {
+				if rs.SpikeCounts[n] != rp.SpikeCounts[n] {
+					t.Fatalf("%v: image %d neuron %d spikes differ: %d vs %d",
+						kind, i, n, rs.SpikeCounts[n], rp.SpikeCounts[n])
+				}
+			}
+			if rs.InputSpikes != rp.InputSpikes {
+				t.Fatalf("%v: image %d input spikes differ", kind, i)
+			}
+		}
+		for i := range seqNet.Syn.G {
+			if seqNet.Syn.G[i] != parNet.Syn.G[i] {
+				t.Fatalf("%v: conductance %d diverged: %v vs %v",
+					kind, i, seqNet.Syn.G[i], parNet.Syn.G[i])
+			}
+		}
+		for i := range seqNet.Exc.V {
+			if seqNet.Exc.V[i] != parNet.Exc.V[i] {
+				t.Fatalf("%v: membrane %d diverged", kind, i)
+			}
+		}
+	}
+}
+
+func TestPresentationsAreReproducible(t *testing.T) {
+	cfg := testConfig(t, synapse.Stochastic, 10)
+	run := func() []float64 {
+		net, _ := New(cfg, nil)
+		ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 200}
+		img := testImage()
+		for i := 0; i < 3; i++ {
+			if _, err := net.Present(img, ctl, true, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]float64(nil), net.Syn.G...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical runs diverged at synapse %d", i)
+		}
+	}
+}
+
+func TestFreezeThetaDuringEvaluation(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 200}
+	// Training presentation accumulates theta.
+	net.Present(testImage(), ctl, true, nil)
+	sum := 0.0
+	for _, th := range net.Exc.Theta() {
+		sum += th
+	}
+	if sum == 0 {
+		t.Fatal("no theta after training presentation")
+	}
+	// Evaluation presentation must not change theta.
+	before := append([]float64(nil), net.Exc.Theta()...)
+	net.Present(testImage(), ctl, false, nil)
+	for i, th := range net.Exc.Theta() {
+		if th != before[i] {
+			t.Fatal("theta changed during evaluation presentation")
+		}
+	}
+}
+
+func TestQuantizedNetworkStaysOnGrid(t *testing.T) {
+	syn, _, _ := synapse.PresetConfig(synapse.Preset8Bit, synapse.Stochastic)
+	syn.Seed = 9
+	cfg := DefaultConfig(784, 10, syn)
+	net, _ := New(cfg, nil)
+	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 300}
+	for i := 0; i < 3; i++ {
+		if _, err := net.Present(testImage(), ctl, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, g := range net.Syn.G {
+		if !syn.Format.OnGrid(g) {
+			t.Fatalf("synapse %d off grid: %v", i, g)
+		}
+		if g < 0 || g > syn.GCeil()+1e-12 {
+			t.Fatalf("synapse %d out of range: %v", i, g)
+		}
+	}
+}
+
+func TestDiagnosticsAccumulate(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 200}
+	res, _ := net.Present(testImage(), ctl, true, nil)
+	if net.TotalInputSpikes != uint64(res.InputSpikes) {
+		t.Fatal("input spike diagnostic mismatch")
+	}
+	if net.TotalExcSpikes != uint64(res.TotalSpikes()) {
+		t.Fatal("exc spike diagnostic mismatch")
+	}
+	if res.TotalSpikes() > 0 && net.TotalInhEvents == 0 {
+		t.Fatal("no inhibition events despite spikes")
+	}
+	if net.Now() != 200 || net.Step() != 200 {
+		t.Fatalf("clock: now %v step %d", net.Now(), net.Step())
+	}
+}
+
+func TestPresentResultWinnerEmpty(t *testing.T) {
+	r := PresentResult{SpikeCounts: []int{0, 0, 0}}
+	if w, c := r.Winner(); w != -1 || c != 0 {
+		t.Fatalf("Winner of silent result = %d/%d", w, c)
+	}
+}
+
+func TestMembraneFiniteAfterLongRun(t *testing.T) {
+	net, _ := New(testConfig(t, synapse.Deterministic, 10), nil)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 500}
+	for i := 0; i < 4; i++ {
+		net.Present(testImage(), ctl, true, nil)
+	}
+	for i, v := range net.Exc.V {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("membrane %d = %v", i, v)
+		}
+	}
+}
+
+func BenchmarkPresentSequential100(b *testing.B) {
+	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	cfg := DefaultConfig(784, 100, syn)
+	net, _ := New(cfg, engine.Sequential{})
+	img := testImage()
+	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Present(img, ctl, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPresentParallel100(b *testing.B) {
+	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	cfg := DefaultConfig(784, 100, syn)
+	pool := engine.NewPool(0)
+	defer pool.Close()
+	net, _ := New(cfg, pool)
+	img := testImage()
+	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Present(img, ctl, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package neuron
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IzhikevichParams parameterizes the Izhikevich (2003) two-variable spiking
+// neuron model:
+//
+//	dv/dt = 0.04·v² + 5·v + 140 − u + I
+//	du/dt = a·(b·v − u)
+//	v > 30 → v := c, u := u + d
+//
+// ParallelSpikeSim advertises support for multiple neuron models
+// (paper §I: "support different neuron/synaptic models"); this is the
+// second model, matching the one CARLsim is built around — useful for the
+// Fig 4-style activity simulations. Units: v in mV, time in ms.
+type IzhikevichParams struct {
+	A float64 // recovery time scale (typ. 0.02)
+	B float64 // recovery sensitivity (typ. 0.2)
+	C float64 // post-spike reset of v (typ. −65)
+	D float64 // post-spike increment of u (typ. 8)
+}
+
+// Named Izhikevich presets from the 2003 paper.
+func RegularSpiking() IzhikevichParams    { return IzhikevichParams{A: 0.02, B: 0.2, C: -65, D: 8} }
+func FastSpiking() IzhikevichParams       { return IzhikevichParams{A: 0.1, B: 0.2, C: -65, D: 2} }
+func Chattering() IzhikevichParams        { return IzhikevichParams{A: 0.02, B: 0.2, C: -50, D: 2} }
+func IntrinsicBursting() IzhikevichParams { return IzhikevichParams{A: 0.02, B: 0.2, C: -55, D: 4} }
+
+// Validate checks the parameter set.
+func (p IzhikevichParams) Validate() error {
+	switch {
+	case p.A <= 0:
+		return errors.New("neuron: Izhikevich A must be positive")
+	case p.C >= izhPeak:
+		return fmt.Errorf("neuron: Izhikevich reset C (%v) must be below the %v mV peak", p.C, izhPeak)
+	default:
+		return nil
+	}
+}
+
+// izhPeak is the fixed spike cutoff of the Izhikevich model (mV).
+const izhPeak = 30.0
+
+// IzhPopulation is a group of Izhikevich neurons (SoA layout, like the LIF
+// Population).
+type IzhPopulation struct {
+	Params IzhikevichParams
+
+	V          []float64
+	U          []float64
+	spikeCount []uint64
+}
+
+// NewIzhPopulation allocates n neurons at the standard initial state
+// (v = −65, u = b·v).
+func NewIzhPopulation(n int, params IzhikevichParams) (*IzhPopulation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("neuron: population size %d", n)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	p := &IzhPopulation{
+		Params:     params,
+		V:          make([]float64, n),
+		U:          make([]float64, n),
+		spikeCount: make([]uint64, n),
+	}
+	for i := range p.V {
+		p.V[i] = -65
+		p.U[i] = params.B * -65
+	}
+	return p, nil
+}
+
+// Len returns the number of neurons.
+func (p *IzhPopulation) Len() int { return len(p.V) }
+
+// SpikeCounts returns the per-neuron spike counters (live view).
+func (p *IzhPopulation) SpikeCounts() []uint64 { return p.spikeCount }
+
+// StepRange integrates neurons [lo, hi) one step of dt ms with the standard
+// two half-steps for v (numerical stability at dt = 1 ms, as in Izhikevich's
+// reference code), appending spike indices to spikes.
+func (p *IzhPopulation) StepRange(lo, hi int, dt float64, current []float64, spikes []int) []int {
+	prm := p.Params
+	half := dt / 2
+	for i := lo; i < hi; i++ {
+		v, u := p.V[i], p.U[i]
+		I := current[i]
+		v += half * (0.04*v*v + 5*v + 140 - u + I)
+		v += half * (0.04*v*v + 5*v + 140 - u + I)
+		u += dt * prm.A * (prm.B*v - u)
+		if v >= izhPeak {
+			p.V[i] = prm.C
+			p.U[i] = u + prm.D
+			p.spikeCount[i]++
+			spikes = append(spikes, i)
+			continue
+		}
+		p.V[i] = v
+		p.U[i] = u
+	}
+	return spikes
+}
+
+// StepAll integrates the whole population one step.
+func (p *IzhPopulation) StepAll(dt float64, current []float64, spikes []int) []int {
+	return p.StepRange(0, p.Len(), dt, current, spikes)
+}
+
+// IzhFICurve measures the firing rate (Hz) of a single Izhikevich neuron
+// under each constant current, simulated for durationMS at step dt.
+func IzhFICurve(params IzhikevichParams, currents []float64, durationMS, dt float64) ([]float64, error) {
+	pop, err := NewIzhPopulation(1, params)
+	if err != nil {
+		return nil, err
+	}
+	rates := make([]float64, len(currents))
+	in := make([]float64, 1)
+	for k, c := range currents {
+		pop.V[0] = -65
+		pop.U[0] = params.B * -65
+		pop.spikeCount[0] = 0
+		in[0] = c
+		steps := int(durationMS / dt)
+		var buf []int
+		for s := 0; s < steps; s++ {
+			buf = pop.StepAll(dt, in, buf[:0])
+		}
+		rates[k] = float64(pop.spikeCount[0]) * 1000 / durationMS
+	}
+	return rates, nil
+}

@@ -1,0 +1,178 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIzhikevichPresetsValidate(t *testing.T) {
+	for name, p := range map[string]IzhikevichParams{
+		"RS": RegularSpiking(), "FS": FastSpiking(),
+		"CH": Chattering(), "IB": IntrinsicBursting(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestIzhikevichValidateRejects(t *testing.T) {
+	p := RegularSpiking()
+	p.A = 0
+	if p.Validate() == nil {
+		t.Error("zero A accepted")
+	}
+	p = RegularSpiking()
+	p.C = 40
+	if p.Validate() == nil {
+		t.Error("reset above peak accepted")
+	}
+}
+
+func TestNewIzhPopulation(t *testing.T) {
+	pop, err := NewIzhPopulation(5, RegularSpiking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 5 {
+		t.Fatalf("Len %d", pop.Len())
+	}
+	for i := range pop.V {
+		if pop.V[i] != -65 || pop.U[i] != 0.2*-65 {
+			t.Fatalf("initial state v=%v u=%v", pop.V[i], pop.U[i])
+		}
+	}
+	if _, err := NewIzhPopulation(0, RegularSpiking()); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestIzhikevichQuiescentWithoutInput(t *testing.T) {
+	pop, _ := NewIzhPopulation(1, RegularSpiking())
+	in := []float64{0}
+	for s := 0; s < 1000; s++ {
+		if spikes := pop.StepAll(1, in, nil); len(spikes) > 0 {
+			t.Fatalf("spontaneous spike at step %d", s)
+		}
+	}
+	// Settles near the resting fixed point (~ -70 mV for RS).
+	if pop.V[0] > -55 || pop.V[0] < -90 {
+		t.Fatalf("rest potential %v implausible", pop.V[0])
+	}
+}
+
+func TestIzhikevichFiresUnderCurrent(t *testing.T) {
+	pop, _ := NewIzhPopulation(1, RegularSpiking())
+	in := []float64{10}
+	total := 0
+	var buf []int
+	for s := 0; s < 1000; s++ {
+		buf = pop.StepAll(1, in, buf[:0])
+		total += len(buf)
+	}
+	if total == 0 {
+		t.Fatal("no spikes under I=10")
+	}
+	if pop.SpikeCounts()[0] != uint64(total) {
+		t.Fatal("spike counter mismatch")
+	}
+}
+
+func TestIzhikevichResetAfterSpike(t *testing.T) {
+	p := RegularSpiking()
+	pop, _ := NewIzhPopulation(1, p)
+	pop.V[0] = 29.9
+	uBefore := pop.U[0]
+	spikes := pop.StepAll(1, []float64{100}, nil)
+	if len(spikes) != 1 {
+		t.Fatalf("expected spike, got %v (v=%v)", spikes, pop.V[0])
+	}
+	if pop.V[0] != p.C {
+		t.Fatalf("v after spike %v, want %v", pop.V[0], p.C)
+	}
+	if pop.U[0] <= uBefore {
+		t.Fatal("u not incremented by D after spike")
+	}
+}
+
+func TestIzhikevichFICurveMonotone(t *testing.T) {
+	currents := []float64{0, 4, 8, 12, 16, 20}
+	rates, err := IzhFICurve(RegularSpiking(), currents, 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != 0 {
+		t.Errorf("zero current rate %v", rates[0])
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1]-1 { // small tolerance for bursting regimes
+			t.Fatalf("f–I decreased: %v", rates)
+		}
+	}
+	if rates[len(rates)-1] < 10 {
+		t.Errorf("strong current rate only %v Hz", rates[len(rates)-1])
+	}
+}
+
+func TestFastSpikingFasterThanRegular(t *testing.T) {
+	currents := []float64{15}
+	rs, _ := IzhFICurve(RegularSpiking(), currents, 3000, 0.5)
+	fs, _ := IzhFICurve(FastSpiking(), currents, 3000, 0.5)
+	if fs[0] <= rs[0] {
+		t.Fatalf("FS (%v Hz) should out-fire RS (%v Hz) at the same drive", fs[0], rs[0])
+	}
+}
+
+func TestIzhStepRangeMatchesStepAll(t *testing.T) {
+	a, _ := NewIzhPopulation(8, Chattering())
+	b, _ := NewIzhPopulation(8, Chattering())
+	in := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	for s := 0; s < 500; s++ {
+		sa := a.StepAll(1, in, nil)
+		var sb []int
+		sb = b.StepRange(0, 3, 1, in, sb)
+		sb = b.StepRange(3, 8, 1, in, sb)
+		if len(sa) != len(sb) {
+			t.Fatalf("step %d: %v vs %v", s, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("step %d: %v vs %v", s, sa, sb)
+			}
+		}
+	}
+	for i := range a.V {
+		if a.V[i] != b.V[i] || a.U[i] != b.U[i] {
+			t.Fatalf("state diverged at %d", i)
+		}
+	}
+}
+
+func TestIzhikevichStateStaysFinite(t *testing.T) {
+	pop, _ := NewIzhPopulation(4, IntrinsicBursting())
+	in := []float64{0, 5, 15, 30}
+	for s := 0; s < 5000; s++ {
+		pop.StepAll(0.5, in, nil)
+	}
+	for i := range pop.V {
+		if math.IsNaN(pop.V[i]) || math.IsInf(pop.V[i], 0) {
+			t.Fatalf("v[%d] = %v", i, pop.V[i])
+		}
+		if math.IsNaN(pop.U[i]) || math.IsInf(pop.U[i], 0) {
+			t.Fatalf("u[%d] = %v", i, pop.U[i])
+		}
+	}
+}
+
+func BenchmarkIzhPopulationStep1000(b *testing.B) {
+	pop, _ := NewIzhPopulation(1000, RegularSpiking())
+	current := make([]float64, 1000)
+	for i := range current {
+		current[i] = float64(i % 20)
+	}
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = pop.StepAll(1, current, buf[:0])
+	}
+}

@@ -1,0 +1,561 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperLIFValidates(t *testing.T) {
+	if err := PaperLIF().Validate(); err != nil {
+		t.Fatalf("paper parameters invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := PaperLIF()
+
+	p := base
+	p.B = 0.1
+	if p.Validate() == nil {
+		t.Error("positive leak accepted")
+	}
+
+	p = base
+	p.VReset = p.VThreshold + 1
+	if p.Validate() == nil {
+		t.Error("reset above threshold accepted")
+	}
+
+	p = base
+	p.RefractoryMS = -1
+	if p.Validate() == nil {
+		t.Error("negative refractory accepted")
+	}
+
+	p = base
+	p.A = math.NaN()
+	if p.Validate() == nil {
+		t.Error("NaN coefficient accepted")
+	}
+}
+
+func TestRestPotential(t *testing.T) {
+	p := PaperLIF()
+	rest := p.RestPotential()
+	// a + b·v* = 0 → v* = -a/b = -6.77/0.0989 ≈ -68.45
+	if math.Abs(rest-(-6.77/0.0989)) > 1e-9 {
+		t.Fatalf("rest potential = %v", rest)
+	}
+	if rest >= p.VThreshold {
+		t.Fatal("rest potential should sit below threshold (no spontaneous firing)")
+	}
+	if rest <= p.VReset {
+		t.Fatal("rest potential should sit above reset")
+	}
+}
+
+func TestRheobase(t *testing.T) {
+	p := PaperLIF()
+	irh := p.RheobaseCurrent()
+	if irh <= 0 {
+		t.Fatalf("rheobase should be positive, got %v", irh)
+	}
+	// Just below rheobase the analytic rate must be 0, just above it positive.
+	if r := p.SteadyRate(irh * 0.99); r != 0 {
+		t.Errorf("rate below rheobase = %v, want 0", r)
+	}
+	if r := p.SteadyRate(irh * 1.05); r <= 0 {
+		t.Errorf("rate above rheobase = %v, want >0", r)
+	}
+}
+
+func TestSteadyRateMonotone(t *testing.T) {
+	p := PaperLIF()
+	prev := 0.0
+	for i := 1; i <= 20; i++ {
+		cur := p.RheobaseCurrent() * (1 + 0.2*float64(i))
+		r := p.SteadyRate(cur)
+		if r < prev {
+			t.Fatalf("f–I curve not monotone at current %v: %v < %v", cur, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestNewPopulation(t *testing.T) {
+	pop, err := NewPopulation(10, PaperLIF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 10 {
+		t.Fatalf("Len = %d", pop.Len())
+	}
+	for i, v := range pop.V {
+		if v != PaperLIF().VInit {
+			t.Fatalf("neuron %d initial V = %v", i, v)
+		}
+	}
+	if _, err := NewPopulation(0, PaperLIF()); err == nil {
+		t.Error("zero-size population accepted")
+	}
+	bad := PaperLIF()
+	bad.B = 1
+	if _, err := NewPopulation(5, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestNoSpontaneousSpiking(t *testing.T) {
+	pop, _ := NewPopulation(5, PaperLIF())
+	current := make([]float64, 5)
+	var spikes []int
+	for s := 0; s < 2000; s++ {
+		spikes = pop.StepAll(1, float64(s), current, spikes[:0])
+		if len(spikes) != 0 {
+			t.Fatalf("spontaneous spike at step %d", s)
+		}
+	}
+	// Membrane should have settled near the rest potential.
+	rest := PaperLIF().RestPotential()
+	for i, v := range pop.V {
+		if math.Abs(v-rest) > 0.01 {
+			t.Errorf("neuron %d settled at %v, want ~%v", i, v, rest)
+		}
+	}
+}
+
+func TestStrongCurrentSpikes(t *testing.T) {
+	pop, _ := NewPopulation(1, PaperLIF())
+	current := []float64{PaperLIF().RheobaseCurrent() * 3}
+	var spikes []int
+	total := 0
+	for s := 0; s < 1000; s++ {
+		spikes = pop.StepAll(1, float64(s), current, spikes[:0])
+		total += len(spikes)
+	}
+	if total == 0 {
+		t.Fatal("no spikes under 3× rheobase current")
+	}
+	if pop.SpikeCounts()[0] != uint64(total) {
+		t.Fatalf("spike counter %d != observed %d", pop.SpikeCounts()[0], total)
+	}
+}
+
+func TestSpikeResetsMembrane(t *testing.T) {
+	p := PaperLIF()
+	pop, _ := NewPopulation(1, p)
+	pop.V[0] = p.VThreshold - 0.01
+	current := []float64{100} // huge drive: spike next step
+	spikes := pop.StepAll(1, 0, current, nil)
+	if len(spikes) != 1 || spikes[0] != 0 {
+		t.Fatalf("expected one spike, got %v", spikes)
+	}
+	if pop.V[0] != p.VReset {
+		t.Fatalf("membrane after spike = %v, want reset %v", pop.V[0], p.VReset)
+	}
+}
+
+func TestRefractoryHoldsNeuron(t *testing.T) {
+	p := PaperLIF()
+	p.RefractoryMS = 5
+	pop, _ := NewPopulation(1, p)
+	current := []float64{1000}
+	spikes := pop.StepAll(1, 0, current, nil)
+	if len(spikes) != 1 {
+		t.Fatal("priming spike missing")
+	}
+	// For the next 4 steps the neuron is refractory and must not spike.
+	for s := 1; s < 5; s++ {
+		spikes = pop.StepAll(1, float64(s), current, spikes[:0])
+		if len(spikes) != 0 {
+			t.Fatalf("spiked during refractory period at t=%d", s)
+		}
+		if pop.V[0] != p.VReset {
+			t.Fatalf("membrane not clamped during refractory: %v", pop.V[0])
+		}
+	}
+	// After expiry it can spike again.
+	fired := false
+	for s := 5; s < 20; s++ {
+		spikes = pop.StepAll(1, float64(s), current, spikes[:0])
+		if len(spikes) > 0 {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("neuron never recovered from refractory period")
+	}
+}
+
+func TestInhibitBlocksAllButWinner(t *testing.T) {
+	pop, _ := NewPopulation(4, PaperLIF())
+	pop.Inhibit(2, 10) // inhibit all but neuron 2 until t=10
+	for i := 0; i < 4; i++ {
+		want := i != 2
+		if got := pop.Inhibited(i, 5); got != want {
+			t.Errorf("Inhibited(%d, 5) = %v, want %v", i, got, want)
+		}
+		if pop.Inhibited(i, 10) {
+			t.Errorf("neuron %d still inhibited at expiry", i)
+		}
+	}
+	// Inhibited neurons must not spike even under huge current.
+	current := []float64{1000, 1000, 1000, 1000}
+	spikes := pop.StepAll(1, 5, current, nil)
+	for _, s := range spikes {
+		if s != 2 {
+			t.Fatalf("inhibited neuron %d spiked", s)
+		}
+	}
+	if len(spikes) != 1 {
+		t.Fatalf("winner did not spike: %v", spikes)
+	}
+}
+
+func TestInhibitDoesNotShorten(t *testing.T) {
+	pop, _ := NewPopulation(2, PaperLIF())
+	pop.Inhibit(-1, 20)
+	pop.Inhibit(-1, 10) // must not shorten the existing inhibition
+	if !pop.Inhibited(0, 15) {
+		t.Fatal("later Inhibit call shortened inhibition window")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	pop, _ := NewPopulation(3, PaperLIF())
+	current := []float64{1000, 1000, 1000}
+	pop.StepAll(1, 0, current, nil)
+	pop.Inhibit(-1, 100)
+	pop.Reset()
+	for i := range pop.V {
+		if pop.V[i] != PaperLIF().VInit {
+			t.Errorf("V[%d] not reset", i)
+		}
+		if pop.Inhibited(i, 50) {
+			t.Errorf("inhibition survived Reset")
+		}
+		if pop.SpikeCounts()[i] != 0 {
+			t.Errorf("spike count survived Reset")
+		}
+	}
+}
+
+func TestResetMembranesKeepsCounts(t *testing.T) {
+	pop, _ := NewPopulation(1, PaperLIF())
+	pop.StepAll(1, 0, []float64{1000}, nil)
+	if pop.SpikeCounts()[0] != 1 {
+		t.Fatal("expected one spike")
+	}
+	pop.ResetMembranes()
+	if pop.SpikeCounts()[0] != 1 {
+		t.Fatal("ResetMembranes cleared counts")
+	}
+	if pop.V[0] != PaperLIF().VInit {
+		t.Fatal("ResetMembranes did not reset V")
+	}
+}
+
+func TestStepRangeEquivalentToStepAll(t *testing.T) {
+	p := PaperLIF()
+	a, _ := NewPopulation(8, p)
+	b, _ := NewPopulation(8, p)
+	current := []float64{5, 10, 15, 20, 25, 30, 35, 40}
+	for s := 0; s < 500; s++ {
+		now := float64(s)
+		sa := a.StepAll(1, now, current, nil)
+		var sb []int
+		sb = b.StepRange(0, 4, 1, now, current, sb)
+		sb = b.StepRange(4, 8, 1, now, current, sb)
+		if len(sa) != len(sb) {
+			t.Fatalf("step %d: spike counts differ %v vs %v", s, sa, sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("step %d: spike order differs %v vs %v", s, sa, sb)
+			}
+		}
+	}
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			t.Fatalf("membrane %d diverged: %v vs %v", i, a.V[i], b.V[i])
+		}
+	}
+}
+
+func TestFICurveMatchesAnalyticRate(t *testing.T) {
+	p := PaperLIF()
+	currents := []float64{5, 10, 20, 40}
+	rates, err := FICurve(p, currents, 10000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range currents {
+		want := p.SteadyRate(c)
+		if want == 0 {
+			if rates[i] != 0 {
+				t.Errorf("I=%v: measured %v, analytic 0", c, rates[i])
+			}
+			continue
+		}
+		// Euler at dt=0.1 against the exact ODE: allow 10%.
+		if math.Abs(rates[i]-want)/want > 0.10 {
+			t.Errorf("I=%v: measured %v Hz, analytic %v Hz", c, rates[i], want)
+		}
+	}
+}
+
+func TestFICurveMonotone(t *testing.T) {
+	p := PaperLIF()
+	currents := []float64{0, 2, 4, 8, 16, 32, 64}
+	rates, err := FICurve(p, currents, 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Fatalf("f–I curve decreased: %v", rates)
+		}
+	}
+	if rates[0] != 0 {
+		t.Errorf("zero current should give zero rate, got %v", rates[0])
+	}
+	if rates[len(rates)-1] == 0 {
+		t.Error("largest current never fired")
+	}
+}
+
+// Property: the membrane potential never exceeds the threshold after a step
+// returns (any crossing resets), and never falls below reset under
+// non-negative currents, for arbitrary current values.
+func TestMembraneBoundsProperty(t *testing.T) {
+	p := PaperLIF()
+	check := func(seed int64, rawCurrent float64) bool {
+		cur := math.Mod(math.Abs(rawCurrent), 200)
+		pop, err := NewPopulation(1, p)
+		if err != nil {
+			return false
+		}
+		in := []float64{cur}
+		for s := 0; s < 300; s++ {
+			pop.StepAll(1, float64(s), in, nil)
+			if pop.V[0] > p.VThreshold {
+				return false
+			}
+			if pop.V[0] < p.VReset-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPopulationStep1000(b *testing.B) {
+	pop, _ := NewPopulation(1000, PaperLIF())
+	current := make([]float64, 1000)
+	for i := range current {
+		current[i] = float64(i%50) * 0.5
+	}
+	var spikes []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spikes = pop.StepAll(1, float64(i), current, spikes[:0])
+	}
+}
+
+func TestHomeostasisRaisesThreshold(t *testing.T) {
+	p := PaperLIF()
+	p.ThetaPlus = 2
+	p.ThetaDecayMS = 1e6 // effectively persistent
+	pop, _ := NewPopulation(1, p)
+	current := []float64{1000}
+	var spikes []int
+	intervals := []int{}
+	last := -1
+	for s := 0; s < 400; s++ {
+		spikes = pop.StepAll(1, float64(s), current, spikes[:0])
+		if len(spikes) > 0 {
+			if last >= 0 {
+				intervals = append(intervals, s-last)
+			}
+			last = s
+		}
+	}
+	if len(intervals) < 4 {
+		t.Fatalf("too few spikes: %d intervals", len(intervals))
+	}
+	// Adaptive threshold should stretch inter-spike intervals over time.
+	if intervals[len(intervals)-1] <= intervals[0] {
+		t.Fatalf("intervals did not grow: first %d last %d", intervals[0], intervals[len(intervals)-1])
+	}
+	if pop.Theta()[0] <= 0 {
+		t.Fatal("theta not accumulated")
+	}
+}
+
+func TestHomeostasisDecays(t *testing.T) {
+	p := PaperLIF()
+	p.ThetaPlus = 2
+	p.ThetaDecayMS = 10
+	pop, _ := NewPopulation(1, p)
+	pop.Theta()[0] = 10
+	current := []float64{0}
+	for s := 0; s < 100; s++ {
+		pop.StepAll(1, float64(s), current, nil)
+	}
+	if pop.Theta()[0] > 0.01 {
+		t.Fatalf("theta did not decay: %v", pop.Theta()[0])
+	}
+}
+
+func TestHomeostasisValidation(t *testing.T) {
+	p := PaperLIF()
+	p.ThetaPlus = -1
+	if p.Validate() == nil {
+		t.Error("negative ThetaPlus accepted")
+	}
+	p = PaperLIF()
+	p.ThetaPlus = 1
+	p.ThetaDecayMS = 0
+	if p.Validate() == nil {
+		t.Error("ThetaPlus without decay accepted")
+	}
+}
+
+func TestHomeostasisSurvivesResetMembranes(t *testing.T) {
+	p := PaperLIF()
+	p.ThetaPlus = 2
+	p.ThetaDecayMS = 1e6
+	pop, _ := NewPopulation(1, p)
+	pop.StepAll(1, 0, []float64{1000}, nil)
+	if pop.Theta()[0] == 0 {
+		t.Fatal("no theta after spike")
+	}
+	th := pop.Theta()[0]
+	pop.ResetMembranes()
+	if pop.Theta()[0] != th {
+		t.Fatal("ResetMembranes cleared theta")
+	}
+	pop.Reset()
+	if pop.Theta()[0] != 0 {
+		t.Fatal("Reset kept theta")
+	}
+}
+
+func TestCandidatesRangeLeavesMembraneAboveThreshold(t *testing.T) {
+	p := PaperLIF()
+	pop, _ := NewPopulation(3, p)
+	pop.V[0] = p.VThreshold - 0.01
+	pop.V[1] = p.VThreshold - 5
+	current := []float64{100, 100, 0}
+	cands := pop.CandidatesRange(0, 3, 1, 0, current, nil)
+	if len(cands) != 2 || cands[0] != 0 || cands[1] != 1 {
+		t.Fatalf("candidates %v, want [0 1]", cands)
+	}
+	// Unlike StepRange, candidates are NOT reset: membranes stay above
+	// threshold so the caller can rank them.
+	if pop.V[0] <= p.VThreshold || pop.V[1] <= p.VThreshold {
+		t.Fatalf("candidate membranes reset prematurely: %v %v", pop.V[0], pop.V[1])
+	}
+	if pop.SpikeCounts()[0] != 0 {
+		t.Fatal("candidate counted as spike before Fire")
+	}
+}
+
+func TestOvershootRanksEarlierCrosser(t *testing.T) {
+	p := PaperLIF()
+	pop, _ := NewPopulation(2, p)
+	pop.V[0] = p.VThreshold - 0.01 // closer to threshold → deeper crossing
+	pop.V[1] = p.VThreshold - 3
+	current := []float64{50, 50}
+	pop.CandidatesRange(0, 2, 1, 0, current, nil)
+	if pop.Overshoot(0) <= pop.Overshoot(1) {
+		t.Fatalf("overshoot ranking wrong: %v vs %v", pop.Overshoot(0), pop.Overshoot(1))
+	}
+}
+
+func TestFireCommitsSpike(t *testing.T) {
+	p := PaperLIF()
+	p.RefractoryMS = 3
+	p.ThetaPlus = 0.5
+	p.ThetaDecayMS = 1e6
+	pop, _ := NewPopulation(1, p)
+	pop.V[0] = p.VThreshold + 1
+	pop.Fire(0, 10)
+	if pop.V[0] != p.VReset {
+		t.Fatal("Fire did not reset membrane")
+	}
+	if pop.SpikeCounts()[0] != 1 {
+		t.Fatal("Fire did not count spike")
+	}
+	if pop.Theta()[0] != 0.5 {
+		t.Fatal("Fire did not bump theta")
+	}
+	// Refractory until t=13.
+	cands := pop.CandidatesRange(0, 1, 1, 12, []float64{1000}, nil)
+	if len(cands) != 0 {
+		t.Fatal("fired during refractory period")
+	}
+}
+
+func TestFireFrozenThetaNoBump(t *testing.T) {
+	p := PaperLIF()
+	p.ThetaPlus = 0.5
+	p.ThetaDecayMS = 1e6
+	pop, _ := NewPopulation(1, p)
+	pop.FreezeTheta = true
+	pop.Fire(0, 0)
+	if pop.Theta()[0] != 0 {
+		t.Fatal("frozen theta bumped by Fire")
+	}
+}
+
+func TestSuppressResetsWithoutSpike(t *testing.T) {
+	p := PaperLIF()
+	pop, _ := NewPopulation(1, p)
+	pop.V[0] = p.VThreshold + 2
+	pop.Suppress(0)
+	if pop.V[0] != p.VReset {
+		t.Fatal("Suppress did not reset membrane")
+	}
+	if pop.SpikeCounts()[0] != 0 {
+		t.Fatal("Suppress counted a spike")
+	}
+	if pop.Theta()[0] != 0 {
+		t.Fatal("Suppress changed theta")
+	}
+}
+
+func TestClearSpikeCounts(t *testing.T) {
+	pop, _ := NewPopulation(2, PaperLIF())
+	pop.Fire(0, 0)
+	pop.Fire(1, 0)
+	pop.ClearSpikeCounts()
+	for i, c := range pop.SpikeCounts() {
+		if c != 0 {
+			t.Fatalf("count %d not cleared: %d", i, c)
+		}
+	}
+}
+
+func TestCandidatesRangeRespectsInhibition(t *testing.T) {
+	pop, _ := NewPopulation(2, PaperLIF())
+	pop.Inhibit(1, 100) // inhibit neuron 0
+	current := []float64{1000, 1000}
+	cands := pop.CandidatesRange(0, 2, 1, 50, current, nil)
+	for s := 0; s < 20 && len(cands) == 0; s++ {
+		cands = pop.CandidatesRange(0, 2, 1, 50+float64(s), current, cands[:0])
+	}
+	for _, c := range cands {
+		if c == 0 {
+			t.Fatal("inhibited neuron produced a candidate")
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("winner never became a candidate")
+	}
+}

@@ -1,0 +1,221 @@
+// Package rng provides the random-number machinery used throughout the
+// simulator. The paper's ParallelSpikeSim performs stochastic STDP rolls and
+// stochastic rounding "on-board the GPU to leverage the fast CUDA random
+// number generator". This package is the CPU substitute: a small, fast,
+// allocation-free PRNG toolkit with two complementary designs.
+//
+//   - Stream: a stateful xoshiro256** generator for sequential use
+//     (workload generation, dataset synthesis, anything single-threaded).
+//   - Counter-based hashing (Hash64, Uniform, Bernoulli): stateless draws
+//     keyed by (seed, identifiers...). A draw for synapse s at step t is a
+//     pure function of (seed, s, t), so a parallel engine that partitions
+//     synapses across goroutines produces bit-identical results to a
+//     sequential one — a stronger reproducibility guarantee than cuRAND
+//     stream ordering provides.
+//
+// All generators in this package are deterministic given their seed and must
+// never be replaced by math/rand's global state inside simulation code.
+package rng
+
+import "math"
+
+// SplitMix64 advances the given state by the SplitMix64 step and returns the
+// next 64-bit output. It is the canonical seeding/mixing function used to
+// expand a single user seed into full generator state.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 mixes a seed with an arbitrary list of counters into a single
+// well-distributed 64-bit value. It is the basis of every counter-based
+// (stateless) draw in the simulator.
+func Hash64(seed uint64, counters ...uint64) uint64 {
+	h := seed ^ 0x6a09e667f3bcc908 // sqrt(2) fractional bits: fixed tweak
+	for _, c := range counters {
+		h ^= c + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = SplitMix64(&h)
+	}
+	// One extra finalization round so short counter lists are fully mixed.
+	return SplitMix64(&h)
+}
+
+// Uniform returns a float64 in [0, 1) derived from (seed, counters).
+func Uniform(seed uint64, counters ...uint64) float64 {
+	return Float64From(Hash64(seed, counters...))
+}
+
+// Bernoulli returns true with probability p, using the stateless draw keyed
+// by (seed, counters). Probabilities outside [0, 1] saturate.
+func Bernoulli(p float64, seed uint64, counters ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return Uniform(seed, counters...) < p
+}
+
+// Float64From maps a 64-bit word to a float64 in [0, 1) using the top 53
+// bits, the standard unbiased construction.
+func Float64From(u uint64) float64 {
+	return float64(u>>11) * (1.0 / (1 << 53))
+}
+
+// Stream is a stateful xoshiro256** PRNG. The zero value is NOT valid; use
+// NewStream. Stream is not safe for concurrent use; give each goroutine its
+// own (see Split) or use the counter-based API.
+type Stream struct {
+	s [4]uint64
+}
+
+// NewStream returns a Stream seeded from a single 64-bit seed via SplitMix64,
+// per the xoshiro authors' recommendation.
+func NewStream(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &st
+}
+
+// Split derives an independent child stream. The child's sequence is
+// decorrelated from the parent's continuation because derivation passes
+// through SplitMix64 with a distinct tag.
+func (r *Stream) Split() *Stream {
+	return NewStream(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit value of the xoshiro256** sequence.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns the next float64 in [0, 1).
+func (r *Stream) Float64() float64 { return Float64From(r.Uint64()) }
+
+// Intn returns an int uniform on [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	t = aHi*bLo + t>>32
+	w1 := t & mask
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + t>>32
+	lo |= t << 32
+	return hi, lo
+}
+
+// Bernoulli returns true with probability p from the stream.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a float64 uniform on [lo, hi).
+func (r *Stream) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (r *Stream) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda, the PTRS transformed-rejection
+// method would be overkill here, so it falls back to a normal approximation
+// (the simulator only uses lambdas well below 30 per time step).
+func (r *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Perm fills dst with a uniformly random permutation of [0, len(dst)).
+func (r *Stream) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Shuffle permutes dst in place using the Fisher-Yates algorithm.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,370 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the canonical splitmix64.c with seed 0.
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64(42, 1, 2, 3)
+	b := Hash64(42, 1, 2, 3)
+	if a != b {
+		t.Fatalf("Hash64 not deterministic: %#x vs %#x", a, b)
+	}
+}
+
+func TestHash64SensitiveToEachCounter(t *testing.T) {
+	base := Hash64(7, 10, 20, 30)
+	variants := []uint64{
+		Hash64(8, 10, 20, 30),
+		Hash64(7, 11, 20, 30),
+		Hash64(7, 10, 21, 30),
+		Hash64(7, 10, 20, 31),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collided with base %#x", i, base)
+		}
+	}
+}
+
+func TestHash64CounterOrderMatters(t *testing.T) {
+	if Hash64(1, 2, 3) == Hash64(1, 3, 2) {
+		t.Fatal("Hash64 should be order-sensitive in its counters")
+	}
+}
+
+func TestHash64EmptyCountersStillMixed(t *testing.T) {
+	if Hash64(0) == 0 {
+		t.Fatal("Hash64(0) should not be zero after finalization")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("distinct seeds with no counters should differ")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform(99, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of [0,1): %v at counter %d", u, i)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	const n = 200000
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += Uniform(123, i)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	for i := uint64(0); i < 100; i++ {
+		if Bernoulli(0, 1, i) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(1, 1, i) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if Bernoulli(-0.5, 1, i) {
+			t.Fatal("Bernoulli(p<0) returned true")
+		}
+		if !Bernoulli(1.5, 1, i) {
+			t.Fatal("Bernoulli(p>1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := uint64(0); i < n; i++ {
+			if Bernoulli(p, 7, i, uint64(p*1000)) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestStreamDeterministicAcrossInstances(t *testing.T) {
+	a := NewStream(2024)
+	b := NewStream(2024)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamDifferentSeedsDiverge(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestStreamZeroSeedValid(t *testing.T) {
+	r := NewStream(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("zero-seeded stream produced only %d distinct values in 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewStream(5)
+	child := parent.Split()
+	// Child and parent continuation should not be identical sequences.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split child tracked parent %d/64 outputs", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewStream(8)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewStream(77)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := NewStream(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range(-2,5) = %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewStream(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewStream(9)
+	for _, lambda := range []float64{0.1, 1, 5, 20, 50} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := NewStream(10)
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+	if r.Poisson(-1) != 0 {
+		t.Fatal("Poisson(-1) != 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Poisson(100) < 0 {
+			t.Fatal("Poisson produced negative value")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewStream(11)
+	dst := make([]int, 257)
+	r.Perm(dst)
+	seen := make([]bool, len(dst))
+	for _, v := range dst {
+		if v < 0 || v >= len(dst) || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewStream(12)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed elements: sum %d -> %d", sum, got)
+	}
+}
+
+// Property: Float64From always lands in [0,1).
+func TestFloat64FromProperty(t *testing.T) {
+	f := func(u uint64) bool {
+		v := Float64From(u)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hash64 is a pure function — same inputs, same output — and
+// perturbing the seed changes the output with overwhelming probability.
+func TestHash64Property(t *testing.T) {
+	f := func(seed, c1, c2 uint64) bool {
+		return Hash64(seed, c1, c2) == Hash64(seed, c1, c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(seed, c1 uint64) bool {
+		return Hash64(seed, c1) != Hash64(seed+1, c1) || seed == seed+1
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bernoulli is monotone in p for a fixed draw point: if it fires
+// at probability p it must also fire at any p' >= p.
+func TestBernoulliMonotoneProperty(t *testing.T) {
+	f := func(seed, counter uint64, a, b float64) bool {
+		pLo, pHi := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pLo > pHi {
+			pLo, pHi = pHi, pLo
+		}
+		if Bernoulli(pLo, seed, counter) && !Bernoulli(pHi, seed, counter) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamUint64(b *testing.B) {
+	r := NewStream(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkHash64TwoCounters(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Hash64(42, uint64(i), 7)
+	}
+	_ = sink
+}
+
+func BenchmarkStatelessBernoulli(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Bernoulli(0.3, 42, uint64(i))
+	}
+}

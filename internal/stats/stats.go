@@ -1,0 +1,276 @@
+// Package stats provides the small statistics toolkit behind the paper's
+// evaluation artifacts: conductance histograms (Fig 6b), accuracy and
+// confusion matrices (Table II, Figs 7–8), and the moving error rate curve
+// (Fig 8c).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi]. Values outside the range
+// clamp into the edge bins, so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram creates a histogram with the given number of bins.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: %d bins", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v]", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.N++
+}
+
+// AddAll records a slice of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Mode returns the index of the fullest bin.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Render draws the histogram as ASCII rows ("center count bar"), the form
+// used in EXPERIMENTS.md for Fig 6(b).
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.4f %7d %s\n", h.BinCenter(i), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Confusion is an n-class confusion matrix; rows are true labels, columns
+// predictions.
+type Confusion struct {
+	N      int
+	Cells  []int
+	total  int
+	misses int
+}
+
+// NewConfusion creates an n-class confusion matrix.
+func NewConfusion(n int) (*Confusion, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: %d classes", n)
+	}
+	return &Confusion{N: n, Cells: make([]int, n*n)}, nil
+}
+
+// Add records one (true, predicted) observation. A prediction outside
+// [0, N) — e.g. "no spikes, no vote" encoded as -1 — counts as an
+// unclassified miss: it lands in no cell but still increases Total, so it
+// weighs on Accuracy like any other error.
+func (c *Confusion) Add(trueLabel, pred int) {
+	if trueLabel < 0 || trueLabel >= c.N {
+		panic(fmt.Sprintf("stats: true label %d of %d", trueLabel, c.N))
+	}
+	if pred < 0 || pred >= c.N {
+		c.misses++
+		c.total++
+		return
+	}
+	c.Cells[trueLabel*c.N+pred]++
+	c.total++
+}
+
+// At returns the count of (true, pred).
+func (c *Confusion) At(trueLabel, pred int) int { return c.Cells[trueLabel*c.N+pred] }
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int { return c.total }
+
+// Correct returns the diagonal sum.
+func (c *Confusion) Correct() int {
+	sum := 0
+	for i := 0; i < c.N; i++ {
+		sum += c.Cells[i*c.N+i]
+	}
+	return sum
+}
+
+// Accuracy returns Correct/Total (0 when empty).
+func (c *Confusion) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.Correct()) / float64(c.total)
+}
+
+// Misses returns the number of unclassified observations.
+func (c *Confusion) Misses() int { return c.misses }
+
+// PerClassRecall returns recall per true class (NaN-free: 0 when absent).
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.N)
+	for t := 0; t < c.N; t++ {
+		row := 0
+		for p := 0; p < c.N; p++ {
+			row += c.At(t, p)
+		}
+		if row > 0 {
+			out[t] = float64(c.At(t, t)) / float64(row)
+		}
+	}
+	return out
+}
+
+// String renders the matrix compactly.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy %.4f (%d/%d, %d unclassified)\n", c.Accuracy(), c.Correct(), c.total, c.misses)
+	for t := 0; t < c.N; t++ {
+		for p := 0; p < c.N; p++ {
+			fmt.Fprintf(&b, "%6d", c.At(t, p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MovingError tracks a windowed moving error rate over a stream of
+// right/wrong outcomes — the "moving error rate" of Fig 8(c).
+type MovingError struct {
+	window  int
+	history []bool // ring buffer: true = error
+	idx     int
+	filled  int
+	errors  int
+	curve   []float64 // error rate after each observation
+}
+
+// NewMovingError creates a tracker with the given window size.
+func NewMovingError(window int) (*MovingError, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("stats: window %d", window)
+	}
+	return &MovingError{window: window, history: make([]bool, window)}, nil
+}
+
+// Observe records one outcome and returns the current moving error rate.
+func (m *MovingError) Observe(isError bool) float64 {
+	if m.filled == m.window {
+		if m.history[m.idx] {
+			m.errors--
+		}
+	} else {
+		m.filled++
+	}
+	m.history[m.idx] = isError
+	if isError {
+		m.errors++
+	}
+	m.idx = (m.idx + 1) % m.window
+	rate := float64(m.errors) / float64(m.filled)
+	m.curve = append(m.curve, rate)
+	return rate
+}
+
+// Rate returns the current moving error rate (1.0 before any observation,
+// matching "everything still unknown").
+func (m *MovingError) Rate() float64 {
+	if m.filled == 0 {
+		return 1
+	}
+	return float64(m.errors) / float64(m.filled)
+}
+
+// Curve returns the moving error rate after each observation.
+func (m *MovingError) Curve() []float64 { return m.curve }
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Std            float64
+	Median         float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

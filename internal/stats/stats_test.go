@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	h.AddAll([]float64{0.1, 0.3, 0.6, 0.9, 0.26})
+	want := []int{1, 2, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.N != 5 {
+		t.Errorf("N = %d", h.N)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Add(-5)
+	h.Add(7)
+	h.Add(1.0) // exactly Hi lands in the top bin
+	if h.Counts[0] != 1 || h.Counts[1] != 2 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenterAndFraction(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if got := h.BinCenter(0); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(3); math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("BinCenter(3) = %v", got)
+	}
+	h.Add(0.1)
+	h.Add(0.9)
+	if got := h.Fraction(0); got != 0.5 {
+		t.Errorf("Fraction = %v", got)
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction != 0")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	h.AddAll([]float64{0.6, 0.6, 0.65, 0.1})
+	if got := h.Mode(); got != 2 {
+		t.Errorf("Mode = %d", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.AddAll([]float64{0.1, 0.1, 0.9})
+	out := h.Render(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("fullest bin not full width: %q", lines[0])
+	}
+}
+
+func TestConfusionBasics(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Total() != 4 || c.Correct() != 3 {
+		t.Fatalf("total %d correct %d", c.Total(), c.Correct())
+	}
+	if got := c.Accuracy(); got != 0.75 {
+		t.Fatalf("accuracy %v", got)
+	}
+	if c.At(0, 1) != 1 {
+		t.Fatal("cell (0,1) wrong")
+	}
+}
+
+func TestConfusionMisses(t *testing.T) {
+	c, _ := NewConfusion(2)
+	c.Add(0, -1)
+	c.Add(0, 0)
+	if c.Misses() != 1 || c.Total() != 2 {
+		t.Fatalf("misses %d total %d", c.Misses(), c.Total())
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy with miss = %v", got)
+	}
+}
+
+func TestConfusionPanicsOnBadTrueLabel(t *testing.T) {
+	c, _ := NewConfusion(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad true label accepted")
+		}
+	}()
+	c.Add(5, 0)
+}
+
+func TestConfusionPerClassRecall(t *testing.T) {
+	c, _ := NewConfusion(2)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	rec := c.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3) > 1e-12 || rec[1] != 1 {
+		t.Fatalf("recall %v", rec)
+	}
+}
+
+func TestConfusionEmptyAccuracy(t *testing.T) {
+	c, _ := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy != 0")
+	}
+	if _, err := NewConfusion(0); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c, _ := NewConfusion(2)
+	c.Add(0, 0)
+	s := c.String()
+	if !strings.Contains(s, "accuracy 1.0000") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMovingErrorWindow(t *testing.T) {
+	m, err := NewMovingError(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate() != 1 {
+		t.Fatal("initial rate should be 1")
+	}
+	if got := m.Observe(true); got != 1 {
+		t.Errorf("after 1 error: %v", got)
+	}
+	if got := m.Observe(false); got != 0.5 {
+		t.Errorf("after error+ok: %v", got)
+	}
+	if got := m.Observe(false); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("after 1/3: %v", got)
+	}
+	// Window slides: the first error falls out.
+	if got := m.Observe(false); got != 0 {
+		t.Errorf("after slide: %v", got)
+	}
+	if len(m.Curve()) != 4 {
+		t.Errorf("curve length %d", len(m.Curve()))
+	}
+}
+
+func TestMovingErrorValidation(t *testing.T) {
+	if _, err := NewMovingError(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestMovingErrorConverges(t *testing.T) {
+	m, _ := NewMovingError(100)
+	for i := 0; i < 500; i++ {
+		m.Observe(i%10 == 0) // 10% error
+	}
+	if math.Abs(m.Rate()-0.1) > 0.01 {
+		t.Fatalf("rate %v, want ~0.1", m.Rate())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Fatalf("median %v", s.Median)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median %v", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+// Property: histogram never loses an observation and N equals the bin sum.
+func TestHistogramConservesProperty(t *testing.T) {
+	check := func(xs []float64) bool {
+		h, _ := NewHistogram(-1, 1, 8)
+		h.AddAll(xs)
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == len(xs) && h.N == len(xs)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving error rate is always within [0, 1].
+func TestMovingErrorBoundsProperty(t *testing.T) {
+	check := func(pattern []bool) bool {
+		m, _ := NewMovingError(7)
+		for _, e := range pattern {
+			r := m.Observe(e)
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: confusion accuracy equals 1 iff every prediction matched.
+func TestConfusionAccuracyProperty(t *testing.T) {
+	check := func(labels []uint8) bool {
+		c, _ := NewConfusion(4)
+		allRight := true
+		for i, l := range labels {
+			tl := int(l % 4)
+			pred := tl
+			if i%3 == 0 && len(labels) > 1 {
+				pred = (tl + 1) % 4
+				allRight = false
+			}
+			c.Add(tl, pred)
+		}
+		if len(labels) == 0 {
+			return c.Accuracy() == 0
+		}
+		return (c.Accuracy() == 1) == allRight
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package synapse
+
+import (
+	"fmt"
+	"math"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/rng"
+)
+
+// Matrix is the all-to-all conductance array connecting NPre input spike
+// trains to NPost excitatory neurons. Storage is pre-major — G[pre*NPost +
+// post] — so the hot per-step current accumulation (iterate posts for each
+// spiking pre) walks contiguous memory, matching the coalesced layout the
+// paper's GPU kernels would use.
+//
+// Conductances are held as float64 but are always kept on the grid of the
+// configured fixed-point format (quantization happens on every write), so
+// the float storage is purely a convenience representation of the code.
+type Matrix struct {
+	NPre   int
+	NPost  int
+	G      []float64
+	Format fixed.Format
+}
+
+// NewMatrix allocates an NPre × NPost conductance matrix initialized to zero.
+func NewMatrix(nPre, nPost int, format fixed.Format) (*Matrix, error) {
+	if nPre <= 0 || nPost <= 0 {
+		return nil, fmt.Errorf("synapse: matrix dimensions %d×%d", nPre, nPost)
+	}
+	return &Matrix{
+		NPre:   nPre,
+		NPost:  nPost,
+		G:      make([]float64, nPre*nPost),
+		Format: format,
+	}, nil
+}
+
+// Len returns the number of synapses.
+func (m *Matrix) Len() int { return len(m.G) }
+
+// At returns the conductance of the synapse from pre to post.
+func (m *Matrix) At(pre, post int) float64 { return m.G[pre*m.NPost+post] }
+
+// Set stores a conductance, clamping it into the format's representable
+// range and snapping it onto the grid by round-to-nearest.
+func (m *Matrix) Set(pre, post int, g float64) {
+	m.G[pre*m.NPost+post] = m.Format.Quantize(g, fixed.Nearest, 0)
+}
+
+// Row returns the contiguous slice of conductances from input pre to every
+// post neuron. Mutating it bypasses quantization; callers must not.
+func (m *Matrix) Row(pre int) []float64 {
+	return m.G[pre*m.NPost : (pre+1)*m.NPost]
+}
+
+// Column copies the conductances into post neuron `post` from every input
+// into dst, which must have length NPre. This is the receptive field of one
+// neuron — the paper's "conductance array that learns to recognize a
+// specific pattern" (Figs 5, 8a).
+func (m *Matrix) Column(post int, dst []float64) {
+	if len(dst) != m.NPre {
+		panic(fmt.Sprintf("synapse: Column dst length %d, want %d", len(dst), m.NPre))
+	}
+	for pre := 0; pre < m.NPre; pre++ {
+		dst[pre] = m.G[pre*m.NPost+post]
+	}
+}
+
+// InitUniform fills the matrix with independent uniform draws in [lo, hi],
+// quantized round-to-nearest onto the format grid. This is the random
+// conductance initialization performed before learning.
+func (m *Matrix) InitUniform(stream *rng.Stream, lo, hi float64) {
+	for i := range m.G {
+		m.G[i] = m.Format.Quantize(stream.Range(lo, hi), fixed.Nearest, 0)
+	}
+}
+
+// Fill sets every conductance to the same (quantized) value.
+func (m *Matrix) Fill(g float64) {
+	q := m.Format.Quantize(g, fixed.Nearest, 0)
+	for i := range m.G {
+		m.G[i] = q
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := *m
+	c.G = make([]float64, len(m.G))
+	copy(c.G, m.G)
+	return &c
+}
+
+// Stats returns the minimum, maximum and mean conductance.
+func (m *Matrix) Stats() (minG, maxG, mean float64) {
+	minG, maxG = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, g := range m.G {
+		if g < minG {
+			minG = g
+		}
+		if g > maxG {
+			maxG = g
+		}
+		sum += g
+	}
+	return minG, maxG, sum / float64(len(m.G))
+}
+
+// AccumulateCurrent adds g·amp into current[post] for every post neuron, for
+// a spike on input pre. This is the per-spike inner loop of eq. 3.
+func (m *Matrix) AccumulateCurrent(pre int, amp float64, current []float64) {
+	row := m.Row(pre)
+	for post, g := range row {
+		current[post] += g * amp
+	}
+}

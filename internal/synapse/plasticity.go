@@ -1,0 +1,178 @@
+package synapse
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/rng"
+)
+
+// Event tags keying the counter-based RNG draws, so each decision type has
+// its own independent stream.
+const (
+	tagPotRoll uint64 = iota + 1
+	tagDepRoll
+	tagPotRound
+	tagDepRound
+)
+
+// Plasticity applies STDP updates to a conductance matrix according to a
+// Config. It owns no RNG state: every stochastic decision is a pure function
+// of (Config.Seed, event tag, step, pre, post), which makes updates safe to
+// apply from multiple goroutines as long as no two goroutines touch the same
+// post neuron (the engine partitions by post index).
+type Plasticity struct {
+	Cfg Config
+	M   *Matrix
+
+	// Event counters (diagnostics). Updated atomically: range updates for
+	// different posts run on different workers.
+	potApplied atomic.Uint64
+	depApplied atomic.Uint64
+	potRolls   atomic.Uint64
+	depRolls   atomic.Uint64
+}
+
+// NewPlasticity validates the config and binds it to a matrix.
+func NewPlasticity(cfg Config, m *Matrix) (*Plasticity, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Format != m.Format {
+		// Conductance grid and update pipeline must agree, otherwise the
+		// quantization invariants break silently.
+		return nil, fmt.Errorf("synapse: config format %s != matrix format %s", cfg.Format, m.Format)
+	}
+	return &Plasticity{Cfg: cfg, M: m}, nil
+}
+
+// Counters reports how many potentiation/depression updates were applied
+// and how many stochastic rolls were taken.
+func (p *Plasticity) Counters() (potApplied, depApplied, potRolls, depRolls uint64) {
+	return p.potApplied.Load(), p.depApplied.Load(), p.potRolls.Load(), p.depRolls.Load()
+}
+
+// ResetCounters zeroes the diagnostic counters.
+func (p *Plasticity) ResetCounters() {
+	p.potApplied.Store(0)
+	p.depApplied.Store(0)
+	p.potRolls.Store(0)
+	p.depRolls.Store(0)
+}
+
+// potentiate applies one LTP step to synapse (pre, post) and quantizes the
+// result with the configured rounding option.
+func (p *Plasticity) potentiate(pre, post int, step uint64) {
+	idx := pre*p.M.NPost + post
+	g := p.M.G[idx]
+	dg := p.Cfg.potMagnitude(g)
+	ng := g + dg
+	if ceil := p.Cfg.GCeil(); ng > ceil {
+		ng = ceil
+	}
+	roll := 0.0
+	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
+		roll = rng.Uniform(p.Cfg.Seed, tagPotRound, step, uint64(pre), uint64(post))
+	}
+	p.M.G[idx] = p.Cfg.Format.Quantize(ng, p.Cfg.Rounding, roll)
+	p.potApplied.Add(1)
+}
+
+// depress applies one LTD step to synapse (pre, post) and quantizes.
+func (p *Plasticity) depress(pre, post int, step uint64) {
+	idx := pre*p.M.NPost + post
+	g := p.M.G[idx]
+	dg := p.Cfg.depMagnitude(g)
+	ng := g - dg
+	if ng < p.Cfg.Det.GMin {
+		ng = p.Cfg.Det.GMin
+	}
+	roll := 0.0
+	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
+		roll = rng.Uniform(p.Cfg.Seed, tagDepRound, step, uint64(pre), uint64(post))
+	}
+	p.M.G[idx] = p.Cfg.Format.Quantize(ng, p.Cfg.Rounding, roll)
+	p.depApplied.Add(1)
+}
+
+// OnPostSpike applies the learning rule for a post-neuron spike at absolute
+// time now (ms). lastPre[i] holds the last spike time of input i (Never if
+// it has not spiked). step is the global simulation step index used to key
+// stochastic draws.
+//
+// Both rules are post-event rules over every input synapse, classifying it
+// by the age of its last pre spike (Δt = now − lastPre):
+//
+//   - Deterministic baseline: Δt ≤ WindowMS → LTP (eq. 4); otherwise LTD
+//     (eq. 5). Every post spike moves every synapse.
+//   - Stochastic: the synaptic switch fires probabilistically (the
+//     Srinivasan-style stochastic synapse): LTP with probability
+//     P_pot(Δt) = γ_pot·e^(−Δt/τ_pot) (eq. 6); failing that, LTD with
+//     probability P_dep per eq. 7 evaluated from the window edge
+//     (StochParams.PDepEvent). Loosely correlated events therefore change
+//     conductance only rarely — the paper's explanation for why stochastic
+//     STDP retains memory and survives coarse quantization (§IV-D).
+func (p *Plasticity) OnPostSpike(post int, now float64, lastPre []float64, step uint64) {
+	w := p.Cfg.Det.WindowMS
+	switch p.Cfg.Kind {
+	case Deterministic:
+		for pre, tPre := range lastPre {
+			if now-tPre <= w { // tPre == Never gives +Inf → depress
+				p.potentiate(pre, post, step)
+			} else {
+				p.depress(pre, post, step)
+			}
+		}
+	case Stochastic:
+		for pre, tPre := range lastPre {
+			dt := now - tPre
+			if pp := p.Cfg.Stoch.PPot(dt); pp > 0 {
+				p.potRolls.Add(1)
+				if rng.Bernoulli(pp, p.Cfg.Seed, tagPotRoll, step, uint64(pre), uint64(post)) {
+					p.potentiate(pre, post, step)
+					continue
+				}
+			}
+			if pd := p.Cfg.Stoch.PDepEvent(dt, w); pd > 0 {
+				p.depRolls.Add(1)
+				if rng.Bernoulli(pd, p.Cfg.Seed, tagDepRoll, step, uint64(pre), uint64(post)) {
+					p.depress(pre, post, step)
+				}
+			}
+		}
+	}
+}
+
+// OnPostSpikeRange is OnPostSpike restricted to input synapses [lo, hi);
+// the parallel engine uses it to partition a post-spike update across
+// workers (each worker owns a contiguous pre range of the same post
+// column, so updates never race).
+func (p *Plasticity) OnPostSpikeRange(post int, now float64, lastPre []float64, step uint64, lo, hi int) {
+	w := p.Cfg.Det.WindowMS
+	switch p.Cfg.Kind {
+	case Deterministic:
+		for pre := lo; pre < hi; pre++ {
+			if now-lastPre[pre] <= w {
+				p.potentiate(pre, post, step)
+			} else {
+				p.depress(pre, post, step)
+			}
+		}
+	case Stochastic:
+		for pre := lo; pre < hi; pre++ {
+			dt := now - lastPre[pre]
+			if pp := p.Cfg.Stoch.PPot(dt); pp > 0 {
+				if rng.Bernoulli(pp, p.Cfg.Seed, tagPotRoll, step, uint64(pre), uint64(post)) {
+					p.potentiate(pre, post, step)
+					continue
+				}
+			}
+			if pd := p.Cfg.Stoch.PDepEvent(dt, w); pd > 0 {
+				if rng.Bernoulli(pd, p.Cfg.Seed, tagDepRoll, step, uint64(pre), uint64(post)) {
+					p.depress(pre, post, step)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an SVG chart.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Color  string // CSS color; "" picks from the default palette
+	Dashed bool
+}
+
+// defaultPalette cycles through visually distinct stroke colors.
+var defaultPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVGChart renders line series as a standalone SVG document — the
+// publication-style rendering of the Fig 7/8 curves (the ASCII LineChart is
+// the terminal fallback). Returns an error on empty or mismatched series.
+func SVGChart(title, xLabel, yLabel string, series []Series, width, height int) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	if width < 100 || height < 80 {
+		return "", fmt.Errorf("viz: chart %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x / %d y points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const margin = 50
+	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
+	px := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(height-margin) - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+		width/2, escape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	// Axis labels and range ticks.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+		width/2, height-10, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		height/2, height/2, escape(yLabel))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.3g</text>`+"\n",
+		margin, height-margin+14, minX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.3g</text>`+"\n",
+		width-margin, height-margin+14, maxX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.3g</text>`+"\n",
+		margin-4, height-margin, minY)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.3g</text>`+"\n",
+		margin-4, margin+4, maxY)
+	// Series.
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[i%len(defaultPalette)]
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6 3"`
+		}
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		// Legend entry.
+		ly := margin + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.5"%s/>`+"\n",
+			width-margin-120, ly, width-margin-100, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			width-margin-95, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// escape replaces the XML special characters in labels.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,195 @@
+// Package viz renders the paper's visual artifacts as text and PGM images:
+// synapse-conductance maps (Figs 5, 8a), spike rasters (Figs 4, 6a), and
+// simple line charts for accuracy/error curves (Figs 7, 8c).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"parallelspikesim/internal/network"
+)
+
+// shade ramp from empty to full, 10 levels.
+const ramp = " .:-=+*#%@"
+
+// ConductanceASCII renders a receptive field (one neuron's incoming
+// conductances) as a width×height ASCII image, normalized to its own peak.
+func ConductanceASCII(rf []float64, width, height int) (string, error) {
+	if len(rf) != width*height {
+		return "", fmt.Errorf("viz: rf has %d values, want %d×%d", len(rf), width, height)
+	}
+	maxG := 0.0
+	for _, g := range rf {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 0.0
+			if maxG > 0 {
+				v = rf[y*width+x] / maxG
+			}
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// ConductancePGM renders a receptive field as a binary PGM (P5) image,
+// normalized to its own peak — the file format used for the Fig 5 / Fig 8a
+// conductance map dumps.
+func ConductancePGM(rf []float64, width, height int) ([]byte, error) {
+	if len(rf) != width*height {
+		return nil, fmt.Errorf("viz: rf has %d values, want %d×%d", len(rf), width, height)
+	}
+	maxG := 0.0
+	for _, g := range rf {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	header := fmt.Sprintf("P5\n%d %d\n255\n", width, height)
+	out := make([]byte, 0, len(header)+len(rf))
+	out = append(out, header...)
+	for _, g := range rf {
+		v := 0.0
+		if maxG > 0 {
+			v = g / maxG
+		}
+		out = append(out, byte(math.Round(v*255)))
+	}
+	return out, nil
+}
+
+// TileGrid arranges multiple equally-sized ASCII tiles into a grid with
+// `cols` tiles per row, separated by a one-space gutter. Tiles must all
+// have the same line structure.
+func TileGrid(tiles []string, cols int) string {
+	if len(tiles) == 0 || cols <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for start := 0; start < len(tiles); start += cols {
+		end := start + cols
+		if end > len(tiles) {
+			end = len(tiles)
+		}
+		row := tiles[start:end]
+		split := make([][]string, len(row))
+		height := 0
+		for i, tile := range row {
+			split[i] = strings.Split(strings.TrimRight(tile, "\n"), "\n")
+			if len(split[i]) > height {
+				height = len(split[i])
+			}
+		}
+		for line := 0; line < height; line++ {
+			for i := range split {
+				if line < len(split[i]) {
+					b.WriteString(split[i][line])
+				}
+				if i != len(split)-1 {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RasterASCII renders spike events as a time×unit dot raster: one row per
+// unit (subsampled to maxRows), one column per time bin of binMS. Each '|'
+// is at least one spike in that bin — the Fig 6(a) illustration.
+func RasterASCII(events []network.SpikeEvent, numUnits int, durationMS, binMS float64, maxRows int) string {
+	if numUnits <= 0 || durationMS <= 0 || binMS <= 0 {
+		return ""
+	}
+	rows := numUnits
+	stride := 1
+	if maxRows > 0 && rows > maxRows {
+		stride = (numUnits + maxRows - 1) / maxRows
+		rows = (numUnits + stride - 1) / stride
+	}
+	cols := int(durationMS/binMS) + 1
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", cols))
+	}
+	for _, ev := range events {
+		r := ev.Index / stride
+		c := int(ev.TimeMS / binMS)
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			grid[r][c] = '|'
+		}
+	}
+	var b strings.Builder
+	for r, rowBytes := range grid {
+		fmt.Fprintf(&b, "%4d %s\n", r*stride, rowBytes)
+	}
+	return b.String()
+}
+
+// LineChart renders a single series as a rows×width ASCII chart with the
+// y-range annotated — enough to eyeball the Fig 7/8 curves in a terminal.
+func LineChart(ys []float64, width, rows int) string {
+	if len(ys) == 0 || width <= 0 || rows <= 0 {
+		return ""
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		i := c * (len(ys) - 1) / max(1, width-1)
+		y := ys[i]
+		r := int((maxY - y) / (maxY - minY) * float64(rows-1))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", maxY)
+		case rows - 1:
+			label = fmt.Sprintf("%8.3f", minY)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, rowBytes)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parallelspikesim/internal/network"
+)
+
+func TestConductanceASCIIShape(t *testing.T) {
+	rf := make([]float64, 6)
+	rf[0] = 1.0
+	out, err := ConductanceASCII(rf, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("wrong shape: %q", out)
+	}
+	if lines[0][0] != '@' {
+		t.Errorf("peak pixel should render '@', got %q", lines[0][0])
+	}
+	if lines[1][2] != ' ' {
+		t.Errorf("zero pixel should render ' ', got %q", lines[1][2])
+	}
+}
+
+func TestConductanceASCIIRejectsBadSize(t *testing.T) {
+	if _, err := ConductanceASCII(make([]float64, 5), 3, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestConductanceASCIIAllZero(t *testing.T) {
+	out, err := ConductanceASCII(make([]float64, 4), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(strings.ReplaceAll(out, "\n", ""), " ") != "" {
+		t.Fatalf("all-zero field should render blank, got %q", out)
+	}
+}
+
+func TestConductancePGM(t *testing.T) {
+	rf := []float64{0, 0.5, 1.0, 0.25}
+	img, err := ConductancePGM(rf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(img, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad PGM header: %q", img[:12])
+	}
+	px := img[len(img)-4:]
+	if px[0] != 0 || px[2] != 255 {
+		t.Fatalf("pixels = %v", px)
+	}
+	if px[1] != 128 && px[1] != 127 {
+		t.Fatalf("half-intensity pixel = %d", px[1])
+	}
+	if _, err := ConductancePGM(rf, 3, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestTileGrid(t *testing.T) {
+	a := "AA\nAA\n"
+	b := "BB\nBB\n"
+	c := "CC\nCC\n"
+	out := TileGrid([]string{a, b, c}, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "AA BB" || lines[1] != "AA BB" {
+		t.Fatalf("first row wrong: %q", lines[:2])
+	}
+	if !strings.Contains(out, "CC") {
+		t.Fatal("third tile missing")
+	}
+	if TileGrid(nil, 2) != "" || TileGrid([]string{a}, 0) != "" {
+		t.Fatal("degenerate input should render empty")
+	}
+}
+
+func TestRasterASCII(t *testing.T) {
+	events := []network.SpikeEvent{
+		{TimeMS: 0, Index: 0},
+		{TimeMS: 50, Index: 1},
+		{TimeMS: 99, Index: 2},
+	}
+	out := RasterASCII(events, 3, 100, 10, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "|") || !strings.Contains(lines[2], "|") {
+		t.Fatalf("spikes not rendered: %q", out)
+	}
+	// Column position: t=50 at bin 5 (offset by the 5-char row label).
+	if lines[1][5+5] != '|' {
+		t.Fatalf("spike at wrong column: %q", lines[1])
+	}
+}
+
+func TestRasterASCIISubsamples(t *testing.T) {
+	var events []network.SpikeEvent
+	for i := 0; i < 100; i++ {
+		events = append(events, network.SpikeEvent{TimeMS: float64(i), Index: i})
+	}
+	out := RasterASCII(events, 100, 100, 10, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d rows, want 10", len(lines))
+	}
+}
+
+func TestRasterASCIIDegenerate(t *testing.T) {
+	if RasterASCII(nil, 0, 100, 10, 0) != "" {
+		t.Fatal("zero units should render empty")
+	}
+	if RasterASCII(nil, 5, 0, 10, 0) != "" {
+		t.Fatal("zero duration should render empty")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	ys := []float64{0, 1, 2, 3, 4}
+	out := LineChart(ys, 20, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "4.000") {
+		t.Errorf("max label missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "0.000") {
+		t.Errorf("min label missing: %q", lines[4])
+	}
+	stars := strings.Count(out, "*")
+	if stars != 20 {
+		t.Errorf("%d stars, want one per column", stars)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	out := LineChart([]float64{2, 2, 2}, 10, 3)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series rendered no points")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if LineChart(nil, 10, 3) != "" || LineChart([]float64{1}, 0, 3) != "" {
+		t.Fatal("degenerate chart should be empty")
+	}
+}
+
+func TestSVGChart(t *testing.T) {
+	series := []Series{
+		{Name: "baseline", X: []float64{0, 1, 2}, Y: []float64{1, 0.5, 0.3}},
+		{Name: "stochastic", X: []float64{0, 1, 2}, Y: []float64{1, 0.4, 0.2}, Dashed: true},
+	}
+	svg, err := SVGChart("moving error", "images", "error", series, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "baseline", "stochastic", "moving error", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines")
+	}
+}
+
+func TestSVGChartValidation(t *testing.T) {
+	if _, err := SVGChart("t", "x", "y", nil, 640, 360); err == nil {
+		t.Error("empty series accepted")
+	}
+	bad := []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{1}}}
+	if _, err := SVGChart("t", "x", "y", bad, 640, 360); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	ok := []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}
+	if _, err := SVGChart("t", "x", "y", ok, 10, 10); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestSVGChartEscapesLabels(t *testing.T) {
+	series := []Series{{Name: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	svg, err := SVGChart(`q "t" & more`, "x<y", "y>z", series, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "x<y") {
+		t.Error("labels not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestSVGChartConstantSeries(t *testing.T) {
+	series := []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{2, 2}}}
+	if _, err := SVGChart("t", "x", "y", series, 640, 360); err != nil {
+		t.Fatal(err)
+	}
+}
