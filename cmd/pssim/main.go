@@ -11,12 +11,23 @@
 //	pssim -mnist /data/mnist -rule stochastic           # real IDX files
 //	pssim -config run.json                              # environment file
 //	pssim -save model.pss … ; pssim -load model.pss …   # persist/reuse
+//
+// Long runs can be made crash-safe with periodic checkpoints. A run
+// interrupted by Ctrl-C (or SIGTERM, or a crash) resumes bit-identically
+// from its last checkpoint:
+//
+//	pssim -train 60000 -checkpoint run.ckpt -checkpoint-every 500
+//	pssim -train 60000 -checkpoint run.ckpt -resume   # after interruption
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"parallelspikesim/internal/config"
@@ -50,6 +61,9 @@ func main() {
 		cfgPath  = flag.String("config", "", "JSON simulation-environment file (overrides most flags)")
 		savePath = flag.String("save", "", "save the trained network snapshot to this file")
 		loadPath = flag.String("load", "", "load a trained snapshot instead of training")
+		ckptPath = flag.String("checkpoint", "", "write training checkpoints to this file (enables Ctrl-C safe interruption)")
+		ckptEach = flag.Int("checkpoint-every", 500, "checkpoint every N training images")
+		resume   = flag.Bool("resume", false, "resume training from the -checkpoint file if it exists")
 	)
 	flag.Parse()
 
@@ -66,15 +80,30 @@ func main() {
 
 	if err := run(*data, *mnistDir, *rule, *preset, *rounding, *neurons,
 		*nTrain, *nLabel, *nInfer, *tlearn, *workers, *seed, *showMaps, *progress,
-		*savePath, *loadPath); err != nil {
+		*savePath, *loadPath, checkpointOpts{Path: *ckptPath, Every: *ckptEach, Resume: *resume}); err != nil {
 		fmt.Fprintln(os.Stderr, "pssim:", err)
 		os.Exit(1)
 	}
 }
 
+// checkpointOpts configures crash-safe training: periodic snapshots of the
+// full trainer state, interruption on SIGINT/SIGTERM, and resumption.
+type checkpointOpts struct {
+	Path   string
+	Every  int
+	Resume bool
+}
+
 func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel, nInfer int,
 	tlearn float64, workers int, seed uint64, showMaps int, progress bool,
-	savePath, loadPath string) error {
+	savePath, loadPath string, ckpt checkpointOpts) error {
+
+	if ckpt.Resume && ckpt.Path == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if ckpt.Path != "" && ckpt.Every <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", ckpt.Every)
+	}
 
 	kind, err := synapse.ParseRule(rule)
 	if err != nil {
@@ -156,12 +185,53 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 		}
 		fmt.Printf("loaded trained snapshot from %s (training skipped)\n", loadPath)
 	} else {
+		if ckpt.Resume {
+			switch snap, err := netio.LoadFile(ckpt.Path); {
+			case os.IsNotExist(err):
+				fmt.Printf("no checkpoint at %s yet, starting fresh\n", ckpt.Path)
+			case err != nil:
+				return fmt.Errorf("resume: %w", err)
+			case snap.Trainer == nil:
+				return fmt.Errorf("resume: %s is a plain model snapshot without training progress", ckpt.Path)
+			default:
+				if err := snap.Restore(net); err != nil {
+					return fmt.Errorf("resume: %w", err)
+				}
+				if err := tr.RestoreState(snap.Trainer); err != nil {
+					return fmt.Errorf("resume: %w", err)
+				}
+				fmt.Printf("resumed from %s at image %d/%d\n", ckpt.Path, tr.ImagesSeen, train.Len())
+			}
+		}
+		if ckpt.Path != "" {
+			tr.CheckpointEvery = ckpt.Every
+			tr.Checkpoint = func() error {
+				return netio.SaveFile(ckpt.Path, netio.CaptureCheckpoint(net, tr))
+			}
+			var interrupted atomic.Bool
+			tr.Interrupted = interrupted.Load
+			sigc := make(chan os.Signal, 1)
+			signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+			defer signal.Stop(sigc)
+			go func() {
+				s := <-sigc
+				interrupted.Store(true)
+				// A second signal kills the process the default way.
+				signal.Stop(sigc)
+				fmt.Fprintf(os.Stderr, "\npssim: %v — finishing current image and checkpointing (signal again to force quit)\n", s)
+			}()
+		}
 		err = tr.Train(train, func(i int, movingErr float64) {
 			if progress && (i+1)%500 == 0 {
 				fmt.Printf("  trained %5d/%d images, moving error %.1f%%, elapsed %v\n",
 					i+1, train.Len(), 100*movingErr, time.Since(start).Round(time.Second))
 			}
 		})
+		if errors.Is(err, learn.ErrInterrupted) {
+			fmt.Printf("interrupted at image %d/%d; progress saved to %s — rerun with -resume to continue\n",
+				tr.ImagesSeen, train.Len(), ckpt.Path)
+			return nil
+		}
 		if err != nil {
 			return err
 		}

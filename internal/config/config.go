@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"parallelspikesim/internal/encode"
@@ -106,8 +107,24 @@ func (f File) Validate() error {
 		return fmt.Errorf("config: image counts must be positive")
 	case f.Neurons <= 0:
 		return fmt.Errorf("config: neurons must be positive")
+	case f.Workers < 0:
+		return fmt.Errorf("config: workers must be non-negative, got %d", f.Workers)
 	case f.MinHz < 0 || f.MaxHz < 0 || (f.MaxHz > 0 && f.MinHz > f.MaxHz):
 		return fmt.Errorf("config: bad band [%v, %v]", f.MinHz, f.MaxHz)
+	}
+	// Overrides use 0 as "take the default", so anything negative or
+	// non-finite is a mistake, not a choice.
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"min_hz", f.MinHz}, {"max_hz", f.MaxHz}, {"tlearn_ms", f.TLearnMS},
+		{"tinh_ms", f.TInhMS}, {"spike_amp", f.SpikeAmp},
+		{"tau_syn_ms", f.TauSynMS}, {"dt_ms", f.DTms},
+	} {
+		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("config: %s must be a non-negative finite number, got %v", v.name, v.val)
+		}
 	}
 	if _, err := synapse.ParseRule(f.Rule); err != nil {
 		return err

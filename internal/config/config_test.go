@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,11 +44,42 @@ func TestParseRejectsInvalid(t *testing.T) {
 		`{"rounding": "banker"}`,
 		`{"min_hz": 50, "max_hz": 10}`,
 		`{"train_images": 0}`,
+		`{"label_images": -1}`,
+		`{"infer_images": -200}`,
+		`{"workers": -1}`,
+		`{"tlearn_ms": -100}`,
+		`{"tinh_ms": -5}`,
+		`{"spike_amp": -0.5}`,
+		`{"tau_syn_ms": -1}`,
+		`{"dt_ms": -0.1}`,
+		`{"min_hz": "NaN"}`,
 		`{not json`,
 	}
 	for _, c := range cases {
 		if _, err := Parse([]byte(c)); err == nil {
 			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+// NaN and Inf cannot be written in JSON, but File values can also be built
+// in code and validated directly.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		f := Default()
+		f.TLearnMS = v
+		if err := f.Validate(); err == nil {
+			t.Errorf("tlearn_ms %v accepted", v)
+		}
+		f = Default()
+		f.MaxHz = v
+		if err := f.Validate(); err == nil {
+			t.Errorf("max_hz %v accepted", v)
+		}
+		f = Default()
+		f.DTms = v
+		if err := f.Validate(); err == nil {
+			t.Errorf("dt_ms %v accepted", v)
 		}
 	}
 }

@@ -15,7 +15,9 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Executor runs range kernels, possibly concurrently.
@@ -54,7 +56,7 @@ func (Sequential) Close() {}
 type Pool struct {
 	n       int
 	jobs    []chan job
-	closed  bool
+	closed  atomic.Bool
 	closeMu sync.Mutex
 }
 
@@ -62,6 +64,46 @@ type job struct {
 	lo, hi int
 	fn     func(chunk, lo, hi int)
 	wg     *sync.WaitGroup
+	pan    *kernelPanic
+}
+
+// KernelPanic is the value re-panicked by Pool.For when a kernel panics on
+// a worker goroutine: the original panic value plus the worker's stack at
+// the point of the panic. Without this translation a worker panic would
+// skip its WaitGroup signal and deadlock For forever.
+type KernelPanic struct {
+	Chunk int    // partition index whose kernel panicked
+	Value any    // original panic value
+	Stack string // worker stack captured at recover time
+}
+
+// String renders the panic for the default panic printer.
+func (k KernelPanic) String() string {
+	return fmt.Sprintf("engine: kernel panic in worker %d: %v\n%s", k.Chunk, k.Value, k.Stack)
+}
+
+// kernelPanic records the first panic among a For call's workers.
+type kernelPanic struct {
+	once sync.Once
+	val  *KernelPanic
+}
+
+func (p *kernelPanic) set(chunk int, v any) {
+	p.once.Do(func() {
+		p.val = &KernelPanic{Chunk: chunk, Value: v, Stack: string(debug.Stack())}
+	})
+}
+
+// runJob executes one job, converting a kernel panic into a recorded
+// KernelPanic so wg.Done always runs and For never deadlocks.
+func runJob(chunk int, j job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.pan.set(chunk, r)
+		}
+		j.wg.Done()
+	}()
+	j.fn(chunk, j.lo, j.hi)
 }
 
 // NewPool creates a pool with the given number of workers. workers <= 0
@@ -76,8 +118,7 @@ func NewPool(workers int) *Pool {
 		p.jobs[i] = ch
 		go func(chunk int, ch chan job) {
 			for j := range ch {
-				j.fn(chunk, j.lo, j.hi)
-				j.wg.Done()
+				runJob(chunk, j)
 			}
 		}(i, ch)
 	}
@@ -91,7 +132,16 @@ func (p *Pool) Workers() int { return p.n }
 // one to each worker, blocking until all finish. Workers with an empty
 // chunk are still invoked with lo == hi so chunk-indexed reductions can
 // zero their slot.
+//
+// If a kernel panics on a worker, every other chunk still completes, the
+// first panic is captured, and For re-panics on the caller's goroutine
+// with a KernelPanic — the pool itself stays usable. Calling For on a
+// closed pool panics with a descriptive message rather than a bare "send
+// on closed channel".
 func (p *Pool) For(n int, fn func(chunk, lo, hi int)) {
+	if p.closed.Load() {
+		panic("engine: Pool.For called after Close")
+	}
 	if n <= 0 {
 		return
 	}
@@ -100,23 +150,27 @@ func (p *Pool) For(n int, fn func(chunk, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	pan := &kernelPanic{}
 	wg.Add(p.n)
 	for c := 0; c < p.n; c++ {
 		lo, hi := Partition(n, p.n, c)
-		p.jobs[c] <- job{lo: lo, hi: hi, fn: fn, wg: &wg}
+		p.jobs[c] <- job{lo: lo, hi: hi, fn: fn, wg: &wg, pan: pan}
 	}
 	wg.Wait()
+	if pan.val != nil {
+		panic(*pan.val)
+	}
 }
 
-// Close shuts the workers down. Safe to call once; For must not be called
-// afterwards.
+// Close shuts the workers down. Safe to call more than once; For must not
+// be called afterwards.
 func (p *Pool) Close() {
 	p.closeMu.Lock()
 	defer p.closeMu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return
 	}
-	p.closed = true
+	p.closed.Store(true)
 	for _, ch := range p.jobs {
 		close(ch)
 	}

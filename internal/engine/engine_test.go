@@ -196,6 +196,88 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	pool.Close() // second close must not panic
 }
 
+// Regression: a kernel panic used to skip wg.Done and hang For forever.
+// Now it must propagate to the For caller as a KernelPanic, with every
+// other chunk still completing, and the pool must remain usable.
+func TestPoolKernelPanicPropagates(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+
+	var otherChunks int32
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("kernel panic swallowed")
+			}
+			kp, ok := r.(KernelPanic)
+			if !ok {
+				t.Fatalf("panic value %T, want KernelPanic", r)
+			}
+			if kp.Value != "kaboom" {
+				t.Fatalf("panic value %v", kp.Value)
+			}
+			if kp.Stack == "" {
+				t.Error("no stack captured")
+			}
+			if kp.String() == "" {
+				t.Error("empty rendering")
+			}
+		}()
+		pool.For(100, func(chunk, lo, hi int) {
+			if chunk == 2 {
+				panic("kaboom")
+			}
+			atomic.AddInt32(&otherChunks, 1)
+		})
+	}()
+	if otherChunks != 3 {
+		t.Fatalf("%d non-panicking chunks ran, want 3", otherChunks)
+	}
+
+	// The pool survives a kernel panic.
+	var sum int64
+	pool.For(40, func(chunk, lo, hi int) {
+		atomic.AddInt64(&sum, int64(hi-lo))
+	})
+	if sum != 40 {
+		t.Fatalf("post-panic For sum = %d", sum)
+	}
+}
+
+// When several chunks panic in the same For call, exactly one panic (the
+// first recorded) must surface and For must still return.
+func TestPoolAllChunksPanic(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic propagated")
+		} else if _, ok := r.(KernelPanic); !ok {
+			t.Fatalf("panic value %T", r)
+		}
+	}()
+	pool.For(4, func(chunk, lo, hi int) { panic(chunk) })
+}
+
+// Regression: For after Close used to die with an opaque "send on closed
+// channel"; it must now panic with a clear message.
+func TestPoolForAfterClosePanicsClearly(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("For after Close did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || msg != "engine: Pool.For called after Close" {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	pool.For(10, func(chunk, lo, hi int) {})
+}
+
 // Property: for any (n, k) the partition is a disjoint exact cover.
 func TestPartitionProperty(t *testing.T) {
 	check := func(rawN, rawK uint16) bool {

@@ -1,0 +1,413 @@
+// Package fault provides deterministic fault injection for the snapshot
+// I/O path: an abstract filesystem (FS) with a real implementation (OS), an
+// in-memory implementation for hermetic tests (MemFS), and an Injector that
+// wraps any FS to simulate process crashes at byte N (torn writes) and
+// transient I/O errors at chosen operations.
+//
+// The crash model: a simulated crash persists exactly the bytes written
+// before the crash point and nothing after — the torn prefix a real
+// power-cut or SIGKILL leaves on disk. After a crash every further
+// operation fails with ErrCrash, because a dead process performs no more
+// syscalls. Tests use this to prove that netio's atomic save can never
+// replace a good snapshot with a truncated one, and that the PSS2 checksum
+// rejects whatever torn file the crash leaves behind.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ErrCrash is the error surfaced by injected crashes. Callers never see it
+// in production; in tests it marks the exact point the "process died".
+var ErrCrash = errors.New("fault: simulated crash")
+
+// File is the subset of *os.File the snapshot writer needs.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations behind crash-safe snapshot saves.
+// netio performs every write through an FS so tests can substitute MemFS or
+// an Injector.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Create creates or truncates the named file.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open opens the named file for reading.
+func (OS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// Rename atomically replaces newpath with oldpath.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes the named file.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MemFS is an in-memory FS for hermetic crash tests. Writes land in the
+// stored byte slice immediately, so a writer abandoned mid-stream leaves a
+// torn prefix — the same observable state a crashed process leaves on disk.
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("fault: write to closed file %q", f.name)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	if f.closed {
+		return fmt.Errorf("fault: sync of closed file %q", f.name)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	if f.closed {
+		return fmt.Errorf("fault: double close of %q", f.name)
+	}
+	f.closed = true
+	return nil
+}
+
+// Create creates or truncates the named file.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+type memReader struct {
+	data []byte
+	off  int
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *memReader) Close() error { return nil }
+
+// Open opens the named file for reading (a stable copy of its current
+// contents).
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memReader{data: append([]byte(nil), data...)}, nil
+}
+
+// Rename atomically replaces newpath with oldpath.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("fault: rename %s: %w", oldpath, os.ErrNotExist)
+	}
+	m.files[newpath] = data
+	delete(m.files, oldpath)
+	return nil
+}
+
+// Remove deletes the named file.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("fault: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadFile returns a copy of the named file's contents.
+func (m *MemFS) ReadFile(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Names returns the sorted names of all files present.
+func (m *MemFS) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Op identifies an FS operation for targeted transient-error injection.
+type Op string
+
+// The injectable operations.
+const (
+	OpCreate Op = "create"
+	OpOpen   Op = "open"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+)
+
+// Injector wraps an FS and injects faults: a one-time crash after a global
+// byte budget is exhausted (the failing write persists only the remaining
+// budget — a torn write — and everything afterwards fails with ErrCrash),
+// and one-shot transient errors queued per operation. The zero value needs
+// a backing FS; use NewInjector.
+type Injector struct {
+	mu         sync.Mutex
+	fs         FS
+	crashAfter int64 // remaining write-byte budget; < 0 means unlimited
+	crashed    bool
+	written    int64
+	transient  map[Op][]error
+}
+
+// NewInjector wraps fs with no faults armed.
+func NewInjector(fs FS) *Injector {
+	return &Injector{fs: fs, crashAfter: -1, transient: make(map[Op][]error)}
+}
+
+// CrashAfterBytes arms a crash once n more bytes have been written through
+// the injector: the write that would exceed the budget persists only its
+// allowed prefix and returns ErrCrash, and every subsequent operation
+// fails with ErrCrash.
+func (in *Injector) CrashAfterBytes(n int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAfter = n
+}
+
+// FailOnce queues err to be returned by the next call of op; further calls
+// proceed normally (a transient error). Multiple queued errors fire in
+// FIFO order.
+func (in *Injector) FailOnce(op Op, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.transient[op] = append(in.transient[op], err)
+}
+
+// Crashed reports whether the armed crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// BytesWritten returns the number of bytes successfully persisted through
+// the injector.
+func (in *Injector) BytesWritten() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.written
+}
+
+// check consumes a transient error for op, honoring a prior crash.
+func (in *Injector) check(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrash
+	}
+	if q := in.transient[op]; len(q) > 0 {
+		err := q[0]
+		in.transient[op] = q[1:]
+		return err
+	}
+	return nil
+}
+
+type injectFile struct {
+	in   *Injector
+	file File
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	in := f.in
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return 0, ErrCrash
+	}
+	if q := in.transient[OpWrite]; len(q) > 0 {
+		err := q[0]
+		in.transient[OpWrite] = q[1:]
+		in.mu.Unlock()
+		return 0, err
+	}
+	allowed := len(p)
+	crash := false
+	if in.crashAfter >= 0 && int64(allowed) > in.crashAfter {
+		allowed = int(in.crashAfter)
+		crash = true
+		in.crashed = true
+	}
+	if in.crashAfter >= 0 {
+		in.crashAfter -= int64(allowed)
+	}
+	in.mu.Unlock()
+
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = f.file.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	in.mu.Lock()
+	in.written += int64(n)
+	in.mu.Unlock()
+	if crash {
+		return n, ErrCrash
+	}
+	return n, nil
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.in.check(OpSync); err != nil {
+		return err
+	}
+	return f.file.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if err := f.in.check(OpClose); err != nil {
+		// The underlying file is still released: even a dying process's
+		// descriptors are closed by the OS.
+		f.file.Close()
+		return err
+	}
+	return f.file.Close()
+}
+
+// Create creates a file through the wrapped FS, subject to injection.
+func (in *Injector) Create(name string) (File, error) {
+	if err := in.check(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{in: in, file: f}, nil
+}
+
+// Open opens a file through the wrapped FS, subject to injection.
+func (in *Injector) Open(name string) (io.ReadCloser, error) {
+	if err := in.check(OpOpen); err != nil {
+		return nil, err
+	}
+	return in.fs.Open(name)
+}
+
+// Rename renames through the wrapped FS, subject to injection.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.check(OpRename); err != nil {
+		return err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+// Remove removes through the wrapped FS, subject to injection.
+func (in *Injector) Remove(name string) error {
+	if err := in.check(OpRemove); err != nil {
+		return err
+	}
+	return in.fs.Remove(name)
+}
+
+// Writer is a standalone io.Writer shim that injects one failure at byte
+// offset FailAt of the stream. With Torn set, the failing write persists
+// the bytes before the fault point (a torn write); otherwise it persists
+// nothing. Err defaults to ErrCrash.
+type Writer struct {
+	W      io.Writer
+	FailAt int64 // stream offset that triggers the fault; < 0 disables
+	Err    error // error to return; nil means ErrCrash
+	Torn   bool
+
+	n     int64
+	fired bool
+}
+
+// Write forwards to W until the fault point is reached.
+func (w *Writer) Write(p []byte) (int, error) {
+	errOut := w.Err
+	if errOut == nil {
+		errOut = ErrCrash
+	}
+	if w.fired {
+		return 0, errOut
+	}
+	if w.FailAt < 0 || w.n+int64(len(p)) <= w.FailAt {
+		n, err := w.W.Write(p)
+		w.n += int64(n)
+		return n, err
+	}
+	w.fired = true
+	if !w.Torn {
+		return 0, errOut
+	}
+	allowed := int(w.FailAt - w.n)
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = w.W.Write(p[:allowed])
+		w.n += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, errOut
+}

@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, data []byte) {
+	t.Helper()
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+
+	r, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Error("open of missing file succeeded")
+	}
+	if names := fs.Names(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestMemFSRenameReplaces(t *testing.T) {
+	fs := NewMemFS()
+	for name, content := range map[string]string{"old": "new-data", "dst": "stale"} {
+		f, _ := fs.Create(name)
+		writeAll(t, f, []byte(content))
+	}
+	if err := fs.Rename("old", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fs.ReadFile("dst")
+	if !ok || string(got) != "new-data" {
+		t.Fatalf("dst = %q, %v", got, ok)
+	}
+	if _, ok := fs.ReadFile("old"); ok {
+		t.Error("old name survived rename")
+	}
+	if err := fs.Rename("missing", "x"); err == nil {
+		t.Error("rename of missing file succeeded")
+	}
+	if err := fs.Remove("dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("dst"); err == nil {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestInjectorCrashLeavesTornPrefix(t *testing.T) {
+	mem := NewMemFS()
+	in := NewInjector(mem)
+	in.CrashAfterBytes(7)
+
+	f, err := in.Create("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("0123")); n != 4 || err != nil {
+		t.Fatalf("first write n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("456789"))
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("crash write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("crash write persisted %d bytes, want 3", n)
+	}
+	if !in.Crashed() {
+		t.Error("Crashed() false after crash")
+	}
+	if in.BytesWritten() != 7 {
+		t.Fatalf("BytesWritten %d", in.BytesWritten())
+	}
+	// The torn prefix is what a dead process leaves behind.
+	got, _ := mem.ReadFile("snap")
+	if string(got) != "0123456" {
+		t.Fatalf("torn file %q", got)
+	}
+	// A dead process makes no more syscalls: everything fails.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash sync err = %v", err)
+	}
+	if err := in.Rename("snap", "other"); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash rename err = %v", err)
+	}
+	if _, err := in.Create("another"); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash create err = %v", err)
+	}
+	if err := in.Remove("snap"); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash remove err = %v", err)
+	}
+	if _, err := in.Open("snap"); !errors.Is(err, ErrCrash) {
+		t.Errorf("post-crash open err = %v", err)
+	}
+}
+
+func TestInjectorCrashExactlyAtBoundary(t *testing.T) {
+	mem := NewMemFS()
+	in := NewInjector(mem)
+	in.CrashAfterBytes(4)
+	f, _ := in.Create("snap")
+	// Budget covers this write exactly: it succeeds; the next one crashes.
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatalf("boundary write err = %v", err)
+	}
+	if _, err := f.Write([]byte("e")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("next write err = %v", err)
+	}
+	got, _ := mem.ReadFile("snap")
+	if string(got) != "abcd" {
+		t.Fatalf("file %q", got)
+	}
+}
+
+func TestInjectorTransientErrors(t *testing.T) {
+	mem := NewMemFS()
+	in := NewInjector(mem)
+	boom := fmt.Errorf("transient: disk hiccup")
+	in.FailOnce(OpSync, boom)
+	in.FailOnce(OpRename, boom)
+
+	f, err := in.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync err = %v", err)
+	}
+	if err := f.Sync(); err != nil { // one-shot: second sync fine
+		t.Fatalf("second sync err = %v", err)
+	}
+	if err := in.Rename("a", "b"); !errors.Is(err, boom) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if err := in.Rename("a", "b"); err != nil {
+		t.Fatalf("second rename err = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorUnarmedPassesThrough(t *testing.T) {
+	mem := NewMemFS()
+	in := NewInjector(mem)
+	f, err := in.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("payload"))
+	if err := in.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := mem.ReadFile("b")
+	if string(got) != "payload" {
+		t.Fatalf("file %q", got)
+	}
+	if in.Crashed() {
+		t.Error("unarmed injector reports crash")
+	}
+}
+
+func TestWriterTornAndClean(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 5, Torn: true}
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("defg"))
+	if !errors.Is(err, ErrCrash) || n != 2 {
+		t.Fatalf("torn write n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("torn stream %q", buf.String())
+	}
+	if _, err := w.Write([]byte("h")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-fault write err = %v", err)
+	}
+
+	buf.Reset()
+	boom := fmt.Errorf("io error")
+	w = &Writer{W: &buf, FailAt: 2, Err: boom}
+	if _, err := w.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("c")); !errors.Is(err, boom) || n != 0 {
+		t.Fatalf("clean-fail write n=%d err=%v", n, err)
+	}
+	if buf.String() != "ab" {
+		t.Fatalf("stream %q", buf.String())
+	}
+}
+
+func TestWriterDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: -1}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Write([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 100 {
+		t.Fatalf("len %d", buf.Len())
+	}
+}

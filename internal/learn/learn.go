@@ -17,6 +17,7 @@
 package learn
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,12 @@ import (
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/stats"
 )
+
+// ErrInterrupted is returned by Train when the Interrupted callback asked
+// training to stop. The trainer is left at an image boundary with a final
+// checkpoint flushed (when a Checkpoint hook is installed), so the run can
+// be resumed later with RestoreState + Train.
+var ErrInterrupted = errors.New("learn: training interrupted")
 
 // Options configures the pipeline.
 type Options struct {
@@ -80,6 +87,19 @@ type Trainer struct {
 	ImagesSeen int
 	// BoostCount counts boost re-presentations performed.
 	BoostCount int
+
+	// Checkpoint, when non-nil, is called by Train at image boundaries:
+	// after every CheckpointEvery images, and once more before Train
+	// returns ErrInterrupted. An error from the hook aborts training.
+	Checkpoint func() error
+	// CheckpointEvery is the periodic checkpoint interval in images;
+	// <= 0 flushes only on interruption.
+	CheckpointEvery int
+	// Interrupted, when non-nil, is polled after every training image;
+	// returning true makes Train flush a final checkpoint and return
+	// ErrInterrupted. This is how a SIGINT handler stops a run cleanly
+	// at an image boundary.
+	Interrupted func() bool
 }
 
 // NewTrainer binds a network to pipeline options. numClasses is the label
@@ -149,15 +169,30 @@ func (t *Trainer) TrainImage(img []uint8, label uint8) (network.PresentResult, e
 	return res, nil
 }
 
-// Train runs TrainImage over the whole data set. progress (optional) is
-// called after every image with the index and current moving error rate.
+// Train runs TrainImage over the data set, starting at image ImagesSeen —
+// 0 for a fresh trainer, or the next untrained image after RestoreState,
+// so resuming from a checkpoint is just calling Train again with the same
+// data set. progress (optional) is called after every image with the index
+// and current moving error rate. When a Checkpoint hook is installed it
+// fires every CheckpointEvery images; when Interrupted reports true, Train
+// flushes a final checkpoint and returns ErrInterrupted.
 func (t *Trainer) Train(ds *dataset.Dataset, progress func(i int, movingError float64)) error {
-	for i := 0; i < ds.Len(); i++ {
+	for i := t.ImagesSeen; i < ds.Len(); i++ {
 		if _, err := t.TrainImage(ds.Images[i], ds.Labels[i]); err != nil {
 			return fmt.Errorf("learn: training image %d: %w", i, err)
 		}
 		if progress != nil {
 			progress(i, t.moving.Rate())
+		}
+		stop := t.Interrupted != nil && t.Interrupted()
+		periodic := t.CheckpointEvery > 0 && (i+1)%t.CheckpointEvery == 0
+		if t.Checkpoint != nil && (periodic || stop) {
+			if err := t.Checkpoint(); err != nil {
+				return fmt.Errorf("learn: checkpoint after image %d: %w", i, err)
+			}
+		}
+		if stop {
+			return ErrInterrupted
 		}
 	}
 	return nil
@@ -175,6 +210,106 @@ func (t *Trainer) MovingError() float64 { return t.moving.Rate() }
 // MovingErrorCurve returns the moving error after each training image
 // (Fig 8c).
 func (t *Trainer) MovingErrorCurve() []float64 { return t.moving.Curve() }
+
+// TrainerState is the complete training-progress state of a Trainer at an
+// image boundary: everything beyond the network's conductances and
+// thresholds (which netio.Snapshot already carries) that an interrupted run
+// needs in order to resume bit-identically. Because every stochastic draw
+// in the simulator is counter-based, restoring the network clock (NetStep,
+// NetNow) restores the random sequence itself; Streams additionally carries
+// the state of any stateful rng.Stream a component may hold (none in the
+// current pipeline — the field keeps the checkpoint format stable if one
+// appears).
+type TrainerState struct {
+	Seed       uint64 // network master seed; guards against resuming under different flags
+	NumClasses int
+	ImagesSeen int
+	BoostCount int
+
+	Resp   [][]int // training-time response counts [neuron][class]
+	Moving stats.MovingErrorState
+
+	NetStep uint64
+	NetNow  float64
+
+	TotalInputSpikes uint64
+	TotalExcSpikes   uint64
+	TotalInhEvents   uint64
+	SpikeCounts      []uint64 // cumulative per-neuron spike counters
+
+	Streams [][4]uint64 // checkpointed rng.Stream states (reserved)
+}
+
+// CheckpointState deep-copies the trainer's progress at the current image
+// boundary. Call it between TrainImage calls (the Checkpoint hook runs
+// there); the result is stable against further training.
+func (t *Trainer) CheckpointState() *TrainerState {
+	resp := make([][]int, len(t.resp))
+	for i := range t.resp {
+		resp[i] = append([]int(nil), t.resp[i]...)
+	}
+	return &TrainerState{
+		Seed:             t.Net.Cfg.Seed,
+		NumClasses:       t.numClasses,
+		ImagesSeen:       t.ImagesSeen,
+		BoostCount:       t.BoostCount,
+		Resp:             resp,
+		Moving:           t.moving.State(),
+		NetStep:          t.Net.Step(),
+		NetNow:           t.Net.Now(),
+		TotalInputSpikes: t.Net.TotalInputSpikes,
+		TotalExcSpikes:   t.Net.TotalExcSpikes,
+		TotalInhEvents:   t.Net.TotalInhEvents,
+		SpikeCounts:      append([]uint64(nil), t.Net.Exc.SpikeCounts()...),
+	}
+}
+
+// RestoreState loads a checkpointed training progress into the trainer and
+// its network, validating the state against the trainer's configuration.
+// The caller must separately restore the conductances and thresholds (the
+// netio.Snapshot payload); afterwards Train(ds, …) continues from image
+// ImagesSeen and is bit-identical to a run that was never interrupted.
+func (t *Trainer) RestoreState(s *TrainerState) error {
+	if s == nil {
+		return errors.New("learn: nil trainer state")
+	}
+	n := t.Net.Cfg.NumNeurons
+	switch {
+	case s.Seed != t.Net.Cfg.Seed:
+		return fmt.Errorf("learn: checkpoint seed %d, run seed %d — resume must use the original configuration", s.Seed, t.Net.Cfg.Seed)
+	case s.NumClasses != t.numClasses:
+		return fmt.Errorf("learn: checkpoint has %d classes, trainer %d", s.NumClasses, t.numClasses)
+	case s.ImagesSeen < 0 || s.BoostCount < 0:
+		return fmt.Errorf("learn: negative progress counters (%d images, %d boosts)", s.ImagesSeen, s.BoostCount)
+	case len(s.Resp) != n:
+		return fmt.Errorf("learn: checkpoint responses for %d neurons, network has %d", len(s.Resp), n)
+	case len(s.SpikeCounts) != n:
+		return fmt.Errorf("learn: checkpoint spike counts for %d neurons, network has %d", len(s.SpikeCounts), n)
+	}
+	for i, row := range s.Resp {
+		if len(row) != s.NumClasses {
+			return fmt.Errorf("learn: response row %d has %d classes, want %d", i, len(row), s.NumClasses)
+		}
+	}
+	mv, err := stats.NewMovingErrorFromState(s.Moving)
+	if err != nil {
+		return err
+	}
+	resp := make([][]int, n)
+	for i := range s.Resp {
+		resp[i] = append([]int(nil), s.Resp[i]...)
+	}
+	t.resp = resp
+	t.moving = mv
+	t.ImagesSeen = s.ImagesSeen
+	t.BoostCount = s.BoostCount
+	t.Net.SetClock(s.NetStep, s.NetNow)
+	t.Net.TotalInputSpikes = s.TotalInputSpikes
+	t.Net.TotalExcSpikes = s.TotalExcSpikes
+	t.Net.TotalInhEvents = s.TotalInhEvents
+	copy(t.Net.Exc.SpikeCounts(), s.SpikeCounts)
+	return nil
+}
 
 // Model is the labeled readout: one class per neuron (-1 if the neuron
 // never responded during labeling).

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"errors"
 	"testing"
 
 	"parallelspikesim/internal/dataset"
@@ -282,5 +283,184 @@ func TestRunReportsWallClock(t *testing.T) {
 	}
 	if res.Confusion == nil {
 		t.Fatal("no confusion matrix")
+	}
+}
+
+// A trainer restored from a mid-run checkpoint and trained to completion
+// must be bit-identical to one that trained straight through: same
+// conductances, thetas, clock, counters, and moving error curve.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	ds := dataset.SynthDigits(30, 11)
+	opts := fastOptions()
+
+	full := testNet(t, synapse.Stochastic, 8, 5)
+	trFull, err := NewTrainer(full, opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trFull.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: capture state at image 13, "crash", resume.
+	crashed := testNet(t, synapse.Stochastic, 8, 5)
+	trA, err := NewTrainer(crashed, opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.Train(ds.Subset(0, 13), nil); err != nil {
+		t.Fatal(err)
+	}
+	state := trA.CheckpointState()
+	gAtCkpt := append([]float64(nil), crashed.Syn.G...)
+	thetaAtCkpt := append([]float64(nil), crashed.Exc.Theta()...)
+
+	resumed := testNet(t, synapse.Stochastic, 8, 5)
+	trB, err := NewTrainer(resumed, opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(resumed.Syn.G, gAtCkpt)
+	copy(resumed.Exc.Theta(), thetaAtCkpt)
+	if err := trB.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if trB.ImagesSeen != 13 {
+		t.Fatalf("restored ImagesSeen %d", trB.ImagesSeen)
+	}
+	if err := trB.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.Step() != full.Step() {
+		t.Fatalf("step diverged: %d vs %d", resumed.Step(), full.Step())
+	}
+	for i := range full.Syn.G {
+		if full.Syn.G[i] != resumed.Syn.G[i] {
+			t.Fatalf("conductance %d diverged: %v vs %v", i, full.Syn.G[i], resumed.Syn.G[i])
+		}
+	}
+	for i, th := range full.Exc.Theta() {
+		if resumed.Exc.Theta()[i] != th {
+			t.Fatalf("theta %d diverged", i)
+		}
+	}
+	fc, rc := trFull.MovingErrorCurve(), trB.MovingErrorCurve()
+	if len(fc) != len(rc) {
+		t.Fatalf("curve length %d vs %d", len(fc), len(rc))
+	}
+	for i := range fc {
+		if fc[i] != rc[i] {
+			t.Fatalf("moving error curve diverged at %d", i)
+		}
+	}
+	if trFull.BoostCount != trB.BoostCount {
+		t.Fatalf("boost count %d vs %d", trFull.BoostCount, trB.BoostCount)
+	}
+}
+
+func TestRestoreStateValidation(t *testing.T) {
+	net := testNet(t, synapse.Stochastic, 4, 9)
+	tr, err := NewTrainer(net, fastOptions(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := tr.CheckpointState()
+	if err := tr.RestoreState(good); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	if err := tr.RestoreState(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	corrupt := func(mutate func(*TrainerState)) *TrainerState {
+		s := tr.CheckpointState()
+		mutate(s)
+		return s
+	}
+	cases := map[string]*TrainerState{
+		"seed":        corrupt(func(s *TrainerState) { s.Seed++ }),
+		"classes":     corrupt(func(s *TrainerState) { s.NumClasses = 3 }),
+		"neg images":  corrupt(func(s *TrainerState) { s.ImagesSeen = -1 }),
+		"resp rows":   corrupt(func(s *TrainerState) { s.Resp = s.Resp[:2] }),
+		"resp cols":   corrupt(func(s *TrainerState) { s.Resp[1] = s.Resp[1][:3] }),
+		"spikecounts": corrupt(func(s *TrainerState) { s.SpikeCounts = nil }),
+		"moving":      corrupt(func(s *TrainerState) { s.Moving.Idx = 99 }),
+	}
+	for name, s := range cases {
+		if err := tr.RestoreState(s); err == nil {
+			t.Errorf("%s: corrupt state accepted", name)
+		}
+	}
+}
+
+func TestCheckpointStateIsDeepCopy(t *testing.T) {
+	net := testNet(t, synapse.Stochastic, 4, 9)
+	tr, err := NewTrainer(net, fastOptions(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.CheckpointState()
+	s.Resp[0][0] = 777
+	s.SpikeCounts[0] = 777
+	if tr.resp[0][0] == 777 {
+		t.Error("Resp shares memory with trainer")
+	}
+	if net.Exc.SpikeCounts()[0] == 777 {
+		t.Error("SpikeCounts shares memory with network")
+	}
+}
+
+// Train must honor the periodic checkpoint hook and the interrupt poll,
+// flushing once more before returning ErrInterrupted.
+func TestTrainCheckpointHookAndInterrupt(t *testing.T) {
+	ds := dataset.SynthDigits(12, 3)
+	net := testNet(t, synapse.Stochastic, 4, 2)
+	tr, err := NewTrainer(net, fastOptions(), ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushedAt []int
+	tr.CheckpointEvery = 3
+	tr.Checkpoint = func() error {
+		flushedAt = append(flushedAt, tr.ImagesSeen)
+		return nil
+	}
+	tr.Interrupted = func() bool { return tr.ImagesSeen == 8 }
+
+	err = tr.Train(ds, nil)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Train err = %v, want ErrInterrupted", err)
+	}
+	want := []int{3, 6, 8} // two periodic flushes + final flush at interrupt
+	if len(flushedAt) != len(want) {
+		t.Fatalf("flushes at %v, want %v", flushedAt, want)
+	}
+	for i := range want {
+		if flushedAt[i] != want[i] {
+			t.Fatalf("flushes at %v, want %v", flushedAt, want)
+		}
+	}
+	// Resuming after the interruption finishes the data set.
+	tr.Interrupted = nil
+	if err := tr.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ImagesSeen != 12 {
+		t.Fatalf("ImagesSeen %d after resume", tr.ImagesSeen)
+	}
+}
+
+func TestTrainPropagatesCheckpointError(t *testing.T) {
+	ds := dataset.SynthDigits(4, 3)
+	net := testNet(t, synapse.Stochastic, 4, 2)
+	tr, err := NewTrainer(net, fastOptions(), ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk gone")
+	tr.CheckpointEvery = 2
+	tr.Checkpoint = func() error { return boom }
+	if err := tr.Train(ds, nil); !errors.Is(err, boom) {
+		t.Fatalf("Train err = %v, want wrapped %v", err, boom)
 	}
 }

@@ -1,28 +1,63 @@
-// Package netio persists trained networks: the conductance matrix, the
-// homeostatic thresholds and the neuron labeling, in a small versioned
-// binary format (magic "PSS1", big-endian). This is what lets a network
-// trained once with cmd/pssim be reloaded for inference or visualization
-// without retraining.
+// Package netio persists trained networks and mid-training checkpoints in
+// a small versioned binary format (big-endian).
+//
+// Two on-disk versions exist:
+//
+//   - "PSS1" (legacy, read-only): conductance matrix, homeostatic
+//     thresholds and neuron labeling, no integrity protection.
+//   - "PSS2" (current): the same payload plus an optional trainer-progress
+//     section (next image index, boost count, network clock, response
+//     counts, moving-error window, RNG stream states) and a trailing CRC32
+//     over everything after the magic, so torn writes and bit flips are
+//     detected instead of silently restoring garbage.
+//
+// SaveFile is crash-safe: the snapshot is written to a same-directory temp
+// file, synced, and renamed over the destination, so an interrupted save
+// can never clobber the previous good snapshot. All file operations go
+// through fault.FS so tests can inject crashes at any byte.
+//
+// The trainer section plus the simulator's counter-based RNG make
+// checkpoints resumable bit-for-bit: a run killed at an image boundary and
+// restored from its last checkpoint produces exactly the conductances,
+// thetas and accuracy of an uninterrupted run (see TestCrashResumeBitIdentical).
 package netio
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
 
+	"parallelspikesim/internal/fault"
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/network"
 )
 
-// magic identifies the format; the trailing digit is the version.
-var magic = [4]byte{'P', 'S', 'S', '1'}
+// magicV1 and magicV2 identify the format; the trailing digit is the
+// version. V1 snapshots are still readable; writes always produce V2.
+var (
+	magicV1 = [4]byte{'P', 'S', 'S', '1'}
+	magicV2 = [4]byte{'P', 'S', 'S', '2'}
+)
+
+// flagTrainer marks a snapshot carrying a trainer-progress section.
+const flagTrainer = uint32(1)
+
+// Plausibility bounds for header-declared sizes, so a forged or corrupt
+// header cannot drive huge allocations before the checksum is verified.
+const (
+	maxSynapses   = 1 << 24
+	maxClasses    = 1 << 12
+	maxWindow     = 1 << 20
+	maxCurveLen   = 1 << 24
+	maxRNGStreams = 1 << 12
+)
 
 // Snapshot is the serializable state of a trained network plus (optionally)
-// its labeling model.
+// its labeling model and mid-training progress.
 type Snapshot struct {
 	NumInputs  int
 	NumNeurons int
@@ -34,6 +69,10 @@ type Snapshot struct {
 	// Assignments is the neuron labeling (-1 = unassigned); empty if the
 	// network was saved before labeling.
 	Assignments []int
+
+	// Trainer is the training-progress section: non-nil for mid-training
+	// checkpoints, nil for final trained models.
+	Trainer *learn.TrainerState
 }
 
 // Capture extracts a snapshot from a live network and optional model.
@@ -51,8 +90,17 @@ func Capture(net *network.Network, model *learn.Model) *Snapshot {
 	return s
 }
 
+// CaptureCheckpoint extracts a mid-training checkpoint: the network payload
+// plus the trainer's progress state, taken at an image boundary.
+func CaptureCheckpoint(net *network.Network, tr *learn.Trainer) *Snapshot {
+	s := Capture(net, nil)
+	s.Trainer = tr.CheckpointState()
+	return s
+}
+
 // Restore loads the snapshot's conductances and thresholds into a network
-// with matching geometry and format.
+// with matching geometry and format. For checkpoints, additionally pass
+// Snapshot.Trainer to learn.Trainer.RestoreState to resume training.
 func (s *Snapshot) Restore(net *network.Network) error {
 	if net.Cfg.NumInputs != s.NumInputs || net.Cfg.NumNeurons != s.NumNeurons {
 		return fmt.Errorf("netio: geometry mismatch: snapshot %d×%d, network %d×%d",
@@ -70,121 +118,452 @@ func (s *Snapshot) Restore(net *network.Network) error {
 	return nil
 }
 
-// Write serializes the snapshot.
+// fieldWriter accumulates the first write error so the serialization code
+// reads as a flat field list.
+type fieldWriter struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+func (fw *fieldWriter) bytes(p []byte) {
+	if fw.err != nil {
+		return
+	}
+	_, fw.err = fw.w.Write(p)
+}
+
+func (fw *fieldWriter) u32(v uint32) {
+	binary.BigEndian.PutUint32(fw.buf[:4], v)
+	fw.bytes(fw.buf[:4])
+}
+
+func (fw *fieldWriter) u64(v uint64) {
+	binary.BigEndian.PutUint64(fw.buf[:8], v)
+	fw.bytes(fw.buf[:8])
+}
+
+func (fw *fieldWriter) f64(v float64) { fw.u64(math.Float64bits(v)) }
+
+func (fw *fieldWriter) f64s(xs []float64) {
+	for _, x := range xs {
+		fw.f64(x)
+	}
+}
+
+// fieldReader mirrors fieldWriter for deserialization.
+type fieldReader struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+func (fr *fieldReader) bytes(p []byte) {
+	if fr.err != nil {
+		return
+	}
+	_, fr.err = io.ReadFull(fr.r, p)
+}
+
+func (fr *fieldReader) u32() uint32 {
+	fr.bytes(fr.buf[:4])
+	if fr.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(fr.buf[:4])
+}
+
+func (fr *fieldReader) u64() uint64 {
+	fr.bytes(fr.buf[:8])
+	if fr.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(fr.buf[:8])
+}
+
+func (fr *fieldReader) f64() float64 { return math.Float64frombits(fr.u64()) }
+
+func (fr *fieldReader) f64s(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = fr.f64()
+	}
+	return out
+}
+
+// formatCode encodes the fixed.Format as in PSS1: 0 for float32, otherwise
+// bit 31 set with the integer/fraction bit widths packed below.
+func formatCode(f fixed.Format) uint32 {
+	if f.Float {
+		return 0
+	}
+	return 1<<31 | uint32(f.IntBits)<<16 | uint32(f.FracBits)
+}
+
+func parseFormatCode(code uint32) (fixed.Format, error) {
+	if code == 0 {
+		return fixed.Float32, nil
+	}
+	f, err := fixed.NewFormat(int(code>>16&0x7fff), int(code&0xffff))
+	if err != nil {
+		return fixed.Format{}, fmt.Errorf("netio: bad format code %#x: %w", code, err)
+	}
+	return f, nil
+}
+
+// Write serializes the snapshot in the PSS2 format: magic, header and
+// payload, then a CRC32 (IEEE) of every byte after the magic.
 func (s *Snapshot) Write(w io.Writer) error {
+	if err := s.validateForWrite(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return err
 	}
-	fmtCode := uint32(0)
-	if !s.Format.Float {
-		fmtCode = 1<<31 | uint32(s.Format.IntBits)<<16 | uint32(s.Format.FracBits)
+	sum := crc32.NewIEEE()
+	fw := &fieldWriter{w: io.MultiWriter(bw, sum)}
+
+	flags := uint32(0)
+	if s.Trainer != nil {
+		flags |= flagTrainer
 	}
-	hdr := []uint32{uint32(s.NumInputs), uint32(s.NumNeurons), fmtCode, uint32(len(s.Assignments))}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
-			return err
-		}
-	}
-	writeFloats := func(xs []float64) error {
-		for _, x := range xs {
-			if err := binary.Write(bw, binary.BigEndian, math.Float64bits(x)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := writeFloats(s.G); err != nil {
-		return err
-	}
-	if err := writeFloats(s.Theta); err != nil {
-		return err
-	}
+	fw.u32(uint32(s.NumInputs))
+	fw.u32(uint32(s.NumNeurons))
+	fw.u32(formatCode(s.Format))
+	fw.u32(uint32(len(s.Assignments)))
+	fw.u32(flags)
+
+	fw.f64s(s.G)
+	fw.f64s(s.Theta)
 	for _, a := range s.Assignments {
-		if err := binary.Write(bw, binary.BigEndian, int32(a)); err != nil {
-			return err
-		}
+		fw.u32(uint32(int32(a)))
+	}
+	if s.Trainer != nil {
+		writeTrainer(fw, s.Trainer)
+	}
+	if fw.err != nil {
+		return fw.err
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], sum.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a snapshot.
+// validateForWrite rejects snapshots whose in-memory shape is internally
+// inconsistent — writing them would produce a file Read must refuse.
+func (s *Snapshot) validateForWrite() error {
+	if s.NumInputs <= 0 || s.NumNeurons <= 0 {
+		return fmt.Errorf("netio: geometry %d×%d", s.NumInputs, s.NumNeurons)
+	}
+	if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
+		return fmt.Errorf("netio: payload shape (G %d, theta %d) for %d×%d",
+			len(s.G), len(s.Theta), s.NumInputs, s.NumNeurons)
+	}
+	if len(s.Assignments) > s.NumNeurons {
+		return fmt.Errorf("netio: %d assignments for %d neurons", len(s.Assignments), s.NumNeurons)
+	}
+	t := s.Trainer
+	if t == nil {
+		return nil
+	}
+	if t.NumClasses <= 0 || t.NumClasses > maxClasses {
+		return fmt.Errorf("netio: trainer classes %d", t.NumClasses)
+	}
+	if len(t.Resp) != s.NumNeurons || len(t.SpikeCounts) != s.NumNeurons {
+		return fmt.Errorf("netio: trainer section shape (resp %d, spikes %d) for %d neurons",
+			len(t.Resp), len(t.SpikeCounts), s.NumNeurons)
+	}
+	for i, row := range t.Resp {
+		if len(row) != t.NumClasses {
+			return fmt.Errorf("netio: trainer resp row %d has %d classes, want %d", i, len(row), t.NumClasses)
+		}
+	}
+	if t.Moving.Window <= 0 || t.Moving.Window > maxWindow || len(t.Moving.History) != t.Moving.Window {
+		return fmt.Errorf("netio: trainer moving window %d (history %d)", t.Moving.Window, len(t.Moving.History))
+	}
+	if len(t.Moving.Curve) > maxCurveLen {
+		return fmt.Errorf("netio: trainer curve length %d", len(t.Moving.Curve))
+	}
+	if len(t.Streams) > maxRNGStreams {
+		return fmt.Errorf("netio: %d rng streams", len(t.Streams))
+	}
+	return nil
+}
+
+func writeTrainer(fw *fieldWriter, t *learn.TrainerState) {
+	fw.u64(t.Seed)
+	fw.u32(uint32(t.NumClasses))
+	fw.u64(uint64(t.ImagesSeen))
+	fw.u64(uint64(t.BoostCount))
+	fw.u64(t.NetStep)
+	fw.f64(t.NetNow)
+	fw.u64(t.TotalInputSpikes)
+	fw.u64(t.TotalExcSpikes)
+	fw.u64(t.TotalInhEvents)
+	for _, c := range t.SpikeCounts {
+		fw.u64(c)
+	}
+	for _, row := range t.Resp {
+		for _, c := range row {
+			fw.u64(uint64(int64(c)))
+		}
+	}
+	m := t.Moving
+	fw.u32(uint32(m.Window))
+	fw.u32(uint32(m.Idx))
+	fw.u32(uint32(m.Filled))
+	packed := make([]byte, (m.Window+7)/8)
+	for i, e := range m.History {
+		if e {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	fw.bytes(packed)
+	fw.u32(uint32(len(m.Curve)))
+	fw.f64s(m.Curve)
+	fw.u32(uint32(len(t.Streams)))
+	for _, st := range t.Streams {
+		for _, word := range st {
+			fw.u64(word)
+		}
+	}
+}
+
+func readTrainer(fr *fieldReader, numNeurons int) (*learn.TrainerState, error) {
+	t := &learn.TrainerState{}
+	t.Seed = fr.u64()
+	numClasses := fr.u32()
+	if fr.err == nil && (numClasses == 0 || numClasses > maxClasses) {
+		return nil, fmt.Errorf("implausible class count %d", numClasses)
+	}
+	t.NumClasses = int(numClasses)
+	imagesSeen, boostCount := fr.u64(), fr.u64()
+	if fr.err == nil && (imagesSeen > math.MaxInt32 || boostCount > math.MaxInt32) {
+		return nil, fmt.Errorf("implausible progress counters (%d images, %d boosts)", imagesSeen, boostCount)
+	}
+	t.ImagesSeen = int(imagesSeen)
+	t.BoostCount = int(boostCount)
+	t.NetStep = fr.u64()
+	t.NetNow = fr.f64()
+	t.TotalInputSpikes = fr.u64()
+	t.TotalExcSpikes = fr.u64()
+	t.TotalInhEvents = fr.u64()
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	t.SpikeCounts = make([]uint64, numNeurons)
+	for i := range t.SpikeCounts {
+		t.SpikeCounts[i] = fr.u64()
+	}
+	t.Resp = make([][]int, numNeurons)
+	for i := range t.Resp {
+		row := make([]int, t.NumClasses)
+		for j := range row {
+			row[j] = int(int64(fr.u64()))
+		}
+		t.Resp[i] = row
+	}
+	window := fr.u32()
+	if fr.err == nil && (window == 0 || window > maxWindow) {
+		return nil, fmt.Errorf("implausible moving window %d", window)
+	}
+	t.Moving.Window = int(window)
+	t.Moving.Idx = int(fr.u32())
+	t.Moving.Filled = int(fr.u32())
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	packed := make([]byte, (int(window)+7)/8)
+	fr.bytes(packed)
+	t.Moving.History = make([]bool, window)
+	for i := range t.Moving.History {
+		t.Moving.History[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	curveLen := fr.u32()
+	if fr.err == nil && curveLen > maxCurveLen {
+		return nil, fmt.Errorf("implausible curve length %d", curveLen)
+	}
+	t.Moving.Curve = fr.f64s(int(curveLen))
+	numStreams := fr.u32()
+	if fr.err == nil && numStreams > maxRNGStreams {
+		return nil, fmt.Errorf("implausible stream count %d", numStreams)
+	}
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	if numStreams > 0 {
+		t.Streams = make([][4]uint64, numStreams)
+		for i := range t.Streams {
+			for j := range t.Streams[i] {
+				t.Streams[i][j] = fr.u64()
+			}
+		}
+	}
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	return t, nil
+}
+
+// Read deserializes a snapshot, accepting the current PSS2 format and the
+// legacy PSS1 format. PSS2 payloads are verified against their CRC32; any
+// mismatch — torn write, bit flip, truncation — is an error, never a
+// silently corrupt snapshot.
 func Read(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("netio: reading magic: %w", err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("netio: bad magic %q", m)
+	switch m {
+	case magicV1:
+		return readV1(br)
+	case magicV2:
+		return readV2(br)
 	}
-	var hdr [4]uint32
-	if err := binary.Read(br, binary.BigEndian, &hdr); err != nil {
-		return nil, fmt.Errorf("netio: reading header: %w", err)
+	return nil, fmt.Errorf("netio: bad magic %q", m)
+}
+
+// readHeader reads and sanity-checks the shared dimension fields.
+func readHeader(fr *fieldReader) (nIn, nNeu int, format fixed.Format, nAssign int, err error) {
+	hIn, hNeu, fmtCode, hAssign := fr.u32(), fr.u32(), fr.u32(), fr.u32()
+	if fr.err != nil {
+		return 0, 0, fixed.Format{}, 0, fmt.Errorf("netio: reading header: %w", fr.err)
 	}
-	nIn, nNeu, fmtCode, nAssign := int(hdr[0]), int(hdr[1]), hdr[2], int(hdr[3])
 	// The synapse count is computed in uint64 so forged 32-bit dimensions
 	// cannot overflow the product and bypass the sanity bound.
-	if nIn <= 0 || nNeu <= 0 || uint64(hdr[0])*uint64(hdr[1]) > 1<<24 || nAssign < 0 || nAssign > nNeu {
-		return nil, fmt.Errorf("netio: implausible header %v", hdr)
+	if hIn == 0 || hNeu == 0 || uint64(hIn)*uint64(hNeu) > maxSynapses || hAssign > hNeu {
+		return 0, 0, fixed.Format{}, 0, fmt.Errorf("netio: implausible header [%d %d %#x %d]", hIn, hNeu, fmtCode, hAssign)
 	}
-	s := &Snapshot{NumInputs: nIn, NumNeurons: nNeu}
-	if fmtCode == 0 {
-		s.Format = fixed.Float32
-	} else {
-		f, err := fixed.NewFormat(int(fmtCode>>16&0x7fff), int(fmtCode&0xffff))
-		if err != nil {
-			return nil, fmt.Errorf("netio: bad format code %#x: %w", fmtCode, err)
-		}
-		s.Format = f
+	format, err = parseFormatCode(fmtCode)
+	if err != nil {
+		return 0, 0, fixed.Format{}, 0, err
 	}
-	readFloats := func(n int) ([]float64, error) {
-		out := make([]float64, n)
-		for i := range out {
-			var bits uint64
-			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
-				return nil, err
-			}
-			out[i] = math.Float64frombits(bits)
-		}
-		return out, nil
+	return int(hIn), int(hNeu), format, int(hAssign), nil
+}
+
+// readPayload reads the G/theta/assignment sections shared by both versions.
+func readPayload(fr *fieldReader, s *Snapshot, nAssign int) error {
+	s.G = fr.f64s(s.NumInputs * s.NumNeurons)
+	if fr.err != nil {
+		return fmt.Errorf("netio: reading conductances: %w", fr.err)
 	}
-	var err error
-	if s.G, err = readFloats(nIn * nNeu); err != nil {
-		return nil, fmt.Errorf("netio: reading conductances: %w", err)
-	}
-	if s.Theta, err = readFloats(nNeu); err != nil {
-		return nil, fmt.Errorf("netio: reading thresholds: %w", err)
+	s.Theta = fr.f64s(s.NumNeurons)
+	if fr.err != nil {
+		return fmt.Errorf("netio: reading thresholds: %w", fr.err)
 	}
 	if nAssign > 0 {
 		s.Assignments = make([]int, nAssign)
 		for i := range s.Assignments {
-			var a int32
-			if err := binary.Read(br, binary.BigEndian, &a); err != nil {
-				return nil, fmt.Errorf("netio: reading assignments: %w", err)
-			}
-			s.Assignments[i] = int(a)
+			s.Assignments[i] = int(int32(fr.u32()))
 		}
+		if fr.err != nil {
+			return fmt.Errorf("netio: reading assignments: %w", fr.err)
+		}
+	}
+	return nil
+}
+
+// readV1 parses the legacy checksum-less format (magic already consumed).
+func readV1(br *bufio.Reader) (*Snapshot, error) {
+	fr := &fieldReader{r: br}
+	nIn, nNeu, format, nAssign, err := readHeader(fr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{NumInputs: nIn, NumNeurons: nNeu, Format: format}
+	if err := readPayload(fr, s, nAssign); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
-// SaveFile writes the snapshot to a file.
-func SaveFile(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+// readV2 parses the current format (magic already consumed), verifying the
+// trailing CRC32 over everything after the magic.
+func readV2(br *bufio.Reader) (*Snapshot, error) {
+	sum := crc32.NewIEEE()
+	fr := &fieldReader{r: io.TeeReader(br, sum)}
+	nIn, nNeu, format, nAssign, err := readHeader(fr)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	flags := fr.u32()
+	if fr.err != nil {
+		return nil, fmt.Errorf("netio: reading flags: %w", fr.err)
+	}
+	if flags&^flagTrainer != 0 {
+		return nil, fmt.Errorf("netio: unknown flags %#x (snapshot from a newer version?)", flags)
+	}
+	s := &Snapshot{NumInputs: nIn, NumNeurons: nNeu, Format: format}
+	if err := readPayload(fr, s, nAssign); err != nil {
+		return nil, err
+	}
+	if flags&flagTrainer != 0 {
+		t, err := readTrainer(fr, nNeu)
+		if err != nil {
+			return nil, fmt.Errorf("netio: trainer section: %w", err)
+		}
+		s.Trainer = t
+	}
+	want := sum.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("netio: reading checksum: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("netio: checksum mismatch (file %#x, computed %#x): snapshot is corrupt or torn", got, want)
+	}
+	return s, nil
+}
+
+// SaveFile writes the snapshot to a file atomically: temp file in the same
+// directory, sync, rename. A crash at any byte leaves the previous
+// snapshot at path intact (at worst plus a stray path+".tmp").
+func SaveFile(path string, s *Snapshot) error {
+	return SaveFileFS(fault.OS{}, path, s)
+}
+
+// SaveFileFS is SaveFile against an explicit filesystem, the seam the
+// fault-injection tests use to prove crash safety.
+func SaveFileFS(fsys fault.FS, path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("netio: creating %s: %w", tmp, err)
 	}
 	if err := s.Write(f); err != nil {
 		f.Close()
-		return err
+		fsys.Remove(tmp)
+		return fmt.Errorf("netio: writing %s: %w", tmp, err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("netio: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("netio: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("netio: publishing %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadFile reads a snapshot from a file.
 func LoadFile(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(fault.OS{}, path)
+}
+
+// LoadFileFS is LoadFile against an explicit filesystem.
+func LoadFileFS(fsys fault.FS, path string) (*Snapshot, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

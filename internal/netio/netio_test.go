@@ -11,6 +11,7 @@ import (
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/rng"
+	"parallelspikesim/internal/stats"
 	"parallelspikesim/internal/synapse"
 )
 
@@ -274,6 +275,31 @@ func FuzzRead(f *testing.F) {
 	f.Add(netF().Bytes())
 	f.Add([]byte("PSS1"))
 	f.Add([]byte{'P', 'S', 'S', '1', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Legacy V1 bytes: the V2 writer above no longer produces these, so
+	// hand in a minimal well-formed V1 snapshot (header only, no synapses).
+	f.Add([]byte{'P', 'S', 'S', '1', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("PSS2"))
+	f.Add([]byte{'P', 'S', 'S', '2', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// A checkpoint snapshot with a trainer section, and the same bytes
+	// with the checksum trailer damaged.
+	ckpt := func() []byte {
+		var buf bytes.Buffer
+		s := &Snapshot{NumInputs: 2, NumNeurons: 2, Format: fixed.Float32,
+			G: []float64{1, 2, 3, 4}, Theta: []float64{0, 1},
+			Trainer: &learn.TrainerState{
+				Seed: 9, NumClasses: 2, ImagesSeen: 3,
+				Resp:        [][]int{{1, 0}, {0, 2}},
+				SpikeCounts: []uint64{4, 5},
+				Moving: stats.MovingErrorState{Window: 4, Idx: 3, Filled: 3,
+					History: []bool{true, false, true, false}, Curve: []float64{1, 0.5, 2. / 3}},
+			}}
+		_ = s.Write(&buf)
+		return buf.Bytes()
+	}
+	f.Add(ckpt())
+	torn := ckpt()
+	torn[len(torn)-1] ^= 0xff
+	f.Add(torn)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -281,6 +307,20 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
 			t.Fatalf("inconsistent snapshot accepted: %d G, %d theta", len(s.G), len(s.Theta))
+		}
+		if tr := s.Trainer; tr != nil {
+			if tr.NumClasses <= 0 || len(tr.Resp) != tr.NumClasses ||
+				len(tr.SpikeCounts) != s.NumNeurons {
+				t.Fatalf("inconsistent trainer section accepted: %+v", tr)
+			}
+			for _, row := range tr.Resp {
+				if len(row) != s.NumNeurons {
+					t.Fatal("ragged response matrix accepted")
+				}
+			}
+			if tr.Moving.Window <= 0 || len(tr.Moving.History) != tr.Moving.Window {
+				t.Fatal("inconsistent moving-error state accepted")
+			}
 		}
 	})
 }

@@ -183,6 +183,16 @@ func (n *Network) Now() float64 { return n.now }
 // Step returns the global step counter.
 func (n *Network) Step() uint64 { return n.step }
 
+// SetClock restores the global step counter and absolute simulation time.
+// Every stochastic draw in the simulator is counter-based and keyed by the
+// step, so a checkpoint that restores (G, theta, step, now) resumes the
+// exact random sequence of the interrupted run — the step counter IS the
+// RNG state. Only checkpoint restore should call this.
+func (n *Network) SetClock(step uint64, now float64) {
+	n.step = step
+	n.now = now
+}
+
 // Recorder captures spike events for raster plots (Figs 4, 6a). A nil
 // *Recorder disables recording.
 type Recorder struct {

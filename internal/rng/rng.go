@@ -17,7 +17,10 @@
 // never be replaced by math/rand's global state inside simulation code.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // SplitMix64 advances the given state by the SplitMix64 step and returns the
 // next 64-bit output. It is the canonical seeding/mixing function used to
@@ -86,6 +89,25 @@ func NewStream(seed uint64) *Stream {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &st
+}
+
+// State returns the stream's full internal state so a checkpoint can
+// persist it and SetState can later resume the sequence exactly where it
+// left off. Together with the counter-based API (where the "state" is just
+// the step counters a caller already tracks) this makes every source of
+// randomness in the simulator checkpointable.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. The all-zero
+// state is unreachable by a valid xoshiro256** stream (the generator would
+// emit zeros forever), so it is rejected — it can only come from a corrupt
+// or forged checkpoint.
+func (r *Stream) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("rng: all-zero stream state")
+	}
+	r.s = s
+	return nil
 }
 
 // Split derives an independent child stream. The child's sequence is

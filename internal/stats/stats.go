@@ -233,6 +233,66 @@ func (m *MovingError) Rate() float64 {
 // Curve returns the moving error rate after each observation.
 func (m *MovingError) Curve() []float64 { return m.curve }
 
+// MovingErrorState is the serializable state of a MovingError tracker, used
+// by training checkpoints so a resumed run continues the Fig 8(c) moving
+// error curve exactly where the interrupted run stopped.
+type MovingErrorState struct {
+	Window  int
+	Idx     int
+	Filled  int
+	History []bool
+	Curve   []float64
+}
+
+// State deep-copies the tracker's state.
+func (m *MovingError) State() MovingErrorState {
+	return MovingErrorState{
+		Window:  m.window,
+		Idx:     m.idx,
+		Filled:  m.filled,
+		History: append([]bool(nil), m.history...),
+		Curve:   append([]float64(nil), m.curve...),
+	}
+}
+
+// NewMovingErrorFromState reconstructs a tracker from a checkpointed state,
+// validating internal consistency so a corrupt checkpoint cannot produce a
+// tracker that later divides by zero or indexes out of range. The error
+// count is recomputed from the history rather than trusted.
+func NewMovingErrorFromState(s MovingErrorState) (*MovingError, error) {
+	switch {
+	case s.Window <= 0:
+		return nil, fmt.Errorf("stats: moving-error window %d", s.Window)
+	case len(s.History) != s.Window:
+		return nil, fmt.Errorf("stats: history length %d for window %d", len(s.History), s.Window)
+	case s.Idx < 0 || s.Idx >= s.Window:
+		return nil, fmt.Errorf("stats: moving-error index %d of window %d", s.Idx, s.Window)
+	case s.Filled < 0 || s.Filled > s.Window:
+		return nil, fmt.Errorf("stats: moving-error filled %d of window %d", s.Filled, s.Window)
+	case s.Filled < s.Window && s.Idx != s.Filled%s.Window:
+		return nil, fmt.Errorf("stats: moving-error index %d inconsistent with filled %d", s.Idx, s.Filled)
+	case len(s.Curve) < s.Filled:
+		return nil, fmt.Errorf("stats: curve length %d shorter than filled %d", len(s.Curve), s.Filled)
+	}
+	errs := 0
+	for _, e := range s.History {
+		if e {
+			errs++
+		}
+	}
+	if errs > s.Filled {
+		return nil, fmt.Errorf("stats: %d errors recorded in %d filled slots", errs, s.Filled)
+	}
+	return &MovingError{
+		window:  s.Window,
+		history: append([]bool(nil), s.History...),
+		idx:     s.Idx,
+		filled:  s.Filled,
+		errors:  errs,
+		curve:   append([]float64(nil), s.Curve...),
+	}, nil
+}
+
 // Summary holds basic descriptive statistics.
 type Summary struct {
 	N              int

@@ -274,3 +274,75 @@ func TestConfusionAccuracyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: a tracker rebuilt from its checkpointed state continues the
+// observation stream exactly like the original.
+func TestMovingErrorStateRoundTrip(t *testing.T) {
+	check := func(prefix, suffix []bool) bool {
+		orig, _ := NewMovingError(5)
+		for _, e := range prefix {
+			orig.Observe(e)
+		}
+		restored, err := NewMovingErrorFromState(orig.State())
+		if err != nil {
+			return false
+		}
+		if restored.Rate() != orig.Rate() {
+			return false
+		}
+		for _, e := range suffix {
+			if restored.Observe(e) != orig.Observe(e) {
+				return false
+			}
+		}
+		oc, rc := orig.Curve(), restored.Curve()
+		if len(oc) != len(rc) {
+			return false
+		}
+		for i := range oc {
+			if oc[i] != rc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingErrorStateIsDeepCopy(t *testing.T) {
+	m, _ := NewMovingError(3)
+	m.Observe(true)
+	s := m.State()
+	s.History[0] = false
+	s.Curve[0] = 0.5
+	if m.Rate() != 1 {
+		t.Fatalf("state mutation leaked into tracker: rate %v", m.Rate())
+	}
+	if m.Curve()[0] != 1 {
+		t.Fatalf("curve mutated: %v", m.Curve())
+	}
+}
+
+func TestMovingErrorStateValidation(t *testing.T) {
+	good := MovingErrorState{Window: 3, Idx: 2, Filled: 2, History: []bool{true, false, false}, Curve: []float64{1, 0.5}}
+	if _, err := NewMovingErrorFromState(good); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	cases := map[string]MovingErrorState{
+		"zero window":      {Window: 0},
+		"history mismatch": {Window: 3, History: []bool{true}},
+		"index range":      {Window: 3, Idx: 3, History: make([]bool, 3)},
+		"negative filled":  {Window: 3, Idx: 0, Filled: -1, History: make([]bool, 3)},
+		"overfull":         {Window: 3, Idx: 0, Filled: 4, History: make([]bool, 3)},
+		"idx vs filled":    {Window: 3, Idx: 1, Filled: 2, History: make([]bool, 3)},
+		"short curve":      {Window: 3, Idx: 2, Filled: 2, History: make([]bool, 3), Curve: []float64{1}},
+		"excess errors":    {Window: 3, Idx: 1, Filled: 1, History: []bool{true, true, true}, Curve: []float64{1}},
+	}
+	for name, s := range cases {
+		if _, err := NewMovingErrorFromState(s); err == nil {
+			t.Errorf("%s: corrupt state accepted", name)
+		}
+	}
+}
