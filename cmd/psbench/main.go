@@ -8,12 +8,21 @@
 //	psbench -scale default              # minutes, qualitative shapes hold
 //	psbench -scale default -exp table2  # one experiment
 //	psbench -scale paper                # the full 60k-image workload
+//	psbench -quick                      # CI smoke: fast subset + BENCH_test.json
+//
+// Benchmark output: -bench-json (implied by -quick) writes a machine-readable
+// BENCH_<scale>.json with per-experiment wall times and the metric snapshot
+// of an instrumented training probe. -metrics and -pprof mirror pssim's
+// observability flags.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -21,10 +30,31 @@ import (
 	"time"
 
 	"parallelspikesim/internal/carlsim"
+	"parallelspikesim/internal/core"
+	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/experiments"
+	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/synapse"
 )
+
+// expResult is one per-experiment timing row in BENCH_<scale>.json.
+type expResult struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// benchDoc is the machine-readable benchmark summary.
+type benchDoc struct {
+	Schema         string       `json:"schema"`
+	Scale          string       `json:"scale"`
+	Neurons        int          `json:"neurons"`
+	TrainImages    int          `json:"train_images"`
+	Workers        int          `json:"workers"`
+	Experiments    []expResult  `json:"experiments"`
+	BucketBoundsNs []int64      `json:"bucket_bounds_ns"`
+	ProbeMetrics   obs.Snapshot `json:"probe_metrics"`
+}
 
 func main() {
 	var (
@@ -34,8 +64,31 @@ func main() {
 		neurons   = flag.Int("neurons", 0, "override scale neurons")
 		train     = flag.Int("train", 0, "override scale training images")
 		workers   = flag.Int("workers", 0, "override engine workers")
+		quick     = flag.Bool("quick", false, "CI smoke mode: test scale, fast experiment subset, BENCH_test.json in the current directory")
+		benchDir  = flag.String("bench-json", "", "directory to write the BENCH_<scale>.json summary (\"\" = off; -quick defaults to .)")
+		metrics   = flag.String("metrics", "", "dump probe metrics to this file, or - for stdout (Prometheus text; *.json for JSON)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *quick {
+		*scaleName = "test"
+		if *expList == "all" {
+			*expList = "fig1a,fig1c,fig1d,fig6a,anchor"
+		}
+		if *benchDir == "" {
+			*benchDir = "."
+		}
+	}
+	if *pprofAddr != "" {
+		addr := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", addr)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -89,6 +142,7 @@ func main() {
 	fmt.Printf("psbench scale=%s: %d neurons, %d train / %d label / %d infer images\n\n",
 		*scaleName, scale.Neurons, scale.TrainImages, scale.LabelImages, scale.InferImages)
 
+	var benchRows []expResult
 	run := func(name string, fn func() (string, error)) {
 		if !sel(name) {
 			return
@@ -99,7 +153,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "psbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%v) ===\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
+		wall := time.Since(start)
+		benchRows = append(benchRows, expResult{Name: name, WallNs: wall.Nanoseconds()})
+		fmt.Printf("=== %s (%v) ===\n%s\n", name, wall.Round(time.Millisecond), out)
 	}
 
 	run("fig1a", func() (string, error) {
@@ -373,4 +429,106 @@ func main() {
 		})
 		return res.Render(), nil
 	})
+
+	if *benchDir == "" && *metrics == "" {
+		return
+	}
+
+	// Instrumented probe: a small observed training run whose per-phase
+	// histograms and counters anchor the benchmark summary and feed -metrics.
+	reg := obs.NewRegistry()
+	probeNeurons := scale.Neurons
+	if probeNeurons > 32 {
+		probeNeurons = 32
+	}
+	probeImages := scale.TrainImages
+	if probeImages > 128 {
+		probeImages = 128
+	}
+	ds := dataset.SynthDigits(probeImages, 11)
+	sim, err := core.New(core.Options{
+		Inputs:   ds.Pixels(),
+		Neurons:  probeNeurons,
+		Workers:  scale.Workers,
+		Classes:  ds.NumClasses,
+		Observer: reg,
+		Seed:     11,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench: probe:", err)
+		os.Exit(1)
+	}
+	probeStart := time.Now()
+	if err := sim.Train(ds, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "psbench: probe:", err)
+		os.Exit(1)
+	}
+	sim.Close()
+	fmt.Printf("probe: trained %d images × %d neurons in %v (instrumented)\n",
+		probeImages, probeNeurons, time.Since(probeStart).Round(time.Millisecond))
+
+	snap := reg.Snapshot()
+	if *benchDir != "" {
+		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*benchDir, fmt.Sprintf("BENCH_%s.json", *scaleName))
+		if err := writeBench(path, benchDoc{
+			Schema:         "psbench-bench/v1",
+			Scale:          *scaleName,
+			Neurons:        scale.Neurons,
+			TrainImages:    scale.TrainImages,
+			Workers:        scale.Workers,
+			Experiments:    benchRows,
+			BucketBoundsNs: obs.BucketBoundsNs,
+			ProbeMetrics:   snap,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *metrics != "" {
+		if err := dumpMetrics(*metrics, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench: metrics dump:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBench writes the benchmark summary as indented JSON.
+func writeBench(path string, doc benchDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// dumpMetrics writes the snapshot to a file or stdout ("-"), Prometheus
+// text by default and JSON for *.json paths.
+func dumpMetrics(target string, snap obs.Snapshot) error {
+	if target == "-" {
+		return snap.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(target)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(target, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

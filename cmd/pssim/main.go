@@ -18,14 +18,26 @@
 //
 //	pssim -train 60000 -checkpoint run.ckpt -checkpoint-every 500
 //	pssim -train 60000 -checkpoint run.ckpt -resume   # after interruption
+//
+// Observability: -metrics dumps per-phase timing histograms and cumulative
+// spike/update counters (Prometheus text, or JSON for *.json paths);
+// -metrics-every refreshes the dump during training; -pprof serves
+// net/http/pprof on the given address. Cumulative counters survive
+// -checkpoint / -resume cycles.
+//
+//	pssim -train 2000 -metrics -                       # dump to stdout at exit
+//	pssim -train 60000 -metrics run.prom -metrics-every 1000 -pprof :6060
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -38,6 +50,7 @@ import (
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/synapse"
 	"parallelspikesim/internal/viz"
 )
@@ -64,6 +77,9 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "write training checkpoints to this file (enables Ctrl-C safe interruption)")
 		ckptEach = flag.Int("checkpoint-every", 500, "checkpoint every N training images")
 		resume   = flag.Bool("resume", false, "resume training from the -checkpoint file if it exists")
+		metrics  = flag.String("metrics", "", "dump metrics to this file, or - for stdout (Prometheus text; *.json for JSON)")
+		metEvery = flag.Int("metrics-every", 0, "also refresh the -metrics dump every N training images (0 = only at exit)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -80,7 +96,8 @@ func main() {
 
 	if err := run(*data, *mnistDir, *rule, *preset, *rounding, *neurons,
 		*nTrain, *nLabel, *nInfer, *tlearn, *workers, *seed, *showMaps, *progress,
-		*savePath, *loadPath, checkpointOpts{Path: *ckptPath, Every: *ckptEach, Resume: *resume}); err != nil {
+		*savePath, *loadPath, checkpointOpts{Path: *ckptPath, Every: *ckptEach, Resume: *resume},
+		obsOpts{Metrics: *metrics, Every: *metEvery, Pprof: *pprof}); err != nil {
 		fmt.Fprintln(os.Stderr, "pssim:", err)
 		os.Exit(1)
 	}
@@ -94,15 +111,73 @@ type checkpointOpts struct {
 	Resume bool
 }
 
+// obsOpts configures the observability surface: metric dumps and pprof.
+type obsOpts struct {
+	Metrics string // dump target: "" = off, "-" = stdout, else a file path
+	Every   int    // refresh the dump every N training images (0 = exit only)
+	Pprof   string // pprof listen address ("" = off)
+}
+
+// registry builds the obs registry the run needs, or nil when observability
+// is off so instrumentation stays free.
+func (o obsOpts) registry() *obs.Registry {
+	if o.Metrics == "" && o.Pprof == "" {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// dump writes the current snapshot to the -metrics target. Prometheus text
+// by default; JSON when the path ends in .json.
+func (o obsOpts) dump(reg *obs.Registry) error {
+	if o.Metrics == "" || reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if o.Metrics == "-" {
+		return snap.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(o.Metrics)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(o.Metrics, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel, nInfer int,
 	tlearn float64, workers int, seed uint64, showMaps int, progress bool,
-	savePath, loadPath string, ckpt checkpointOpts) error {
+	savePath, loadPath string, ckpt checkpointOpts, ob obsOpts) error {
 
 	if ckpt.Resume && ckpt.Path == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	if ckpt.Path != "" && ckpt.Every <= 0 {
 		return fmt.Errorf("-checkpoint-every must be positive, got %d", ckpt.Every)
+	}
+	if ob.Every < 0 {
+		return fmt.Errorf("-metrics-every must be non-negative, got %d", ob.Every)
+	}
+	if ob.Every > 0 && ob.Metrics == "" {
+		return fmt.Errorf("-metrics-every requires -metrics")
+	}
+
+	reg := ob.registry()
+	if ob.Pprof != "" {
+		ln := ob.Pprof
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pssim: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", ln)
 	}
 
 	kind, err := synapse.ParseRule(rule)
@@ -145,14 +220,14 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 	}
 
 	cfg := network.DefaultConfig(train.Pixels(), neurons, syn)
-	var exec engine.Executor
-	if workers == 1 {
-		exec = engine.Sequential{}
-	} else {
-		exec = engine.NewPool(workers)
+	w := workers
+	if w == 0 {
+		w = engine.Auto // CLI convention: 0 means all cores
 	}
+	exec := engine.New(w)
 	defer exec.Close()
-	net, err := network.New(cfg, exec)
+	engine.Instrument(exec, reg)
+	net, err := network.New(cfg, network.WithExecutor(exec), network.WithObserver(reg))
 	if err != nil {
 		return err
 	}
@@ -170,7 +245,8 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 		train.Name, kind, syn.Format, syn.Rounding,
 		train.Pixels(), neurons, opts.Control.Band.MinHz, opts.Control.Band.MaxHz, opts.Control.TLearnMS)
 
-	tr, err := learn.NewTrainer(net, opts, train.NumClasses)
+	opts.NumClasses = train.NumClasses
+	tr, err := learn.New(net, opts)
 	if err != nil {
 		return err
 	}
@@ -226,11 +302,16 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 				fmt.Printf("  trained %5d/%d images, moving error %.1f%%, elapsed %v\n",
 					i+1, train.Len(), 100*movingErr, time.Since(start).Round(time.Second))
 			}
+			if ob.Every > 0 && ob.Metrics != "-" && (i+1)%ob.Every == 0 {
+				if derr := ob.dump(reg); derr != nil {
+					fmt.Fprintln(os.Stderr, "pssim: metrics dump:", derr)
+				}
+			}
 		})
 		if errors.Is(err, learn.ErrInterrupted) {
 			fmt.Printf("interrupted at image %d/%d; progress saved to %s — rerun with -resume to continue\n",
 				tr.ImagesSeen, train.Len(), ckpt.Path)
-			return nil
+			return ob.dump(reg)
 		}
 		if err != nil {
 			return err
@@ -273,5 +354,5 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 		}
 		fmt.Println(viz.TileGrid(tiles, 4))
 	}
-	return nil
+	return ob.dump(reg)
 }

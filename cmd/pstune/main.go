@@ -84,7 +84,7 @@ func main() {
 	cfg.LIF.ThetaPlus = *thplus
 	cfg.LIF.ThetaDecayMS = *thtau
 	cfg.TauSynMS = *tausyn
-	net, err := network.New(cfg, engine.Sequential{})
+	net, err := network.New(cfg, network.WithExecutor(engine.New(1)))
 	if err != nil {
 		panic(err)
 	}

@@ -60,15 +60,16 @@ func run(out, data, rule string, neurons, nTrain, maps int, seed uint64) error {
 	}
 	syn.Seed = seed
 	cfg := network.DefaultConfig(train.Pixels(), neurons, syn)
-	pool := engine.NewPool(0)
+	pool := engine.New(engine.Auto)
 	defer pool.Close()
-	net, err := network.New(cfg, pool)
+	net, err := network.New(cfg, network.WithExecutor(pool))
 	if err != nil {
 		return err
 	}
 	opts := learn.DefaultOptions()
 	opts.Control.Band = encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}
-	tr, err := learn.NewTrainer(net, opts, train.NumClasses)
+	opts.NumClasses = train.NumClasses
+	tr, err := learn.New(net, opts)
 	if err != nil {
 		return err
 	}

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool := engine.NewPool(0)
+	pool := engine.New(engine.Auto)
 	defer pool.Close()
 	mir, err := carlsim.NewMirror(cfg, topo, pool)
 	if err != nil {

@@ -137,7 +137,7 @@ func TestMirrorMatchesReferenceExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := engine.NewPool(4)
+	pool := engine.New(4)
 	defer pool.Close()
 	mir, err := NewMirror(cfg, topo, pool)
 	if err != nil {
@@ -168,8 +168,8 @@ func TestMirrorMatchesReferenceExactly(t *testing.T) {
 func TestMirrorSequentialMatchesParallel(t *testing.T) {
 	cfg := smallConfig()
 	topo := RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
-	seq, _ := NewMirror(cfg, topo, engine.Sequential{})
-	pool := engine.NewPool(3)
+	seq, _ := NewMirror(cfg, topo, engine.New(1))
+	pool := engine.New(3)
 	defer pool.Close()
 	par, _ := NewMirror(cfg, topo, pool)
 	ss := seq.Run(500)
@@ -204,7 +204,7 @@ func BenchmarkReferenceStep1000x10000(b *testing.B) {
 }
 
 func BenchmarkMirrorStepSequential(b *testing.B) {
-	mir, _ := NewMirror(DefaultConfig(), nil, engine.Sequential{})
+	mir, _ := NewMirror(DefaultConfig(), nil, engine.New(1))
 	var buf []int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -213,7 +213,7 @@ func BenchmarkMirrorStepSequential(b *testing.B) {
 }
 
 func BenchmarkMirrorStepParallel(b *testing.B) {
-	pool := engine.NewPool(0)
+	pool := engine.New(engine.Auto)
 	defer pool.Close()
 	mir, _ := NewMirror(DefaultConfig(), nil, pool)
 	var buf []int

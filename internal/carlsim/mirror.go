@@ -36,7 +36,7 @@ func NewMirror(cfg Config, topology []Synapse, exec engine.Executor) (*Mirror, e
 		topology = RandomTopology(cfg.N, cfg.Synapses, cfg.Seed)
 	}
 	if exec == nil {
-		exec = engine.Sequential{}
+		exec = engine.New(1)
 	}
 	params := neuron.LIFParams{
 		A: cfg.A, B: cfg.B, C: cfg.C,

@@ -21,6 +21,7 @@ import (
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/stats"
 	"parallelspikesim/internal/synapse"
 )
@@ -51,6 +52,12 @@ type Options struct {
 
 	// Classes is the label arity (0 = 10, the MNIST family).
 	Classes int
+
+	// Observer attaches an observability registry: per-phase timings,
+	// spike/update counters, engine utilization and trainer latencies are
+	// recorded into it. Nil (the default) disables instrumentation at
+	// zero cost.
+	Observer *obs.Registry
 
 	Seed uint64
 }
@@ -85,13 +92,13 @@ func New(o Options) (*Simulator, error) {
 
 	cfg := network.DefaultConfig(o.Inputs, o.Neurons, syn)
 
-	var exec engine.Executor
-	if o.Workers == 1 {
-		exec = engine.Sequential{}
-	} else {
-		exec = engine.NewPool(o.Workers)
+	workers := o.Workers
+	if workers == 0 {
+		workers = engine.Auto
 	}
-	net, err := network.New(cfg, exec)
+	exec := engine.New(workers)
+	engine.Instrument(exec, o.Observer)
+	net, err := network.New(cfg, network.WithExecutor(exec), network.WithObserver(o.Observer))
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -106,11 +113,8 @@ func New(o Options) (*Simulator, error) {
 		opts.Control.TLearnMS = o.TLearnMS
 	}
 
-	classes := o.Classes
-	if classes == 0 {
-		classes = 10
-	}
-	tr, err := learn.NewTrainer(net, opts, classes)
+	opts.NumClasses = o.Classes
+	tr, err := learn.New(net, opts)
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -155,4 +159,10 @@ func (s *Simulator) ReceptiveField(n int) []float64 {
 // image (Fig 8c).
 func (s *Simulator) MovingErrorCurve() []float64 {
 	return s.Trainer.MovingErrorCurve()
+}
+
+// Metrics returns the observability registry the simulator was built with
+// (nil when Options.Observer was not set).
+func (s *Simulator) Metrics() *obs.Registry {
+	return s.Net.Observer()
 }

@@ -18,6 +18,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"parallelspikesim/internal/obs"
 )
 
 // Executor runs range kernels, possibly concurrently.
@@ -33,8 +36,40 @@ type Executor interface {
 	Close()
 }
 
+// Auto selects GOMAXPROCS workers when passed to New.
+const Auto = -1
+
+// New is the single constructor for executors: 0 or 1 workers select the
+// sequential reference implementation, 2 or more a persistent worker pool
+// of that size, and any negative value (canonically Auto) a pool sized to
+// GOMAXPROCS. Callers that expose a "0 = all cores" flag should translate
+// 0 to Auto before calling New.
+func New(workers int) Executor {
+	switch {
+	case workers == 0 || workers == 1:
+		return Sequential{}
+	case workers < 0:
+		return NewPool(0)
+	default:
+		return NewPool(workers)
+	}
+}
+
+// Instrument attaches observability to an executor when it supports it
+// (currently *Pool): per-chunk kernel time, For-call counts and worker
+// utilization are recorded into reg. A nil registry or a sequential
+// executor leaves the hot path untouched.
+func Instrument(exec Executor, reg *obs.Registry) {
+	if p, ok := exec.(*Pool); ok {
+		p.Instrument(reg)
+	}
+}
+
 // Sequential executes kernels on the calling goroutine with a single
 // partition. It is the reference implementation for determinism tests.
+//
+// Deprecated: construct executors with New(1) instead of using the type
+// directly; the type remains exported because New returns it.
 type Sequential struct{}
 
 // For invokes fn(0, 0, n) directly.
@@ -58,6 +93,11 @@ type Pool struct {
 	jobs    []chan job
 	closed  atomic.Bool
 	closeMu sync.Mutex
+
+	// Observability handles; nil (the default) keeps For allocation-free.
+	forCalls *obs.Counter
+	chunkNs  *obs.Timer
+	util     *obs.Gauge
 }
 
 type job struct {
@@ -106,8 +146,21 @@ func runJob(chunk int, j job) {
 	j.fn(chunk, j.lo, j.hi)
 }
 
+// Instrument attaches observability to the pool: every chunk execution is
+// timed into the engine_chunk_ns histogram, For calls are counted, and
+// engine_worker_utilization is set after each dispatch to the fraction of
+// worker wall-time spent inside kernels. A nil registry detaches and
+// restores the allocation-free fast path.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	p.forCalls = reg.Counter("engine_for_calls_total")
+	p.chunkNs = reg.Timer("engine_chunk_ns")
+	p.util = reg.Gauge("engine_worker_utilization")
+}
+
 // NewPool creates a pool with the given number of workers. workers <= 0
 // selects GOMAXPROCS.
+//
+// Deprecated: use New, which also folds in the sequential case.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -145,8 +198,23 @@ func (p *Pool) For(n int, fn func(chunk, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	p.forCalls.Inc()
+	var busyNs atomic.Int64
+	var wallStart int64
+	dispatch := fn
+	if p.chunkNs != nil {
+		wallStart = time.Now().UnixNano()
+		dispatch = func(chunk, lo, hi int) {
+			t := time.Now().UnixNano()
+			fn(chunk, lo, hi)
+			d := time.Now().UnixNano() - t
+			p.chunkNs.Observe(d)
+			busyNs.Add(d)
+		}
+	}
 	if p.n == 1 {
-		fn(0, 0, n)
+		dispatch(0, 0, n)
+		p.setUtilization(busyNs.Load(), wallStart)
 		return
 	}
 	var wg sync.WaitGroup
@@ -154,12 +222,25 @@ func (p *Pool) For(n int, fn func(chunk, lo, hi int)) {
 	wg.Add(p.n)
 	for c := 0; c < p.n; c++ {
 		lo, hi := Partition(n, p.n, c)
-		p.jobs[c] <- job{lo: lo, hi: hi, fn: fn, wg: &wg, pan: pan}
+		p.jobs[c] <- job{lo: lo, hi: hi, fn: dispatch, wg: &wg, pan: pan}
 	}
 	wg.Wait()
+	p.setUtilization(busyNs.Load(), wallStart)
 	if pan.val != nil {
 		panic(*pan.val)
 	}
+}
+
+// setUtilization records busy/(wall × workers) for the last For call.
+func (p *Pool) setUtilization(busyNs int64, wallStart int64) {
+	if p.util == nil || wallStart == 0 {
+		return
+	}
+	wall := time.Now().UnixNano() - wallStart
+	if wall <= 0 {
+		return
+	}
+	p.util.Set(float64(busyNs) / (float64(wall) * float64(p.n)))
 }
 
 // Close shuts the workers down. Safe to call more than once; For must not

@@ -170,20 +170,20 @@ func AblateParallelScaling(s Scale, workerCounts []int) (*ScalingResult, error) 
 	var base time.Duration
 	for _, w := range workerCounts {
 		cfg := network.DefaultConfig(train.Pixels(), s.Neurons, syn)
-		var exec engine.Executor
-		if w == 1 {
-			exec = engine.Sequential{}
-		} else {
-			exec = engine.NewPool(w)
+		ww := w
+		if ww == 0 {
+			ww = engine.Auto
 		}
-		net, err := network.New(cfg, exec)
+		exec := engine.New(ww)
+		net, err := network.New(cfg, network.WithExecutor(exec))
 		if err != nil {
 			exec.Close()
 			return nil, err
 		}
 		opts := learn.DefaultOptions()
 		opts.Control.Band = encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}
-		tr, err := learn.NewTrainer(net, opts, train.NumClasses)
+		opts.NumClasses = train.NumClasses
+		tr, err := learn.New(net, opts)
 		if err != nil {
 			exec.Close()
 			return nil, err
@@ -265,20 +265,20 @@ func AblateNoise(s Scale) (*NoiseResult, error) {
 		}
 		syn.Seed = s.Seed
 		cfg := network.DefaultConfig(train.Pixels(), s.Neurons, syn)
-		var exec engine.Executor
-		if s.Workers == 1 {
-			exec = engine.Sequential{}
-		} else {
-			exec = engine.NewPool(s.Workers)
+		sw := s.Workers
+		if sw == 0 {
+			sw = engine.Auto
 		}
-		net, err := network.New(cfg, exec)
+		exec := engine.New(sw)
+		net, err := network.New(cfg, network.WithExecutor(exec))
 		if err != nil {
 			exec.Close()
 			return nil, err
 		}
 		opts := learn.DefaultOptions()
 		opts.Control.Band = encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}
-		tr, err := learn.NewTrainer(net, opts, train.NumClasses)
+		opts.NumClasses = train.NumClasses
+		tr, err := learn.New(net, opts)
 		if err != nil {
 			exec.Close()
 			return nil, err

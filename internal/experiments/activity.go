@@ -36,11 +36,11 @@ func FigActivityComparison(cfg carlsim.Config, durationMS float64, workers int) 
 	if err != nil {
 		return nil, err
 	}
-	mirSeq, err := carlsim.NewMirror(cfg, topo, engine.Sequential{})
+	mirSeq, err := carlsim.NewMirror(cfg, topo, engine.New(1))
 	if err != nil {
 		return nil, err
 	}
-	pool := engine.NewPool(workers)
+	pool := engine.New(workers)
 	defer pool.Close()
 	mirPar, err := carlsim.NewMirror(cfg, topo, pool)
 	if err != nil {

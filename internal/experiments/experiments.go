@@ -128,15 +128,14 @@ func runPipeline(spec RunSpec, s Scale) (*Outcome, error) {
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
-	var exec engine.Executor
-	if s.Workers == 1 {
-		exec = engine.Sequential{}
-	} else {
-		exec = engine.NewPool(s.Workers)
+	w := s.Workers
+	if w == 0 {
+		w = engine.Auto
 	}
+	exec := engine.New(w)
 	defer exec.Close()
 
-	net, err := network.New(cfg, exec)
+	net, err := network.New(cfg, network.WithExecutor(exec))
 	if err != nil {
 		return nil, err
 	}

@@ -346,7 +346,7 @@ func TestRenderTable(t *testing.T) {
 func TestTopContrastNeurons(t *testing.T) {
 	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
 	syn.Seed = 1
-	net, err := network.New(network.DefaultConfig(16, 3, syn), nil)
+	net, err := network.New(network.DefaultConfig(16, 3, syn))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/stats"
 )
 
@@ -36,6 +37,10 @@ var ErrInterrupted = errors.New("learn: training interrupted")
 // Options configures the pipeline.
 type Options struct {
 	Control encode.Control // input band + presentation time
+
+	// NumClasses is the label arity of the data. 0 selects 10, the MNIST
+	// family's arity.
+	NumClasses int
 
 	// Adaptive boost (0 disables): re-present with Band × BoostFactor
 	// until at least BoostMinSpikes first-layer spikes occur, at most
@@ -60,10 +65,21 @@ func DefaultOptions() Options {
 	}
 }
 
+// classes resolves the NumClasses default.
+func (o Options) classes() int {
+	if o.NumClasses == 0 {
+		return 10
+	}
+	return o.NumClasses
+}
+
 // Validate checks the options.
 func (o Options) Validate() error {
 	if err := o.Control.Validate(); err != nil {
 		return err
+	}
+	if o.NumClasses < 0 {
+		return fmt.Errorf("learn: NumClasses %d", o.NumClasses)
 	}
 	if o.BoostMinSpikes > 0 && (o.BoostFactor <= 1 || o.MaxBoosts <= 0) {
 		return fmt.Errorf("learn: boost needs factor > 1 and MaxBoosts > 0")
@@ -82,6 +98,14 @@ type Trainer struct {
 	numClasses int
 	resp       [][]int // training-time response counts [neuron][class]
 	moving     *stats.MovingError
+
+	// Observability (from the network's registry); nil handles no-op.
+	reg        *obs.Registry
+	obsPresent *obs.Timer   // per-image presentation time, boosts included
+	obsCkpt    *obs.Timer   // checkpoint-hook latency
+	obsImages  *obs.Counter // training presentations (excluding boosts)
+	obsBoosts  *obs.Counter // boost re-presentations
+	obsCkptN   *obs.Counter // checkpoints flushed
 
 	// ImagesSeen counts training presentations (excluding boost repeats).
 	ImagesSeen int
@@ -102,15 +126,16 @@ type Trainer struct {
 	Interrupted func() bool
 }
 
-// NewTrainer binds a network to pipeline options. numClasses is the label
-// arity of the data (10 for the MNIST family).
-func NewTrainer(net *network.Network, opts Options, numClasses int) (*Trainer, error) {
+// New binds a network to pipeline options. The label arity comes from
+// Options.NumClasses (0 = 10, the MNIST family). When the network carries
+// an observability registry (network.WithObserver), the trainer registers
+// its own metrics against it: learn_present_ns, learn_checkpoint_ns,
+// learn_images_total, learn_boosts_total and learn_checkpoints_total.
+func New(net *network.Network, opts Options) (*Trainer, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if numClasses <= 0 {
-		return nil, fmt.Errorf("learn: numClasses %d", numClasses)
-	}
+	numClasses := opts.classes()
 	mv, err := stats.NewMovingError(opts.MovingWindow)
 	if err != nil {
 		return nil, err
@@ -119,17 +144,40 @@ func NewTrainer(net *network.Network, opts Options, numClasses int) (*Trainer, e
 	for i := range resp {
 		resp[i] = make([]int, numClasses)
 	}
+	reg := net.Observer()
 	return &Trainer{
 		Net:        net,
 		Opts:       opts,
 		numClasses: numClasses,
 		resp:       resp,
 		moving:     mv,
+		reg:        reg,
+		obsPresent: reg.Timer("learn_present_ns"),
+		obsCkpt:    reg.Timer("learn_checkpoint_ns"),
+		obsImages:  reg.Counter("learn_images_total"),
+		obsBoosts:  reg.Counter("learn_boosts_total"),
+		obsCkptN:   reg.Counter("learn_checkpoints_total"),
 	}, nil
 }
 
-// present shows one image with adaptive boost.
+// NewTrainer binds a network to pipeline options with a positional label
+// arity.
+//
+// Deprecated: use New with Options.NumClasses set instead.
+func NewTrainer(net *network.Network, opts Options, numClasses int) (*Trainer, error) {
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("learn: numClasses %d", numClasses)
+	}
+	opts.NumClasses = numClasses
+	return New(net, opts)
+}
+
+// present shows one image with adaptive boost. The learn_present_ns timer
+// covers the whole presentation including boost re-presentations, so its
+// histogram is the per-image serving latency.
 func (t *Trainer) present(img []uint8, learning bool) (network.PresentResult, error) {
+	start := t.obsPresent.Start()
+	defer t.obsPresent.Stop(start)
 	res, err := t.Net.Present(img, t.Opts.Control, learning, nil)
 	if err != nil {
 		return res, err
@@ -142,6 +190,7 @@ func (t *Trainer) present(img []uint8, learning bool) (network.PresentResult, er
 		boosted.Band.MinHz *= t.Opts.BoostFactor
 		boosted.Band.MaxHz *= t.Opts.BoostFactor
 		t.BoostCount++
+		t.obsBoosts.Inc()
 		if res, err = t.Net.Present(img, boosted, learning, nil); err != nil {
 			return res, err
 		}
@@ -166,6 +215,7 @@ func (t *Trainer) TrainImage(img []uint8, label uint8) (network.PresentResult, e
 		t.resp[n][label] += c
 	}
 	t.ImagesSeen++
+	t.obsImages.Inc()
 	return res, nil
 }
 
@@ -187,9 +237,13 @@ func (t *Trainer) Train(ds *dataset.Dataset, progress func(i int, movingError fl
 		stop := t.Interrupted != nil && t.Interrupted()
 		periodic := t.CheckpointEvery > 0 && (i+1)%t.CheckpointEvery == 0
 		if t.Checkpoint != nil && (periodic || stop) {
-			if err := t.Checkpoint(); err != nil {
+			ck := t.obsCkpt.Start()
+			err := t.Checkpoint()
+			t.obsCkpt.Stop(ck)
+			if err != nil {
 				return fmt.Errorf("learn: checkpoint after image %d: %w", i, err)
 			}
+			t.obsCkptN.Inc()
 		}
 		if stop {
 			return ErrInterrupted
@@ -238,6 +292,13 @@ type TrainerState struct {
 	SpikeCounts      []uint64 // cumulative per-neuron spike counters
 
 	Streams [][4]uint64 // checkpointed rng.Stream states (reserved)
+
+	// Metrics carries the observability registry's cumulative counters at
+	// checkpoint time, so totals like network_exc_spikes_total survive a
+	// crash/resume cycle. Timer histograms are wall-clock observations of
+	// the dead process and are deliberately not resurrected. Empty when
+	// the run is unobserved.
+	Metrics []obs.CounterValue
 }
 
 // CheckpointState deep-copies the trainer's progress at the current image
@@ -261,6 +322,7 @@ func (t *Trainer) CheckpointState() *TrainerState {
 		TotalExcSpikes:   t.Net.TotalExcSpikes,
 		TotalInhEvents:   t.Net.TotalInhEvents,
 		SpikeCounts:      append([]uint64(nil), t.Net.Exc.SpikeCounts()...),
+		Metrics:          t.reg.Snapshot().Counters,
 	}
 }
 
@@ -308,6 +370,11 @@ func (t *Trainer) RestoreState(s *TrainerState) error {
 	t.Net.TotalExcSpikes = s.TotalExcSpikes
 	t.Net.TotalInhEvents = s.TotalInhEvents
 	copy(t.Net.Exc.SpikeCounts(), s.SpikeCounts)
+	// Resurrect cumulative metric totals into the live registry (no-op for
+	// unobserved runs). Interned handles keep accumulating on top.
+	for _, m := range s.Metrics {
+		t.reg.SetCounter(m.Name, m.Value)
+	}
 	return nil
 }
 
@@ -428,7 +495,8 @@ type Result struct {
 // Run executes the complete pipeline: train on trainSet, label with the
 // first labelCount images of testSet, infer on the rest.
 func Run(net *network.Network, opts Options, trainSet, testSet *dataset.Dataset, labelCount int) (*Result, error) {
-	tr, err := NewTrainer(net, opts, trainSet.NumClasses)
+	opts.NumClasses = trainSet.NumClasses
+	tr, err := New(net, opts)
 	if err != nil {
 		return nil, err
 	}

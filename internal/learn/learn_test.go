@@ -18,7 +18,7 @@ func testNet(t *testing.T, kind synapse.RuleKind, neurons int, seed uint64) *net
 	}
 	syn.Seed = seed
 	cfg := network.DefaultConfig(784, neurons, syn)
-	net, err := network.New(cfg, nil)
+	net, err := network.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestEndToEndLearnsAboveChance(t *testing.T) {
 		syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, kind)
 		syn.Det.WindowMS = 15 // match the 5-78 Hz band
 		syn.Seed = 6
-		net, err := network.New(network.DefaultConfig(784, 60, syn), nil)
+		net, err := network.New(network.DefaultConfig(784, 60, syn))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -26,13 +26,14 @@ func trainedSetup(t *testing.T, neurons int, seed uint64) (*network.Network, *le
 	}
 	syn.Seed = seed
 	ds := dataset.SynthDigits(36, 5)
-	net, err := network.New(network.DefaultConfig(ds.Pixels(), neurons, syn), nil)
+	net, err := network.New(network.DefaultConfig(ds.Pixels(), neurons, syn))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := learn.DefaultOptions()
 	opts.Control.TLearnMS = 120
-	tr, err := learn.NewTrainer(net, opts, ds.NumClasses)
+	opts.NumClasses = ds.NumClasses
+	tr, err := learn.New(net, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

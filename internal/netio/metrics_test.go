@@ -1,0 +1,127 @@
+package netio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/synapse"
+)
+
+// observedSetup builds a small instrumented pipeline.
+func observedSetup(t *testing.T, seed uint64) (*network.Network, *learn.Trainer, *dataset.Dataset, *obs.Registry) {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = seed
+	ds := dataset.SynthDigits(24, 5)
+	reg := obs.NewRegistry()
+	net, err := network.New(network.DefaultConfig(ds.Pixels(), 5, syn), network.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := learn.DefaultOptions()
+	opts.Control.TLearnMS = 120
+	opts.NumClasses = ds.NumClasses
+	tr, err := learn.New(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tr, ds, reg
+}
+
+func TestMetricsSectionRoundTrip(t *testing.T) {
+	net, tr, ds, reg := observedSetup(t, 99)
+	if err := tr.Train(ds.Subset(0, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("network_input_spikes_total").Value() == 0 {
+		t.Fatal("setup produced no input spikes; test is vacuous")
+	}
+
+	snap := CaptureCheckpoint(net, tr)
+	if len(snap.Trainer.Metrics) == 0 {
+		t.Fatal("checkpoint carries no metrics despite an observed run")
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trainer == nil {
+		t.Fatal("trainer section lost")
+	}
+	if !reflect.DeepEqual(got.Trainer.Metrics, snap.Trainer.Metrics) {
+		t.Fatalf("metrics differ after round trip:\n got %+v\nwant %+v", got.Trainer.Metrics, snap.Trainer.Metrics)
+	}
+}
+
+func TestMetricsSurviveResume(t *testing.T) {
+	// Train, checkpoint, then restore into a *fresh* registry and verify
+	// the cumulative counters carry over and keep growing.
+	net, tr, ds, reg := observedSetup(t, 42)
+	if err := tr.Train(ds.Subset(0, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	savedInput := reg.Counter("network_input_spikes_total").Value()
+	savedImages := reg.Counter("learn_images_total").Value()
+	var buf bytes.Buffer
+	if err := CaptureCheckpoint(net, tr).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net2, tr2, _, reg2 := observedSetup(t, 42)
+	if err := snap.Restore(net2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.RestoreState(snap.Trainer); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("network_input_spikes_total").Value(); got != savedInput {
+		t.Fatalf("restored input-spike counter %d, want %d", got, savedInput)
+	}
+	if got := reg2.Counter("learn_images_total").Value(); got != savedImages {
+		t.Fatalf("restored images counter %d, want %d", got, savedImages)
+	}
+	if err := tr2.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("network_input_spikes_total").Value(); got <= savedInput {
+		t.Fatalf("counter did not keep accumulating after resume: %d <= %d", got, savedInput)
+	}
+}
+
+func TestUnobservedCheckpointHasNoMetricsSection(t *testing.T) {
+	net, tr, ds := trainedSetup(t, 5, 77)
+	if err := tr.Train(ds.Subset(0, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := CaptureCheckpoint(net, tr)
+	if len(snap.Trainer.Metrics) != 0 {
+		t.Fatalf("unobserved run captured metrics: %+v", snap.Trainer.Metrics)
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trainer.Metrics) != 0 {
+		t.Fatalf("metrics appeared from nowhere: %+v", got.Trainer.Metrics)
+	}
+}

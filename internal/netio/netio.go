@@ -7,9 +7,11 @@
 //     thresholds and neuron labeling, no integrity protection.
 //   - "PSS2" (current): the same payload plus an optional trainer-progress
 //     section (next image index, boost count, network clock, response
-//     counts, moving-error window, RNG stream states) and a trailing CRC32
-//     over everything after the magic, so torn writes and bit flips are
-//     detected instead of silently restoring garbage.
+//     counts, moving-error window, RNG stream states), an optional
+//     observability-counter section (cumulative metric totals, so
+//     `-metrics` output keeps accumulating across crash/resume), and a
+//     trailing CRC32 over everything after the magic, so torn writes and
+//     bit flips are detected instead of silently restoring garbage.
 //
 // SaveFile is crash-safe: the snapshot is written to a same-directory temp
 // file, synced, and renamed over the destination, so an interrupted save
@@ -34,6 +36,7 @@ import (
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
 )
 
 // magicV1 and magicV2 identify the format; the trailing digit is the
@@ -43,8 +46,14 @@ var (
 	magicV2 = [4]byte{'P', 'S', 'S', '2'}
 )
 
-// flagTrainer marks a snapshot carrying a trainer-progress section.
-const flagTrainer = uint32(1)
+// flagTrainer marks a snapshot carrying a trainer-progress section;
+// flagMetrics marks an additional observability-counter section after it
+// (cumulative metric totals that survive a crash/resume cycle). Metrics
+// only ever accompany a trainer section.
+const (
+	flagTrainer = uint32(1)
+	flagMetrics = uint32(2)
+)
 
 // Plausibility bounds for header-declared sizes, so a forged or corrupt
 // header cannot drive huge allocations before the checksum is verified.
@@ -54,6 +63,8 @@ const (
 	maxWindow     = 1 << 20
 	maxCurveLen   = 1 << 24
 	maxRNGStreams = 1 << 12
+	maxMetrics    = 1 << 12
+	maxMetricName = 1 << 8
 )
 
 // Snapshot is the serializable state of a trained network plus (optionally)
@@ -227,6 +238,9 @@ func (s *Snapshot) Write(w io.Writer) error {
 	flags := uint32(0)
 	if s.Trainer != nil {
 		flags |= flagTrainer
+		if len(s.Trainer.Metrics) > 0 {
+			flags |= flagMetrics
+		}
 	}
 	fw.u32(uint32(s.NumInputs))
 	fw.u32(uint32(s.NumNeurons))
@@ -241,6 +255,9 @@ func (s *Snapshot) Write(w io.Writer) error {
 	}
 	if s.Trainer != nil {
 		writeTrainer(fw, s.Trainer)
+		if len(s.Trainer.Metrics) > 0 {
+			writeMetrics(fw, s.Trainer.Metrics)
+		}
 	}
 	if fw.err != nil {
 		return fw.err
@@ -291,7 +308,54 @@ func (s *Snapshot) validateForWrite() error {
 	if len(t.Streams) > maxRNGStreams {
 		return fmt.Errorf("netio: %d rng streams", len(t.Streams))
 	}
+	if len(t.Metrics) > maxMetrics {
+		return fmt.Errorf("netio: %d metric counters", len(t.Metrics))
+	}
+	for _, m := range t.Metrics {
+		if m.Name == "" || len(m.Name) > maxMetricName {
+			return fmt.Errorf("netio: metric name length %d", len(m.Name))
+		}
+	}
 	return nil
+}
+
+// writeMetrics serializes the cumulative-counter section: a count followed
+// by length-prefixed names and 64-bit totals.
+func writeMetrics(fw *fieldWriter, ms []obs.CounterValue) {
+	fw.u32(uint32(len(ms)))
+	for _, m := range ms {
+		fw.u32(uint32(len(m.Name)))
+		fw.bytes([]byte(m.Name))
+		fw.u64(m.Value)
+	}
+}
+
+// readMetrics parses the cumulative-counter section.
+func readMetrics(fr *fieldReader) ([]obs.CounterValue, error) {
+	count := fr.u32()
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	if count == 0 || count > maxMetrics {
+		return nil, fmt.Errorf("implausible metric count %d", count)
+	}
+	ms := make([]obs.CounterValue, count)
+	for i := range ms {
+		nameLen := fr.u32()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if nameLen == 0 || nameLen > maxMetricName {
+			return nil, fmt.Errorf("implausible metric name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		fr.bytes(name)
+		ms[i] = obs.CounterValue{Name: string(name), Value: fr.u64()}
+	}
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	return ms, nil
 }
 
 func writeTrainer(fw *fieldWriter, t *learn.TrainerState) {
@@ -495,8 +559,11 @@ func readV2(br *bufio.Reader) (*Snapshot, error) {
 	if fr.err != nil {
 		return nil, fmt.Errorf("netio: reading flags: %w", fr.err)
 	}
-	if flags&^flagTrainer != 0 {
+	if flags&^(flagTrainer|flagMetrics) != 0 {
 		return nil, fmt.Errorf("netio: unknown flags %#x (snapshot from a newer version?)", flags)
+	}
+	if flags&flagMetrics != 0 && flags&flagTrainer == 0 {
+		return nil, fmt.Errorf("netio: metrics section without trainer section (flags %#x)", flags)
 	}
 	s := &Snapshot{NumInputs: nIn, NumNeurons: nNeu, Format: format}
 	if err := readPayload(fr, s, nAssign); err != nil {
@@ -506,6 +573,11 @@ func readV2(br *bufio.Reader) (*Snapshot, error) {
 		t, err := readTrainer(fr, nNeu)
 		if err != nil {
 			return nil, fmt.Errorf("netio: trainer section: %w", err)
+		}
+		if flags&flagMetrics != 0 {
+			if t.Metrics, err = readMetrics(fr); err != nil {
+				return nil, fmt.Errorf("netio: metrics section: %w", err)
+			}
 		}
 		s.Trainer = t
 	}

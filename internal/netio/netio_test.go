@@ -22,7 +22,7 @@ func testNet(t *testing.T, preset synapse.Preset) *network.Network {
 		t.Fatal(err)
 	}
 	syn.Seed = 3
-	net, err := network.New(network.DefaultConfig(16, 4, syn), nil)
+	net, err := network.New(network.DefaultConfig(16, 4, syn))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestRestoreRejectsMismatch(t *testing.T) {
 
 	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
 	syn.Seed = 3
-	big, _ := network.New(network.DefaultConfig(16, 8, syn), nil)
+	big, _ := network.New(network.DefaultConfig(16, 8, syn))
 	if err := snap.Restore(big); err == nil {
 		t.Error("geometry mismatch accepted")
 	}

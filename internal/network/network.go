@@ -26,10 +26,12 @@ package network
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/neuron"
+	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/rng"
 	"parallelspikesim/internal/synapse"
 )
@@ -110,6 +112,18 @@ type Network struct {
 	Plast *synapse.Plasticity
 
 	exec engine.Executor
+	rec  *Recorder     // default recorder (WithRecorder); Present's arg overrides
+	reg  *obs.Registry // observability registry; nil = disabled
+
+	// Phase timers and event counters; all nil (no-op) without an observer.
+	obsEncode    *obs.Timer
+	obsIntegrate *obs.Timer
+	obsPlast     *obs.Timer
+	obsInhibit   *obs.Timer
+	obsInputSp   *obs.Counter
+	obsExcSp     *obs.Counter
+	obsInhEv     *obs.Counter
+	obsSynUpd    *obs.Counter
 
 	lastPre  []float64 // last spike time per input train
 	lastPost []float64 // last spike time per first-layer neuron
@@ -127,13 +141,57 @@ type Network struct {
 	TotalInhEvents   uint64 // layer-2 relay activations (== WTA triggers)
 }
 
+// Option customizes a Network at construction time, so new capabilities
+// (executors, recorders, observability) compose without widening Config.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	exec engine.Executor
+	rec  *Recorder
+	reg  *obs.Registry
+}
+
+// WithExecutor runs the network's kernels on exec. The caller retains
+// ownership (and Close responsibility) of the executor. The default is
+// sequential execution.
+func WithExecutor(exec engine.Executor) Option {
+	return func(o *buildOptions) { o.exec = exec }
+}
+
+// WithRecorder installs a default spike recorder used whenever Present is
+// called with a nil recorder argument.
+func WithRecorder(rec *Recorder) Option {
+	return func(o *buildOptions) { o.rec = rec }
+}
+
+// WithObserver attaches an observability registry: Present records
+// per-phase timing histograms (network_phase_{encode,integrate,plasticity,
+// inhibit}_ns) and cumulative spike/update counters. A nil registry (the
+// default) keeps the hot loop allocation- and syscall-free.
+func WithObserver(reg *obs.Registry) Option {
+	return func(o *buildOptions) { o.reg = reg }
+}
+
 // New constructs a network with randomly initialized conductances.
-func New(cfg Config, exec engine.Executor) (*Network, error) {
+// Behaviour is customized with functional options:
+//
+//	net, err := network.New(cfg, network.WithExecutor(pool), network.WithObserver(reg))
+//
+// With no options the network runs sequentially, unrecorded and
+// unobserved. Nil options are ignored.
+func New(cfg Config, opts ...Option) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var bo buildOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&bo)
+		}
+	}
+	exec := bo.exec
 	if exec == nil {
-		exec = engine.Sequential{}
+		exec = engine.New(1)
 	}
 	exc, err := neuron.NewPopulation(cfg.NumNeurons, cfg.LIF)
 	if err != nil {
@@ -154,9 +212,21 @@ func New(cfg Config, exec engine.Executor) (*Network, error) {
 		Syn:      mat,
 		Plast:    plast,
 		exec:     exec,
+		rec:      bo.rec,
+		reg:      bo.reg,
 		lastPre:  make([]float64, cfg.NumInputs),
 		lastPost: make([]float64, cfg.NumNeurons),
 		current:  make([]float64, cfg.NumNeurons),
+
+		// All handles are nil (free no-ops) when bo.reg is nil.
+		obsEncode:    bo.reg.Timer("network_phase_encode_ns"),
+		obsIntegrate: bo.reg.Timer("network_phase_integrate_ns"),
+		obsPlast:     bo.reg.Timer("network_phase_plasticity_ns"),
+		obsInhibit:   bo.reg.Timer("network_phase_inhibit_ns"),
+		obsInputSp:   bo.reg.Counter("network_input_spikes_total"),
+		obsExcSp:     bo.reg.Counter("network_exc_spikes_total"),
+		obsInhEv:     bo.reg.Counter("network_inh_events_total"),
+		obsSynUpd:    bo.reg.Counter("network_syn_updates_total"),
 	}
 	w := exec.Workers()
 	n.inputBufs = make([][]int, w)
@@ -176,6 +246,11 @@ func (n *Network) resetTimers() {
 		n.current[i] = 0
 	}
 }
+
+// Observer returns the registry installed with WithObserver (nil when the
+// network is unobserved). Downstream components (learn.Trainer) register
+// their own metrics against it so one registry snapshots the whole stack.
+func (n *Network) Observer() *obs.Registry { return n.reg }
 
 // Now returns the absolute simulation time in ms.
 func (n *Network) Now() float64 { return n.now }
@@ -236,8 +311,12 @@ func (r PresentResult) TotalSpikes() int {
 // Present shows one image to the network for ctl.TLearnMS milliseconds.
 // When learn is true the STDP rule updates conductances. Membranes and
 // spike timers are reset at the start of the presentation; homeostatic
-// thresholds persist.
+// thresholds persist. A nil rec falls back to the recorder installed with
+// WithRecorder (if any).
 func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Recorder) (PresentResult, error) {
+	if rec == nil {
+		rec = n.rec
+	}
 	if len(img) != n.Cfg.NumInputs {
 		return PresentResult{}, fmt.Errorf("network: image has %d pixels, network expects %d", len(img), n.Cfg.NumInputs)
 	}
@@ -269,12 +348,15 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		step := n.step
 
 		// (1) Input spikes, generated chunk-parallel over pixels.
+		tEnc := n.obsEncode.Start()
 		n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
 			n.inputBufs[chunk] = src.StepRange(step, dt, lo, hi, n.inputBufs[chunk][:0])
 		})
+		n.obsEncode.Stop(tEnc)
 		inputSpikes := mergeBufs(n.inputBufs[:n.exec.Workers()])
 		res.InputSpikes += len(inputSpikes)
 		n.TotalInputSpikes += uint64(len(inputSpikes))
+		n.obsInputSp.Add(uint64(len(inputSpikes)))
 		if rec != nil {
 			for _, px := range inputSpikes {
 				rec.InputSpikes = append(rec.InputSpikes, SpikeEvent{TimeMS: now, Index: px})
@@ -282,6 +364,7 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		}
 
 		// (2) Input current accumulation (eq. 3).
+		tInt := n.obsIntegrate.Start()
 		n.exec.For(n.Cfg.NumNeurons, func(chunk, lo, hi int) {
 			cur := n.current
 			if decay == 0 {
@@ -312,6 +395,7 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		n.exec.For(n.Cfg.NumNeurons, func(chunk, lo, hi int) {
 			n.spikeBufs[chunk] = n.Exc.CandidatesRange(lo, hi, dt, now, n.current, n.spikeBufs[chunk][:0])
 		})
+		n.obsIntegrate.Stop(tInt)
 		candidates := mergeBufs(n.spikeBufs[:n.exec.Workers()])
 
 		// (5) Winner-take-all + post-spike learning. With inhibition
@@ -319,6 +403,12 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		// have crossed first in continuous time and its layer-2 relay
 		// inhibits the rest); the losers are suppressed.
 		postSpikes := candidates
+		// The inhibit timer spans WTA selection and post-spike event
+		// handling; plasticity kernel time is measured separately and
+		// excluded, so the two histograms partition the section's wall
+		// time (see DESIGN.md "Observability").
+		tWTA := n.obsInhibit.Start()
+		var plastNs int64
 		if n.Cfg.TInhMS > 0 && len(candidates) > 1 {
 			winner := candidates[0]
 			for _, c := range candidates[1:] {
@@ -338,19 +428,32 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 			n.Exc.Fire(post, now)
 			if learn {
 				// Partition the 784-synapse column update across workers.
+				tp := n.obsPlast.Start()
 				n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
 					n.Plast.OnPostSpikeRange(post, now, n.lastPre, step, lo, hi)
 				})
+				if tp != 0 {
+					plastNs += time.Now().UnixNano() - tp
+				}
+				n.obsSynUpd.Add(uint64(n.Cfg.NumInputs))
 			}
 			n.lastPost[post] = now
 			if n.Cfg.TInhMS > 0 {
 				// Layer-2 relay fires and inhibits all other neurons.
 				n.Exc.Inhibit(post, now+n.Cfg.TInhMS)
 				n.TotalInhEvents++
+				n.obsInhEv.Inc()
 			}
 			n.TotalExcSpikes++
+			n.obsExcSp.Inc()
 			if rec != nil {
 				rec.NeuronSpikes = append(rec.NeuronSpikes, SpikeEvent{TimeMS: now, Index: post})
+			}
+		}
+		if tWTA != 0 {
+			n.obsInhibit.Observe(time.Now().UnixNano() - tWTA - plastNs)
+			if plastNs > 0 {
+				n.obsPlast.Observe(plastNs)
 			}
 		}
 

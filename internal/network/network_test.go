@@ -238,13 +238,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 	data := dataset.SynthDigits(6, 3)
 	for _, kind := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
 		cfg := testConfig(t, kind, 23) // odd count: uneven partitions
-		seqNet, err := New(cfg, engine.Sequential{})
+		seqNet, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pool := engine.NewPool(4)
+		pool := engine.New(4)
 		defer pool.Close()
-		parNet, err := New(cfg, pool)
+		parNet, err := New(cfg, WithExecutor(pool))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -384,7 +384,7 @@ func TestMembraneFiniteAfterLongRun(t *testing.T) {
 func BenchmarkPresentSequential100(b *testing.B) {
 	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
 	cfg := DefaultConfig(784, 100, syn)
-	net, _ := New(cfg, engine.Sequential{})
+	net, _ := New(cfg)
 	img := testImage()
 	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 100}
 	b.ResetTimer()
@@ -398,9 +398,9 @@ func BenchmarkPresentSequential100(b *testing.B) {
 func BenchmarkPresentParallel100(b *testing.B) {
 	syn, _, _ := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
 	cfg := DefaultConfig(784, 100, syn)
-	pool := engine.NewPool(0)
+	pool := engine.New(engine.Auto)
 	defer pool.Close()
-	net, _ := New(cfg, pool)
+	net, _ := New(cfg, WithExecutor(pool))
 	img := testImage()
 	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 100}
 	b.ResetTimer()

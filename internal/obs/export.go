@@ -1,0 +1,57 @@
+// Exporters: Prometheus text exposition format and JSON, both rendered
+// from a Snapshot so a registry can be dumped repeatedly without holding
+// its lock during I/O.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters keep their configured names (the
+// simulator uses the conventional `_total` suffix), timers are rendered as
+// cumulative histograms with `le` labels in nanoseconds, gauges as plain
+// samples.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %g\n", g.Name, g.Name, g.Value)
+	}
+	for _, t := range s.Timers {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", t.Name)
+		cum := uint64(0)
+		for i, bound := range BucketBoundsNs {
+			if i < len(t.Buckets) {
+				cum += t.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", t.Name, bound, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", t.Name, t.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", t.Name, t.SumNs)
+		fmt.Fprintf(bw, "%s_count %d\n", t.Name, t.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the snapshot as indented JSON, with the histogram
+// bucket bounds included once so the file is self-describing.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	doc := struct {
+		BucketBoundsNs []int64 `json:"bucket_bounds_ns"`
+		Snapshot
+	}{BucketBoundsNs: BucketBoundsNs, Snapshot: s}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

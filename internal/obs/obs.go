@@ -1,0 +1,305 @@
+// Package obs is the simulator's observability layer: named counters,
+// gauges and ns-resolution phase timers collected in a Registry and
+// exported as Prometheus text or JSON.
+//
+// The package is built around two constraints of the hot loop (encode →
+// integrate → plasticity → inhibition, millions of iterations per run):
+//
+//   - Disabled must be free. Every handle type (*Counter, *Gauge, *Timer)
+//     is nil-safe: methods on a nil handle are no-ops that compile to a
+//     nil check, Timer.Start on a nil timer returns 0 without reading the
+//     clock, and a nil *Registry hands out nil handles. Instrumented code
+//     therefore carries no branches on a "metrics enabled" flag and
+//     allocates nothing when observability is off (see the overhead
+//     benchmark in bench_test.go).
+//
+//   - Enabled must be cheap and race-free. All mutation is lock-free
+//     atomics, so engine workers can observe chunk timings concurrently;
+//     the registry lock is only taken when a handle is first created or a
+//     snapshot is cut.
+//
+// Handles are interned by name: asking a registry twice for the same
+// counter returns the same *Counter, so cumulative totals can be restored
+// after a checkpoint with SetCounter and keep accumulating through the
+// handles components already hold.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing cumulative metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// set overwrites the count; only checkpoint restore goes through here.
+func (c *Counter) set(v uint64) { c.v.Store(v) }
+
+// Gauge is a point-in-time float value (e.g. worker utilization).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+// BucketBoundsNs are the fixed upper bounds (inclusive, nanoseconds) of
+// every Timer histogram: a 1-2-5 ladder from 1 µs to 10 s. Durations above
+// the last bound land in an implicit overflow bucket, so a Timer's bucket
+// slice has len(BucketBoundsNs)+1 entries.
+var BucketBoundsNs = []int64{
+	1_000, 2_000, 5_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000,
+	10_000_000_000,
+}
+
+// numBuckets includes the overflow bucket.
+const numBuckets = 23
+
+// Timer is a fixed-bucket histogram of durations in nanoseconds.
+type Timer struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Start returns the current time as nanoseconds for a later Stop. On a nil
+// timer it returns 0 without reading the clock, so the disabled path never
+// pays for a syscall.
+func (t *Timer) Start() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// Stop observes the duration since a Start. A zero start (disabled timer)
+// is a no-op, so Start/Stop pairs need no enabled-check at the call site.
+func (t *Timer) Stop(start int64) {
+	if t == nil || start == 0 {
+		return
+	}
+	t.Observe(time.Now().UnixNano() - start)
+}
+
+// Observe records one duration in nanoseconds. Negative durations (clock
+// steps) are clamped to zero. No-op on a nil timer.
+func (t *Timer) Observe(ns int64) {
+	if t == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.sumNs.Add(ns)
+	t.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of observations (0 on a nil timer).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// SumNs returns the total observed nanoseconds (0 on a nil timer).
+func (t *Timer) SumNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sumNs.Load()
+}
+
+// bucketIndex maps a duration to its histogram slot by binary search over
+// the fixed bounds; the last slot is the overflow bucket.
+func bucketIndex(ns int64) int {
+	lo, hi := 0, len(BucketBoundsNs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= BucketBoundsNs[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Registry holds named metrics. The zero value is not usable; a nil
+// *Registry is the disabled state and hands out nil (no-op) handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil handle, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe like
+// Counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use. Nil-safe like
+// Counter.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// SetCounter overwrites the named counter's cumulative value, creating the
+// counter if needed. Checkpoint restore uses this to carry totals across a
+// crash; because handles are interned, components holding the counter keep
+// accumulating on top of the restored value. No-op on a nil registry.
+func (r *Registry) SetCounter(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.Counter(name).set(v)
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// TimerValue is one timer histogram in a snapshot. Buckets holds raw
+// (non-cumulative) per-bucket counts aligned with BucketBoundsNs plus a
+// final overflow slot.
+type TimerValue struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is read
+// atomically, sorted by name. (Individual metrics may move between reads;
+// cumulative metrics only ever grow, so exported totals are always valid.)
+type Snapshot struct {
+	Counters []CounterValue `json:"counters"`
+	Gauges   []GaugeValue   `json:"gauges"`
+	Timers   []TimerValue   `json:"timers"`
+}
+
+// Snapshot cuts a sorted copy of every metric. A nil registry yields the
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, t := range r.timers {
+		tv := TimerValue{Name: name, Count: t.Count(), SumNs: t.SumNs(), Buckets: make([]uint64, numBuckets)}
+		for i := range t.buckets {
+			tv.Buckets[i] = t.buckets[i].Load()
+		}
+		s.Timers = append(s.Timers, tv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	return s
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	tm := r.Timer("t")
+	if c != nil || g != nil || tm != nil {
+		t.Fatalf("nil registry must hand out nil handles, got %v %v %v", c, g, tm)
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(1.5)
+	tm.Stop(tm.Start())
+	tm.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 || tm.SumNs() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if tm.Start() != 0 {
+		t.Fatal("nil Timer.Start must return 0 (no clock read)")
+	}
+	r.SetCounter("c", 7)
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Timers) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHandlesAreInterned(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter handles not interned")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("gauge handles not interned")
+	}
+	if r.Timer("x") != r.Timer("x") {
+		t.Fatal("timer handles not interned")
+	}
+}
+
+func TestTimerBucketing(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0},     // below first bound
+		{-5, 0},    // clamped negative
+		{1_000, 0}, // exactly on a bound is inclusive
+		{1_001, 1}, // just past a bound
+		{2_000, 1},
+		{4_999, 2},
+		{5_000, 2},
+		{999_999_999, 18},    // just under 1 s
+		{1_000_000_000, 18},  // 1 s bound
+		{10_000_000_000, 21}, // last explicit bound
+		{10_000_000_001, 22}, // overflow bucket
+	}
+	for _, tc := range cases {
+		tm := &Timer{}
+		tm.Observe(tc.ns)
+		s := snapshotOf(t, tm)
+		for i, n := range s.Buckets {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket[%d] = %d, want %d", tc.ns, i, n, want)
+			}
+		}
+		if s.Count != 1 {
+			t.Errorf("Observe(%d): count %d", tc.ns, s.Count)
+		}
+		wantSum := tc.ns
+		if wantSum < 0 {
+			wantSum = 0
+		}
+		if s.SumNs != wantSum {
+			t.Errorf("Observe(%d): sum %d, want %d", tc.ns, s.SumNs, wantSum)
+		}
+	}
+}
+
+// snapshotOf reads one timer back through a throwaway registry snapshot.
+func snapshotOf(t *testing.T, tm *Timer) TimerValue {
+	t.Helper()
+	r := NewRegistry()
+	r.mu.Lock()
+	r.timers["t"] = tm
+	r.mu.Unlock()
+	s := r.Snapshot()
+	if len(s.Timers) != 1 {
+		t.Fatalf("snapshot has %d timers", len(s.Timers))
+	}
+	return s.Timers[0]
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra_total").Add(3)
+	r.Counter("alpha_total").Add(1)
+	r.Gauge("util").Set(0.5)
+	r.Timer("phase_ns").Observe(1500)
+	r.Timer("phase_ns").Observe(3_000_000)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "alpha_total" || s.Counters[1].Name != "zebra_total" {
+		t.Fatalf("counters not sorted/complete: %+v", s.Counters)
+	}
+	if s.Counters[0].Value != 1 || s.Counters[1].Value != 3 {
+		t.Fatalf("counter values: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 0.5 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	if len(s.Timers) != 1 || s.Timers[0].Count != 2 || s.Timers[0].SumNs != 3_001_500 {
+		t.Fatalf("timers: %+v", s.Timers)
+	}
+	if got := len(s.Timers[0].Buckets); got != len(BucketBoundsNs)+1 {
+		t.Fatalf("bucket slice length %d, want %d", got, len(BucketBoundsNs)+1)
+	}
+}
+
+func TestSetCounterRestoresThroughLiveHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spikes_total")
+	c.Add(2)
+	// Simulate checkpoint restore overwriting the cumulative total.
+	r.SetCounter("spikes_total", 100)
+	c.Add(5) // the component's interned handle keeps accumulating
+	if got := c.Value(); got != 105 {
+		t.Fatalf("restored counter = %d, want 105", got)
+	}
+	// SetCounter on an unseen name creates it.
+	r.SetCounter("new_total", 9)
+	if got := r.Counter("new_total").Value(); got != 9 {
+		t.Fatalf("created counter = %d, want 9", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_spikes_total").Add(42)
+	r.Gauge("engine_worker_utilization").Set(0.75)
+	tm := r.Timer("network_phase_encode_ns")
+	tm.Observe(1_500) // bucket le=2000
+	tm.Observe(1_500)
+	tm.Observe(20_000_000_000) // overflow
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sim_spikes_total counter\nsim_spikes_total 42\n",
+		"# TYPE engine_worker_utilization gauge\nengine_worker_utilization 0.75\n",
+		"# TYPE network_phase_encode_ns histogram\n",
+		"network_phase_encode_ns_bucket{le=\"1000\"} 0\n",
+		"network_phase_encode_ns_bucket{le=\"2000\"} 2\n",
+		"network_phase_encode_ns_bucket{le=\"10000000000\"} 2\n",
+		"network_phase_encode_ns_bucket{le=\"+Inf\"} 3\n",
+		"network_phase_encode_ns_sum 20000003000\n",
+		"network_phase_encode_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: every later bound >= earlier count.
+	if !strings.Contains(out, "le=\"5000\"} 2") {
+		t.Errorf("buckets not cumulative:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Timer("t_ns").Observe(10)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		BucketBoundsNs []int64        `json:"bucket_bounds_ns"`
+		Counters       []CounterValue `json:"counters"`
+		Timers         []TimerValue   `json:"timers"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.BucketBoundsNs) != len(BucketBoundsNs) {
+		t.Fatalf("bounds length %d", len(doc.BucketBoundsNs))
+	}
+	if len(doc.Counters) != 1 || doc.Counters[0].Value != 7 {
+		t.Fatalf("counters: %+v", doc.Counters)
+	}
+	if len(doc.Timers) != 1 || doc.Timers[0].Count != 1 {
+		t.Fatalf("timers: %+v", doc.Timers)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			tm := r.Timer("shared_ns")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				tm.Observe(int64(j))
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("counter %d, want 8000", got)
+	}
+	if got := r.Timer("shared_ns").Count(); got != 8000 {
+		t.Fatalf("timer count %d, want 8000", got)
+	}
+}

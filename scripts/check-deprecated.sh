@@ -1,0 +1,26 @@
+#!/bin/sh
+# check-deprecated.sh fails the build when new code calls the deprecated
+# constructors that the functional-options API replaced:
+#
+#   engine.NewPool(...)   -> engine.New(n) / engine.New(engine.Auto)
+#   engine.Sequential{}   -> engine.New(1)
+#   learn.NewTrainer(...) -> learn.New(net, opts) with opts.NumClasses set
+#
+# Only *qualified* uses are checked, so the definitions, their deprecation
+# wrappers and in-package tests inside internal/engine and internal/learn
+# do not trip the check.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='engine\.NewPool\(|engine\.Sequential\{|learn\.NewTrainer\('
+found=$(grep -rEn "$pattern" \
+    --include='*.go' \
+    --exclude-dir=internal/engine \
+    cmd internal examples 2>/dev/null || true)
+
+if [ -n "$found" ]; then
+    echo "error: new callers of deprecated constructors (use engine.New / learn.New):" >&2
+    echo "$found" >&2
+    exit 1
+fi
+echo "check-deprecated: ok"
