@@ -1,0 +1,82 @@
+// Command psslint is ParallelSpikeSim's multichecker: it runs the custom
+// analyzers from internal/lint over the given package patterns and exits
+// non-zero on any finding, so CI can gate merges on the simulator's
+// machine-checkable invariants.
+//
+// Usage:
+//
+//	go run ./cmd/psslint ./...                 # full suite
+//	go run ./cmd/psslint -deprecated ./...     # one analyzer
+//	go run ./cmd/psslint -detrand -ioerr ./...
+//
+// Selecting one or more analyzer flags runs only those; with no analyzer
+// flags the full suite runs. Exit codes: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallelspikesim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("psslint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: psslint [-deprecated] [-fixedrange] [-detrand] [-ioerr] packages...")
+		fs.PrintDefaults()
+	}
+	selected := make(map[string]*bool)
+	for _, a := range lint.Analyzers() {
+		selected[a.Name] = fs.Bool(a.Name, false, "run only selected analyzers: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	var chosen []*lint.Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			chosen = append(chosen, a)
+		}
+	}
+	if len(chosen) == 0 {
+		chosen = analyzers
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psslint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psslint:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, chosen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psslint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "psslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -200,7 +200,7 @@ func openMaybeGzip(path string) (io.ReadCloser, error) {
 	}
 	gz, err := gzip.NewReader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // read path: the gzip error is the one worth reporting
 		return nil, fmt.Errorf("dataset: opening gzip %s: %w", path, err)
 	}
 	return struct {

@@ -258,7 +258,7 @@ func FigConductanceHistogram(s Scale, bins int) (*HistogramResult, error) {
 		}
 		atMin := 0
 		for _, g := range out.Net.Syn.G {
-			h.Add(g)
+			h.Add(float64(g))
 			if g == 0 {
 				atMin++
 			}

@@ -325,7 +325,7 @@ func (f *injectFile) Close() error {
 	if err := f.in.check(OpClose); err != nil {
 		// The underlying file is still released: even a dying process's
 		// descriptors are closed by the OS.
-		f.file.Close()
+		_ = f.file.Close()
 		return err
 	}
 	return f.file.Close()

@@ -246,6 +246,47 @@ func (f Format) Quantize(x float64, mode Rounding, roll float64) float64 {
 	}
 }
 
+// Weight is an on-grid quantized conductance value. The defined type marks
+// the boundary of the fixed-point domain: raw +, -, *, / arithmetic on a
+// Weight outside this package bypasses saturation and the paper's rounding
+// options and is rejected by psslint's fixedrange analyzer. Mutate a Weight
+// through AddSat/SubSat/QuantizeWeight; convert with float64(w) to leave
+// the quantized domain (current accumulation, statistics, serialization),
+// and convert back with Weight(x) only for values already known to be on
+// the grid (e.g. checkpoint restore, which the simcheck sanitizer
+// re-verifies).
+type Weight float64
+
+// QuantizeWeight is Quantize returning the result in the Weight domain.
+func (f Format) QuantizeWeight(x float64, mode Rounding, roll float64) Weight {
+	return Weight(f.Quantize(x, mode, roll))
+}
+
+// AddSat applies a potentiation step to an on-grid conductance: g + dg,
+// saturated from above at ceil (the effective G_max, itself capped at the
+// format's Max) and from below at the format range, then quantized with the
+// given rounding option. This is the only sanctioned way to increase a
+// Weight (paper eqs. 4/6 followed by the §III-C rounding step).
+func (f Format) AddSat(g Weight, dg, ceil float64, mode Rounding, roll float64) Weight {
+	x := float64(g) + dg
+	if x > ceil {
+		x = ceil
+	}
+	return f.QuantizeWeight(x, mode, roll)
+}
+
+// SubSat applies a depression step to an on-grid conductance: g − dg,
+// saturated from below at floor (the effective G_min), then quantized with
+// the given rounding option. This is the only sanctioned way to decrease a
+// Weight (paper eqs. 5/7 followed by the §III-C rounding step).
+func (f Format) SubSat(g Weight, dg, floor float64, mode Rounding, roll float64) Weight {
+	x := float64(g) - dg
+	if x < floor {
+		x = floor
+	}
+	return f.QuantizeWeight(x, mode, roll)
+}
+
 // QuantizeCode is Quantize returning the raw code instead of the value.
 func (f Format) QuantizeCode(x float64, mode Rounding, roll float64) uint32 {
 	return f.ToCode(f.Quantize(x, mode, roll) + f.Step()/4)

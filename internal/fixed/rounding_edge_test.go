@@ -1,0 +1,123 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// Q1.15 saturation: overflow past the format maximum must clamp exactly to
+// Max for every rounding option, both through Quantize and through the
+// saturating Weight update helpers.
+func TestQ115SaturationOnOverflow(t *testing.T) {
+	f := Q1p15
+	maxV := f.Max() // (2^16 - 1) / 2^15
+	for _, mode := range []Rounding{Truncate, Nearest, Stochastic} {
+		for _, x := range []float64{maxV, maxV + f.Step()/2, 2.0, 3.5, 1e12, math.Inf(1)} {
+			if got := f.Quantize(x, mode, 0); got != maxV {
+				t.Errorf("%s: Quantize(%v) = %v, want max %v", mode, x, got, maxV)
+			}
+		}
+	}
+
+	// AddSat with a ceiling above the representable range still saturates
+	// at the format Max.
+	g := f.QuantizeWeight(maxV-f.Step(), Nearest, 0)
+	if got := f.AddSat(g, 10, 100, Nearest, 0); float64(got) != maxV {
+		t.Errorf("AddSat overflow = %v, want %v", got, maxV)
+	}
+	// AddSat with a tighter model ceiling saturates there instead (modulo
+	// one rounding step).
+	if got := f.AddSat(g, 10, 1.0, Truncate, 0); float64(got) > 1.0 {
+		t.Errorf("AddSat ceil=1 gave %v above the ceiling", got)
+	}
+	// SubSat underflow clamps at the floor.
+	if got := f.SubSat(f.QuantizeWeight(0.25, Nearest, 0), 10, 0, Nearest, 0); float64(got) != 0 {
+		t.Errorf("SubSat underflow = %v, want 0", got)
+	}
+}
+
+// Stochastic rounding expectation: sweeping the roll over a deterministic
+// uniform grid, the empirical mean of the quantized value must equal the
+// unquantized input to within the grid resolution of the sweep — eq. 8's
+// unbiasedness, tested without RNG flakiness.
+func TestStochasticRoundingExpectationBounds(t *testing.T) {
+	for _, f := range []Format{Q0p2, Q0p4, Q1p7, Q1p15} {
+		step := f.Step()
+		for _, frac := range []float64{0.125, 0.25, 0.5, 0.75, 0.875} {
+			x := 3*step + frac*step
+			if x > f.Max() {
+				continue
+			}
+			const sweep = 4096
+			sum := 0.0
+			for i := 0; i < sweep; i++ {
+				roll := (float64(i) + 0.5) / sweep
+				sum += f.Quantize(x, Stochastic, roll)
+			}
+			mean := sum / sweep
+			// The sweep resolves probabilities to 1/sweep, so the mean can
+			// deviate by at most one step/sweep plus float error.
+			if tol := step/sweep + 1e-12; math.Abs(mean-x) > tol {
+				t.Errorf("%s: E[quantize(%v)] = %v, |err| %v > %v",
+					f, x, mean, math.Abs(mean-x), tol)
+			}
+		}
+	}
+}
+
+// Truncation and round-to-nearest must disagree on any value in the upper
+// half-open half of a step interval — the systematic downward bias of
+// truncation that Table II blames for low-precision accuracy loss — and
+// agree on the lower half.
+func TestTruncationVsNearestDisagreement(t *testing.T) {
+	for _, f := range []Format{Q0p2, Q1p7, Q1p15} {
+		step := f.Step()
+		base := 2 * step
+		// Upper half: nearest goes up, truncation stays down.
+		x := base + 0.75*step
+		tr := f.Quantize(x, Truncate, 0)
+		nr := f.Quantize(x, Nearest, 0)
+		if tr != base {
+			t.Errorf("%s: Truncate(%v) = %v, want %v", f, x, tr, base)
+		}
+		if nr != base+step {
+			t.Errorf("%s: Nearest(%v) = %v, want %v", f, x, nr, base+step)
+		}
+		if nr-tr != step {
+			t.Errorf("%s: disagreement %v, want one step %v", f, nr-tr, step)
+		}
+		// Lower half: both land on the lower grid point.
+		y := base + 0.25*step
+		if trY, nrY := f.Quantize(y, Truncate, 0), f.Quantize(y, Nearest, 0); trY != nrY || trY != base {
+			t.Errorf("%s: lower half disagreement: trunc %v nearest %v", f, trY, nrY)
+		}
+	}
+}
+
+// QuantizeWeight must agree with Quantize bit-for-bit: the Weight domain is
+// a type-system boundary, not a different numeric pipeline.
+func TestQuantizeWeightMatchesQuantize(t *testing.T) {
+	f := Q1p7
+	for _, mode := range []Rounding{Truncate, Nearest, Stochastic} {
+		for x := -0.5; x < 2.5; x += 0.0101 {
+			w := f.QuantizeWeight(x, mode, 0.3)
+			if float64(w) != f.Quantize(x, mode, 0.3) {
+				t.Fatalf("QuantizeWeight(%v, %s) = %v diverges from Quantize", x, mode, w)
+			}
+		}
+	}
+}
+
+// AddSat/SubSat on the float path apply the saturation bounds but no grid.
+func TestSatHelpersFloatPath(t *testing.T) {
+	f := Float32
+	if got := f.AddSat(0.5, 0.125, 1.0, Nearest, 0); float64(got) != 0.625 {
+		t.Errorf("float AddSat = %v, want 0.625", got)
+	}
+	if got := f.AddSat(0.95, 0.2, 1.0, Nearest, 0); float64(got) != 1.0 {
+		t.Errorf("float AddSat at ceil = %v, want 1.0", got)
+	}
+	if got := f.SubSat(0.5, 0.7, 0.1, Nearest, 0); float64(got) != 0.1 {
+		t.Errorf("float SubSat at floor = %v, want 0.1", got)
+	}
+}

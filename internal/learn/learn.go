@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/network"
@@ -227,6 +228,7 @@ func (t *Trainer) TrainImage(img []uint8, label uint8) (network.PresentResult, e
 // fires every CheckpointEvery images; when Interrupted reports true, Train
 // flushes a final checkpoint and returns ErrInterrupted.
 func (t *Trainer) Train(ds *dataset.Dataset, progress func(i int, movingError float64)) error {
+	lastCkptImages := t.ImagesSeen // consumed only under -tags simcheck
 	for i := t.ImagesSeen; i < ds.Len(); i++ {
 		if _, err := t.TrainImage(ds.Images[i], ds.Labels[i]); err != nil {
 			return fmt.Errorf("learn: training image %d: %w", i, err)
@@ -244,6 +246,13 @@ func (t *Trainer) Train(ds *dataset.Dataset, progress func(i int, movingError fl
 				return fmt.Errorf("learn: checkpoint after image %d: %w", i, err)
 			}
 			t.obsCkptN.Inc()
+			if check.Enabled {
+				// Every checkpoint must cover strictly more images than the
+				// previous one, or a crash/resume cycle could silently lose
+				// (or re-train) work.
+				check.CounterAdvance("learn: checkpoint image counter", lastCkptImages, t.ImagesSeen)
+				lastCkptImages = t.ImagesSeen
+			}
 		}
 		if stop {
 			return ErrInterrupted

@@ -6,6 +6,7 @@ import (
 
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -312,7 +313,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	state := trA.CheckpointState()
-	gAtCkpt := append([]float64(nil), crashed.Syn.G...)
+	gAtCkpt := append([]fixed.Weight(nil), crashed.Syn.G...)
 	thetaAtCkpt := append([]float64(nil), crashed.Exc.Theta()...)
 
 	resumed := testNet(t, synapse.Stochastic, 8, 5)

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fixedPkgPath is the only package allowed to do raw arithmetic on
+// fixed.Weight values. Variable so tests can retarget it at fixtures.
+var fixedPkgPath = "parallelspikesim/internal/fixed"
+
+// FixedRangeAnalyzer flags raw +, -, *, / arithmetic (and their compound
+// assignment and ++/-- forms) on values of type fixed.Weight outside
+// internal/fixed.
+//
+// Weight is the on-grid quantized conductance (paper §III-C). Every
+// mutation must pass through the sanctioned helpers (Format.AddSat,
+// Format.SubSat, Format.QuantizeWeight), which saturate into the Qm.n range
+// of eqs. 6–8 and apply the configured rounding option; a bare `w + dg`
+// silently leaves the grid and bypasses saturation. Comparisons are fine,
+// and an explicit float64(w) conversion is the sanctioned way to leave the
+// quantized domain (e.g. for current accumulation or statistics).
+var FixedRangeAnalyzer = &Analyzer{
+	Name: "fixedrange",
+	Doc:  "flags raw arithmetic on fixed.Weight outside internal/fixed; use Format.AddSat/SubSat/QuantizeWeight",
+	Run:  runFixedRange,
+}
+
+// arithmeticOps are the flagged binary/assignment operators. Shifts and
+// bitwise ops do not apply to a float-backed type; comparisons are allowed.
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func runFixedRange(pass *Pass) error {
+	if pass.Pkg.Path() == fixedPkgPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithmeticOps[n.Op] && (isWeight(pass.TypesInfo, n.X) || isWeight(pass.TypesInfo, n.Y)) {
+					pass.Reportf(n.Pos(), "raw %s arithmetic on fixed.Weight bypasses saturation and rounding; use fixed.Format.AddSat/SubSat", n.Op)
+				}
+			case *ast.AssignStmt:
+				if arithmeticOps[n.Tok] && len(n.Lhs) == 1 && isWeight(pass.TypesInfo, n.Lhs[0]) {
+					pass.Reportf(n.Pos(), "raw %s on fixed.Weight bypasses saturation and rounding; use fixed.Format.AddSat/SubSat", n.Tok)
+				}
+			case *ast.IncDecStmt:
+				if isWeight(pass.TypesInfo, n.X) {
+					pass.Reportf(n.Pos(), "raw %s on fixed.Weight bypasses saturation and rounding; use fixed.Format.AddSat/SubSat", n.Tok)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.SUB && isWeight(pass.TypesInfo, n.X) {
+					pass.Report(n.Pos(), "negating fixed.Weight leaves the unsigned Qm.n range; conductance is non-negative")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isWeight reports whether the expression's type is (or aliases) the
+// defined type fixed.Weight.
+func isWeight(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Weight" && objPkgPath(obj) == fixedPkgPath
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// netioPkgPath is the checkpoint-persistence package whose errors must
+// never be silently dropped. Variable so tests can retarget fixtures.
+var netioPkgPath = "parallelspikesim/internal/netio"
+
+// IOErrAnalyzer flags statements that silently drop an error:
+//
+//   - any bare call of a netio function that returns an error
+//     (SaveFile, Write, LoadFile, …): a checkpoint write whose error
+//     vanishes is a checkpoint that may not exist after a crash;
+//   - a bare (non-deferred) Close, Sync or Flush call that returns an
+//     error: on a file that was written, the close/sync error is the
+//     write error on many filesystems.
+//
+// `defer f.Close()` on read paths is accepted (the idiomatic cleanup where
+// a late error changes nothing), as is an explicit `_ = f.Close()` — the
+// blank assignment is the sanctioned "considered and discarded" marker on
+// error paths that already report a primary error.
+var IOErrAnalyzer = &Analyzer{
+	Name: "ioerr",
+	Doc:  "flags silently dropped errors from netio calls and from bare Close/Sync/Flush calls",
+	Run:  runIOErr,
+}
+
+// closeLikeMethods are the flagged method names when called as a bare
+// statement.
+var closeLikeMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+func runIOErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case objPkgPath(obj) == netioPkgPath:
+				pass.Reportf(call.Pos(), "error from netio.%s dropped; handle it or assign it to _ explicitly", obj.Name())
+			case closeLikeMethods[obj.Name()] && isMethod(obj):
+				pass.Reportf(call.Pos(), "error from %s dropped; handle it, defer it on a read path, or assign it to _ explicitly", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's type includes an error as its
+// last (or only) result.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// isMethod reports whether obj is a method (has a receiver).
+func isMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

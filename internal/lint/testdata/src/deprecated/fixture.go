@@ -1,0 +1,44 @@
+// Package deprecated is a psslint test fixture. It compiles but uses every
+// constructor the deprecated analyzer must flag, plus the sanctioned
+// replacements it must not.
+package deprecated
+
+import (
+	eng "parallelspikesim/internal/engine"
+	"parallelspikesim/internal/learn"
+)
+
+// Bad uses each deprecated constructor once. The renamed import proves the
+// check is type-resolved, not textual.
+func Bad() {
+	p := eng.NewPool(4) // want `engine.NewPool is deprecated`
+	defer p.Close()
+	var seq eng.Executor = eng.Sequential{} // want `engine.Sequential\{\} is deprecated`
+	seq.Workers()
+	tr, err := learn.NewTrainer(nil, learn.Options{}, 10) // want `learn.NewTrainer is deprecated`
+	_, _ = tr, err
+}
+
+// BadSplit proves a line break cannot hide a call from the analyzer the way
+// it hid one from the old grep.
+func BadSplit() {
+	p := eng. // want `engine.NewPool is deprecated`
+			NewPool(2)
+	p.Close()
+}
+
+// Good uses only the functional-options API; none of it may be flagged.
+func Good() {
+	p := eng.New(eng.Auto)
+	defer p.Close()
+	seq := eng.New(1)
+	seq.Workers()
+	tr, err := learn.New(nil, learn.Options{})
+	_, _ = tr, err
+}
+
+// NewPool is a local function whose name collides with the deprecated one;
+// calling it must not be flagged.
+func NewPool(n int) int { return n }
+
+var _ = NewPool(3)

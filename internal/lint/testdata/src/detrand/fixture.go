@@ -1,0 +1,36 @@
+// Package detrand is a psslint test fixture: determinism hazards the
+// detrand analyzer must flag when the package is registered as a hot path,
+// next to deterministic patterns it must not.
+package detrand
+
+import (
+	"math/rand" // want `math/rand in a deterministic hot-path package`
+	"sort"
+	"time"
+)
+
+// Bad exercises each hazard class.
+func Bad(weights map[string]float64) float64 {
+	t := time.Now()   // want `time.Now in a deterministic hot-path package`
+	_ = time.Since(t) // want `time.Since in a deterministic hot-path package`
+	sum := 0.0
+	for _, w := range weights {
+		sum += w // want `numeric accumulation inside a map-range loop`
+	}
+	return sum + rand.Float64()
+}
+
+// Good accumulates over a sorted slice and uses no wall clock; none of it
+// may be flagged.
+func Good(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k) // append is not numeric accumulation
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}

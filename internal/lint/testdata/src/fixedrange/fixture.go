@@ -1,0 +1,31 @@
+// Package fixedrange is a psslint test fixture: raw arithmetic on
+// fixed.Weight that the fixedrange analyzer must flag, next to the
+// sanctioned patterns it must not.
+package fixedrange
+
+import "parallelspikesim/internal/fixed"
+
+// Bad performs every flagged operation on a Weight.
+func Bad(w fixed.Weight, dg float64) fixed.Weight {
+	w = w + fixed.Weight(dg) // want `raw \+ arithmetic on fixed.Weight`
+	w += 0.125               // want `raw \+= on fixed.Weight`
+	w -= 0.125               // want `raw -= on fixed.Weight`
+	x := w * 2               // want `raw \* arithmetic on fixed.Weight`
+	y := w / 2               // want `raw / arithmetic on fixed.Weight`
+	z := -w                  // want `negating fixed.Weight`
+	w++                      // want `raw \+\+ on fixed.Weight`
+	_, _, _ = x, y, z
+	return w
+}
+
+// Good leaves the quantized domain explicitly or mutates through the
+// sanctioned fixed.Format helpers; none of it may be flagged.
+func Good(w fixed.Weight, amp float64) float64 {
+	f := fixed.Q1p7
+	w = f.AddSat(w, f.Step(), f.Max(), fixed.Nearest, 0)
+	w = f.SubSat(w, f.Step(), 0, fixed.Nearest, 0)
+	if w > 0.5 { // comparisons are fine
+		return float64(w) * amp // conversion is the sanctioned exit
+	}
+	return float64(w)
+}

@@ -1,0 +1,31 @@
+// Package ioerr is a psslint test fixture: silently dropped I/O errors the
+// ioerr analyzer must flag, next to the accepted handling patterns.
+package ioerr
+
+import (
+	"os"
+
+	"parallelspikesim/internal/netio"
+)
+
+// Bad drops errors the analyzer must catch.
+func Bad(f *os.File, s *netio.Snapshot) {
+	netio.SaveFile("x.pss", s) // want `error from netio.SaveFile dropped`
+	s.Write(f)                 // want `error from netio.Write dropped`
+	f.Close()                  // want `error from Close dropped`
+	f.Sync()                   // want `error from Sync dropped`
+}
+
+// Good handles, defers or explicitly discards; none of it may be flagged.
+func Good(path string, s *netio.Snapshot) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred close on a read path is idiomatic
+	if err := netio.SaveFile(path, s); err != nil {
+		_ = f.Close() // explicit discard on an error path is sanctioned
+		return err
+	}
+	return f.Close()
+}

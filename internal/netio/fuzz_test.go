@@ -1,0 +1,109 @@
+package netio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/stats"
+)
+
+// validCheckpointBytes serializes a small well-formed PSS2 checkpoint
+// (trainer section present) for the header fuzzer to mutate.
+func validCheckpointBytes(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	s := &Snapshot{NumInputs: 3, NumNeurons: 2, Format: fixed.Q1p7,
+		G:     []float64{0, 0.25, 0.5, 0.75, 1, 1.25},
+		Theta: []float64{0.1, 0.2},
+		Trainer: &learn.TrainerState{
+			Seed: 9, NumClasses: 2, ImagesSeen: 3,
+			Resp:        [][]int{{1, 0}, {0, 2}},
+			SpikeCounts: []uint64{4, 5},
+			Moving: stats.MovingErrorState{Window: 4, Idx: 3, Filled: 3,
+				History: []bool{true, false, true, false}, Curve: []float64{1, 0.5, 2. / 3}},
+		}}
+	if err := s.Write(&buf); err != nil {
+		tb.Fatalf("building seed checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// spliceHeader overwrites the PSS2 header region (four dimension words plus
+// the flags word, bytes [4:24)) with the given fields, optionally recomputes
+// the trailing CRC so the mutation survives the checksum, and optionally
+// truncates the file tail (cutting into the CRC trailer first).
+func spliceHeader(base []byte, hIn, hNeu, fmtCode, hAssign, flags uint32, fixCRC bool, truncate int) []byte {
+	b := append([]byte(nil), base...)
+	for i, v := range []uint32{hIn, hNeu, fmtCode, hAssign, flags} {
+		binary.BigEndian.PutUint32(b[4+4*i:], v)
+	}
+	if fixCRC && len(b) >= 8 {
+		sum := crc32.ChecksumIEEE(b[4 : len(b)-4])
+		binary.BigEndian.PutUint32(b[len(b)-4:], sum)
+	}
+	if truncate > 0 {
+		if truncate > len(b) {
+			truncate = len(b)
+		}
+		b = b[:len(b)-truncate]
+	}
+	return b
+}
+
+// FuzzCheckpointHeader drives Read through systematically corrupted PSS2
+// headers: forged dimensions, unknown format codes, corrupt flag bits and
+// truncated CRC trailers. The reader must never panic, never accept a
+// header outside its sanity bounds, and never accept a payload whose bytes
+// no longer match the trailing CRC.
+func FuzzCheckpointHeader(f *testing.F) {
+	base := validCheckpointBytes(f)
+
+	// Untouched file (CRC already valid).
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), flagTrainer, false, 0)
+	// Corrupt flag bits: an undefined bit, and metrics-without-trainer.
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), uint32(4), true, 0)
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), flagMetrics, true, 0)
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), uint32(0xffffffff), true, 0)
+	// Truncated CRC trailer: 1..4 bytes missing, with and without reflow.
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), flagTrainer, false, 2)
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(0), flagTrainer, true, 4)
+	// Forged dimensions: zero, overflow-bait, assignments > neurons.
+	f.Add(uint32(0), uint32(2), uint32(8), uint32(0), flagTrainer, true, 0)
+	f.Add(uint32(0xffffffff), uint32(0xffffffff), uint32(8), uint32(0), flagTrainer, true, 0)
+	f.Add(uint32(3), uint32(2), uint32(8), uint32(7), flagTrainer, true, 0)
+	// Unknown format code.
+	f.Add(uint32(3), uint32(2), uint32(0xdead), uint32(0), flagTrainer, true, 0)
+
+	f.Fuzz(func(t *testing.T, hIn, hNeu, fmtCode, hAssign, flags uint32, fixCRC bool, truncate int) {
+		if truncate < 0 {
+			truncate = -truncate
+		}
+		data := spliceHeader(base, hIn, hNeu, fmtCode, hAssign, flags, fixCRC, truncate%(len(base)+1))
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: the header fields must be the sane ones we wrote.
+		if s.NumInputs != int(hIn) || s.NumNeurons != int(hNeu) {
+			t.Fatalf("accepted snapshot dims %d×%d differ from header %d×%d",
+				s.NumInputs, s.NumNeurons, hIn, hNeu)
+		}
+		if hIn == 0 || hNeu == 0 || uint64(hIn)*uint64(hNeu) > maxSynapses || hAssign > hNeu {
+			t.Fatalf("implausible header [%d %d %#x %d] accepted", hIn, hNeu, fmtCode, hAssign)
+		}
+		if flags&^(flagTrainer|flagMetrics) != 0 {
+			t.Fatalf("unknown flag bits %#x accepted", flags)
+		}
+		if flags&flagMetrics != 0 && flags&flagTrainer == 0 {
+			t.Fatalf("metrics-without-trainer flags %#x accepted", flags)
+		}
+		if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
+			t.Fatalf("inconsistent payload accepted: %d G, %d theta for %d×%d",
+				len(s.G), len(s.Theta), s.NumInputs, s.NumNeurons)
+		}
+	})
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/fault"
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/learn"
@@ -92,8 +93,11 @@ func Capture(net *network.Network, model *learn.Model) *Snapshot {
 		NumInputs:  net.Cfg.NumInputs,
 		NumNeurons: net.Cfg.NumNeurons,
 		Format:     net.Cfg.Syn.Format,
-		G:          append([]float64(nil), net.Syn.G...),
+		G:          make([]float64, len(net.Syn.G)),
 		Theta:      append([]float64(nil), net.Exc.Theta()...),
+	}
+	for i, g := range net.Syn.G {
+		s.G[i] = float64(g)
 	}
 	if model != nil {
 		s.Assignments = append([]int(nil), model.Assignments...)
@@ -124,7 +128,15 @@ func (s *Snapshot) Restore(net *network.Network) error {
 	if len(s.G) != len(net.Syn.G) || len(s.Theta) != net.Cfg.NumNeurons {
 		return fmt.Errorf("netio: corrupt snapshot (G %d, theta %d)", len(s.G), len(s.Theta))
 	}
-	copy(net.Syn.G, s.G)
+	for i, g := range s.G {
+		// Snapshot conductances were written from an on-grid matrix, so the
+		// direct Weight conversion is sound; under -tags simcheck each value
+		// is re-verified against the format grid before it enters the matrix.
+		if check.Enabled {
+			check.Conductance("netio: restore", g, s.Format, 0, s.Format.Max())
+		}
+		net.Syn.G[i] = fixed.Weight(g)
+	}
 	copy(net.Exc.Theta(), s.Theta)
 	return nil
 }
@@ -608,12 +620,12 @@ func SaveFileFS(fsys fault.FS, path string, s *Snapshot) error {
 		return fmt.Errorf("netio: creating %s: %w", tmp, err)
 	}
 	if err := s.Write(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing: the write error takes precedence
 		fsys.Remove(tmp)
 		return fmt.Errorf("netio: writing %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing: the sync error takes precedence
 		fsys.Remove(tmp)
 		return fmt.Errorf("netio: syncing %s: %w", tmp, err)
 	}

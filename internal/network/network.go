@@ -26,8 +26,8 @@ package network
 import (
 	"fmt"
 	"math"
-	"time"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/neuron"
@@ -380,7 +380,7 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 			for _, pre := range inputSpikes {
 				row := n.Syn.Row(pre)
 				for i := lo; i < hi; i++ {
-					cur[i] += row[i] * amp
+					cur[i] += float64(row[i]) * amp
 				}
 			}
 		})
@@ -432,9 +432,7 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 				n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
 					n.Plast.OnPostSpikeRange(post, now, n.lastPre, step, lo, hi)
 				})
-				if tp != 0 {
-					plastNs += time.Now().UnixNano() - tp
-				}
+				plastNs += n.obsPlast.Since(tp)
 				n.obsSynUpd.Add(uint64(n.Cfg.NumInputs))
 			}
 			n.lastPost[post] = now
@@ -451,9 +449,23 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 			}
 		}
 		if tWTA != 0 {
-			n.obsInhibit.Observe(time.Now().UnixNano() - tWTA - plastNs)
+			n.obsInhibit.Observe(n.obsInhibit.Since(tWTA) - plastNs)
 			if plastNs > 0 {
 				n.obsPlast.Observe(plastNs)
+			}
+		}
+		if check.Enabled && n.Cfg.TInhMS > 0 && len(postSpikes) > 0 {
+			// Winner-take-all bookkeeping: with inhibition enabled at most
+			// one neuron fires per step, and every losing candidate must sit
+			// inside the layer-2 inhibition window it triggered.
+			check.Assert(len(postSpikes) == 1,
+				"network: inhibition enabled but %d neurons fired in one step", len(postSpikes))
+			winner := postSpikes[0]
+			for _, c := range candidates {
+				if c != winner {
+					check.Assert(n.Exc.Inhibited(c, now),
+						"network: WTA loser %d escaped the inhibition window at t=%v", c, now)
+				}
 			}
 		}
 

@@ -7,6 +7,7 @@ import (
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/synapse"
 )
 
@@ -281,7 +282,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestPresentationsAreReproducible(t *testing.T) {
 	cfg := testConfig(t, synapse.Stochastic, 10)
-	run := func() []float64 {
+	run := func() []fixed.Weight {
 		net, _ := New(cfg, nil)
 		ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 200}
 		img := testImage()
@@ -290,7 +291,7 @@ func TestPresentationsAreReproducible(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return append([]float64(nil), net.Syn.G...)
+		return append([]fixed.Weight(nil), net.Syn.G...)
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -334,10 +335,10 @@ func TestQuantizedNetworkStaysOnGrid(t *testing.T) {
 		}
 	}
 	for i, g := range net.Syn.G {
-		if !syn.Format.OnGrid(g) {
+		if !syn.Format.OnGrid(float64(g)) {
 			t.Fatalf("synapse %d off grid: %v", i, g)
 		}
-		if g < 0 || g > syn.GCeil()+1e-12 {
+		if g < 0 || float64(g) > syn.GCeil()+1e-12 {
 			t.Fatalf("synapse %d out of range: %v", i, g)
 		}
 	}

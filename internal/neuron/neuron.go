@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"parallelspikesim/internal/check"
 )
 
 // LIFParams holds the coefficients of the paper's LIF model. All voltages
@@ -238,6 +240,9 @@ func (p *Population) StepRange(lo, hi int, dt, now float64, current []float64, s
 		}
 		v := p.V[i]
 		v += dt * (prm.A + prm.B*v + prm.C*current[i])
+		if check.Enabled {
+			check.Finite("neuron: membrane after Euler step", v)
+		}
 		if v > prm.VThreshold+p.theta[i] {
 			p.V[i] = prm.VReset
 			p.refractoryTill[i] = now + prm.RefractoryMS
@@ -281,6 +286,9 @@ func (p *Population) CandidatesRange(lo, hi int, dt, now float64, current []floa
 		}
 		v := p.V[i]
 		v += dt * (prm.A + prm.B*v + prm.C*current[i])
+		if check.Enabled {
+			check.Finite("neuron: membrane after Euler step", v)
+		}
 		p.V[i] = v
 		if v > prm.VThreshold+p.theta[i] {
 			out = append(out, i)

@@ -123,6 +123,17 @@ func (t *Timer) Stop(start int64) {
 	t.Observe(time.Now().UnixNano() - start)
 }
 
+// Since returns the nanoseconds elapsed since a Start without recording an
+// observation, for callers that compose sub-section durations before a
+// single Observe (see network.Present). A zero start (disabled timer)
+// returns 0 and never reads the clock.
+func (t *Timer) Since(start int64) int64 {
+	if t == nil || start == 0 {
+		return 0
+	}
+	return time.Now().UnixNano() - start
+}
+
 // Observe records one duration in nanoseconds. Negative durations (clock
 // steps) are clamped to zero. No-op on a nil timer.
 func (t *Timer) Observe(ns int64) {

@@ -14,13 +14,15 @@ import (
 // spiking pre) walks contiguous memory, matching the coalesced layout the
 // paper's GPU kernels would use.
 //
-// Conductances are held as float64 but are always kept on the grid of the
-// configured fixed-point format (quantization happens on every write), so
-// the float storage is purely a convenience representation of the code.
+// Conductances are held as fixed.Weight: float64-backed for speed, but a
+// defined type so that every write provably goes through the quantization
+// helpers of internal/fixed (psslint's fixedrange analyzer rejects raw
+// arithmetic on Weight anywhere else), keeping the array on the grid of the
+// configured fixed-point format at all times.
 type Matrix struct {
 	NPre   int
 	NPost  int
-	G      []float64
+	G      []fixed.Weight
 	Format fixed.Format
 }
 
@@ -32,7 +34,7 @@ func NewMatrix(nPre, nPost int, format fixed.Format) (*Matrix, error) {
 	return &Matrix{
 		NPre:   nPre,
 		NPost:  nPost,
-		G:      make([]float64, nPre*nPost),
+		G:      make([]fixed.Weight, nPre*nPost),
 		Format: format,
 	}, nil
 }
@@ -41,30 +43,31 @@ func NewMatrix(nPre, nPost int, format fixed.Format) (*Matrix, error) {
 func (m *Matrix) Len() int { return len(m.G) }
 
 // At returns the conductance of the synapse from pre to post.
-func (m *Matrix) At(pre, post int) float64 { return m.G[pre*m.NPost+post] }
+func (m *Matrix) At(pre, post int) fixed.Weight { return m.G[pre*m.NPost+post] }
 
 // Set stores a conductance, clamping it into the format's representable
 // range and snapping it onto the grid by round-to-nearest.
 func (m *Matrix) Set(pre, post int, g float64) {
-	m.G[pre*m.NPost+post] = m.Format.Quantize(g, fixed.Nearest, 0)
+	m.G[pre*m.NPost+post] = m.Format.QuantizeWeight(g, fixed.Nearest, 0)
 }
 
 // Row returns the contiguous slice of conductances from input pre to every
 // post neuron. Mutating it bypasses quantization; callers must not.
-func (m *Matrix) Row(pre int) []float64 {
+func (m *Matrix) Row(pre int) []fixed.Weight {
 	return m.G[pre*m.NPost : (pre+1)*m.NPost]
 }
 
 // Column copies the conductances into post neuron `post` from every input
 // into dst, which must have length NPre. This is the receptive field of one
 // neuron — the paper's "conductance array that learns to recognize a
-// specific pattern" (Figs 5, 8a).
+// specific pattern" (Figs 5, 8a) — delivered in the plain float64 domain
+// for read-out and visualization.
 func (m *Matrix) Column(post int, dst []float64) {
 	if len(dst) != m.NPre {
 		panic(fmt.Sprintf("synapse: Column dst length %d, want %d", len(dst), m.NPre))
 	}
 	for pre := 0; pre < m.NPre; pre++ {
-		dst[pre] = m.G[pre*m.NPost+post]
+		dst[pre] = float64(m.G[pre*m.NPost+post])
 	}
 }
 
@@ -73,13 +76,13 @@ func (m *Matrix) Column(post int, dst []float64) {
 // conductance initialization performed before learning.
 func (m *Matrix) InitUniform(stream *rng.Stream, lo, hi float64) {
 	for i := range m.G {
-		m.G[i] = m.Format.Quantize(stream.Range(lo, hi), fixed.Nearest, 0)
+		m.G[i] = m.Format.QuantizeWeight(stream.Range(lo, hi), fixed.Nearest, 0)
 	}
 }
 
 // Fill sets every conductance to the same (quantized) value.
 func (m *Matrix) Fill(g float64) {
-	q := m.Format.Quantize(g, fixed.Nearest, 0)
+	q := m.Format.QuantizeWeight(g, fixed.Nearest, 0)
 	for i := range m.G {
 		m.G[i] = q
 	}
@@ -88,7 +91,7 @@ func (m *Matrix) Fill(g float64) {
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := *m
-	c.G = make([]float64, len(m.G))
+	c.G = make([]fixed.Weight, len(m.G))
 	copy(c.G, m.G)
 	return &c
 }
@@ -98,22 +101,24 @@ func (m *Matrix) Stats() (minG, maxG, mean float64) {
 	minG, maxG = math.Inf(1), math.Inf(-1)
 	sum := 0.0
 	for _, g := range m.G {
-		if g < minG {
-			minG = g
+		v := float64(g)
+		if v < minG {
+			minG = v
 		}
-		if g > maxG {
-			maxG = g
+		if v > maxG {
+			maxG = v
 		}
-		sum += g
+		sum += v
 	}
 	return minG, maxG, sum / float64(len(m.G))
 }
 
 // AccumulateCurrent adds g·amp into current[post] for every post neuron, for
-// a spike on input pre. This is the per-spike inner loop of eq. 3.
+// a spike on input pre. This is the per-spike inner loop of eq. 3; the
+// conversion out of the Weight domain is the sanctioned read-out.
 func (m *Matrix) AccumulateCurrent(pre int, amp float64, current []float64) {
 	row := m.Row(pre)
 	for post, g := range row {
-		current[post] += g * amp
+		current[post] += float64(g) * amp
 	}
 }

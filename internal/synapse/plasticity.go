@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/rng"
 )
@@ -61,38 +62,42 @@ func (p *Plasticity) ResetCounters() {
 	p.depRolls.Store(0)
 }
 
-// potentiate applies one LTP step to synapse (pre, post) and quantizes the
-// result with the configured rounding option.
+// potentiate applies one LTP step to synapse (pre, post) through the
+// saturating update helper, which quantizes with the configured rounding
+// option (the fixedrange analyzer forbids raw arithmetic on the Weight).
 func (p *Plasticity) potentiate(pre, post int, step uint64) {
 	idx := pre*p.M.NPost + post
 	g := p.M.G[idx]
-	dg := p.Cfg.potMagnitude(g)
-	ng := g + dg
-	if ceil := p.Cfg.GCeil(); ng > ceil {
-		ng = ceil
-	}
+	dg := p.Cfg.potMagnitude(float64(g))
 	roll := 0.0
 	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
 		roll = rng.Uniform(p.Cfg.Seed, tagPotRound, step, uint64(pre), uint64(post))
 	}
-	p.M.G[idx] = p.Cfg.Format.Quantize(ng, p.Cfg.Rounding, roll)
+	ng := p.Cfg.Format.AddSat(g, dg, p.Cfg.GCeil(), p.Cfg.Rounding, roll)
+	p.M.G[idx] = ng
+	if check.Enabled {
+		// Potentiation saturates at GCeil only; the floor is the format's 0.
+		check.WeightUpdate("synapse: potentiate", float64(g), float64(ng), p.Cfg.Format, 0, p.Cfg.GCeil())
+	}
 	p.potApplied.Add(1)
 }
 
-// depress applies one LTD step to synapse (pre, post) and quantizes.
+// depress applies one LTD step to synapse (pre, post) through the
+// saturating update helper, which quantizes with the configured rounding
+// option.
 func (p *Plasticity) depress(pre, post int, step uint64) {
 	idx := pre*p.M.NPost + post
 	g := p.M.G[idx]
-	dg := p.Cfg.depMagnitude(g)
-	ng := g - dg
-	if ng < p.Cfg.Det.GMin {
-		ng = p.Cfg.Det.GMin
-	}
+	dg := p.Cfg.depMagnitude(float64(g))
 	roll := 0.0
 	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
 		roll = rng.Uniform(p.Cfg.Seed, tagDepRound, step, uint64(pre), uint64(post))
 	}
-	p.M.G[idx] = p.Cfg.Format.Quantize(ng, p.Cfg.Rounding, roll)
+	ng := p.Cfg.Format.SubSat(g, dg, p.Cfg.Det.GMin, p.Cfg.Rounding, roll)
+	p.M.G[idx] = ng
+	if check.Enabled {
+		check.WeightUpdate("synapse: depress", float64(g), float64(ng), p.Cfg.Format, p.Cfg.Det.GMin, p.Cfg.GCeil())
+	}
 	p.depApplied.Add(1)
 }
 

@@ -87,7 +87,7 @@ func TestMatrixInitUniform(t *testing.T) {
 		t.Fatalf("init mean %v implausible for U[0.2,0.4]", mean)
 	}
 	for _, g := range m.G {
-		if !m.Format.OnGrid(g) {
+		if !m.Format.OnGrid(float64(g)) {
 			t.Fatalf("initialized conductance %v off grid", g)
 		}
 	}
@@ -167,12 +167,12 @@ func TestDeterministicUpdateMagnitudes(t *testing.T) {
 	p.OnPostSpike(0, 100, []float64{99, 0}, 1)
 	// eq. 4 at G=0.5: ΔG_p = 0.01·e^{-1.5}
 	wantUp := 0.5 + 0.01*math.Exp(-1.5)
-	if got := m.At(0, 0); math.Abs(got-wantUp) > 1e-12 {
+	if got := float64(m.At(0, 0)); math.Abs(got-wantUp) > 1e-12 {
 		t.Errorf("potentiated G = %v, want %v", got, wantUp)
 	}
 	// eq. 5 at G=0.5: ΔG_d = 0.005·e^{-1.5}
 	wantDown := 0.5 - 0.005*math.Exp(-1.5)
-	if got := m.At(1, 0); math.Abs(got-wantDown) > 1e-12 {
+	if got := float64(m.At(1, 0)); math.Abs(got-wantDown) > 1e-12 {
 		t.Errorf("depressed G = %v, want %v", got, wantDown)
 	}
 }
@@ -285,7 +285,7 @@ func TestConductanceStaysInBounds(t *testing.T) {
 			p.OnPostSpike(int(step)%4, now, lastPre, step)
 		}
 		for i, g := range m.G {
-			if g < cfg.Det.GMin-1e-12 || g > cfg.GCeil()+1e-12 {
+			if float64(g) < cfg.Det.GMin-1e-12 || float64(g) > cfg.GCeil()+1e-12 {
 				t.Fatalf("%v: conductance %d = %v out of [%v, %v]", kind, i, g, cfg.Det.GMin, cfg.GCeil())
 			}
 		}
@@ -307,7 +307,7 @@ func TestQuantizedUpdatesStayOnGrid(t *testing.T) {
 				lastPre[int(step)%4] = now
 			}
 			for i, g := range m.G {
-				if !cfg.Format.OnGrid(g) {
+				if !cfg.Format.OnGrid(float64(g)) {
 					t.Fatalf("%s/%s: conductance %d = %v off grid", preset, mode, i, g)
 				}
 			}
@@ -333,7 +333,7 @@ func TestLowBitFullStepSlamming(t *testing.T) {
 	if got := m.At(1, 0); got > 0.01 {
 		t.Errorf("stale synapse should collapse to Gmin, G = %v", got)
 	}
-	if got := m.At(0, 0); got < cfg.GCeil()-1e-9 {
+	if got := float64(m.At(0, 0)); got < cfg.GCeil()-1e-9 {
 		t.Errorf("recent synapse should saturate at GCeil, G = %v", got)
 	}
 }
@@ -353,7 +353,7 @@ func TestStochasticRoundingPreservesDrift(t *testing.T) {
 			now := 100 + float64(step)
 			p.OnPostSpike(0, now, []float64{now - 1}, step+uint64(tr)*1000)
 		}
-		sum += m.At(0, 0)
+		sum += float64(m.At(0, 0))
 	}
 	mean := sum / trials
 	if mean <= 0.3 {
@@ -362,7 +362,7 @@ func TestStochasticRoundingPreservesDrift(t *testing.T) {
 }
 
 func TestDeterministicReproducible(t *testing.T) {
-	run := func() []float64 {
+	run := func() []fixed.Weight {
 		cfg := floatConfig(Deterministic)
 		p, m := newPair(t, cfg, 8, 8)
 		m.InitUniform(rng.NewStream(1), 0.2, 0.4)
@@ -373,7 +373,7 @@ func TestDeterministicReproducible(t *testing.T) {
 		for step := uint64(0); step < 100; step++ {
 			p.OnPostSpike(int(step)%8, 100+float64(step), lastPre, step)
 		}
-		return append([]float64(nil), m.G...)
+		return append([]fixed.Weight(nil), m.G...)
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -384,7 +384,7 @@ func TestDeterministicReproducible(t *testing.T) {
 }
 
 func TestStochasticReproducibleSameSeed(t *testing.T) {
-	run := func(seed uint64) []float64 {
+	run := func(seed uint64) []fixed.Weight {
 		cfg := floatConfig(Stochastic)
 		cfg.Seed = seed
 		p, m := newPair(t, cfg, 8, 8)
@@ -397,7 +397,7 @@ func TestStochasticReproducibleSameSeed(t *testing.T) {
 			now := 100 + float64(step)
 			p.OnPostSpike(int(step)%8, now, lastPre, step)
 		}
-		return append([]float64(nil), m.G...)
+		return append([]fixed.Weight(nil), m.G...)
 	}
 	a, b := run(7), run(7)
 	for i := range a {
@@ -469,15 +469,15 @@ func TestUpdateBoundedProperty(t *testing.T) {
 		if g0 > cfg.GCeil() {
 			g0 = cfg.GCeil()
 		}
-		m.G[0] = cfg.Format.Quantize(g0, fixed.Nearest, 0)
-		g0 = m.G[0]
+		m.G[0] = cfg.Format.QuantizeWeight(g0, fixed.Nearest, 0)
+		g0 = float64(m.G[0])
 		p, _ := NewPlasticity(cfg, m)
 		last := 0.0
 		if recent {
 			last = 99.5
 		}
 		p.OnPostSpike(0, 100, []float64{last}, 7)
-		g1 := m.G[0]
+		g1 := float64(m.G[0])
 		if !cfg.Format.OnGrid(g1) {
 			return false
 		}

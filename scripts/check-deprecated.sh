@@ -6,21 +6,12 @@
 #   engine.Sequential{}   -> engine.New(1)
 #   learn.NewTrainer(...) -> learn.New(net, opts) with opts.NumClasses set
 #
-# Only *qualified* uses are checked, so the definitions, their deprecation
-# wrappers and in-package tests inside internal/engine and internal/learn
-# do not trip the check.
+# The check is psslint's `deprecated` analyzer: a real go/types pass, so it
+# resolves renamed imports and line-broken calls that the old grep missed,
+# and skips the defining packages (internal/engine, internal/learn) where
+# the deprecation wrappers legitimately reference the old names.
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern='engine\.NewPool\(|engine\.Sequential\{|learn\.NewTrainer\('
-found=$(grep -rEn "$pattern" \
-    --include='*.go' \
-    --exclude-dir=internal/engine \
-    cmd internal examples 2>/dev/null || true)
-
-if [ -n "$found" ]; then
-    echo "error: new callers of deprecated constructors (use engine.New / learn.New):" >&2
-    echo "$found" >&2
-    exit 1
-fi
+go run ./cmd/psslint -deprecated ./...
 echo "check-deprecated: ok"
