@@ -33,7 +33,9 @@ import (
 	"parallelspikesim/internal/core"
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/experiments"
+	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/synapse"
 )
@@ -44,32 +46,62 @@ type expResult struct {
 	WallNs int64  `json:"wall_ns"`
 }
 
+// plasticityBench is the dense-vs-lazy presentation-throughput comparison
+// recorded when -plasticity=lazy: both modes present the same image sequence
+// to a 784×1000 network and the ratio of presentation rates is reported.
+type plasticityBench struct {
+	Inputs        int     `json:"inputs"`
+	Neurons       int     `json:"neurons"`
+	Presentations int     `json:"presentations"`
+	TLearnMS      float64 `json:"tlearn_ms"`
+	DenseNs       int64   `json:"dense_ns"`
+	LazyNs        int64   `json:"lazy_ns"`
+	DensePresSec  float64 `json:"dense_pres_per_sec"`
+	LazyPresSec   float64 `json:"lazy_pres_per_sec"`
+	Speedup       float64 `json:"speedup"` // dense_ns / lazy_ns
+}
+
 // benchDoc is the machine-readable benchmark summary.
 type benchDoc struct {
-	Schema         string       `json:"schema"`
-	Scale          string       `json:"scale"`
-	Neurons        int          `json:"neurons"`
-	TrainImages    int          `json:"train_images"`
-	Workers        int          `json:"workers"`
-	Experiments    []expResult  `json:"experiments"`
-	BucketBoundsNs []int64      `json:"bucket_bounds_ns"`
-	ProbeMetrics   obs.Snapshot `json:"probe_metrics"`
+	Schema         string           `json:"schema"`
+	Scale          string           `json:"scale"`
+	Neurons        int              `json:"neurons"`
+	TrainImages    int              `json:"train_images"`
+	Workers        int              `json:"workers"`
+	Plasticity     string           `json:"plasticity"`
+	Batch          int              `json:"batch"`
+	Experiments    []expResult      `json:"experiments"`
+	BucketBoundsNs []int64          `json:"bucket_bounds_ns"`
+	ProbeMetrics   obs.Snapshot     `json:"probe_metrics"`
+	PlasticityCmp  *plasticityBench `json:"plasticity_probe,omitempty"`
 }
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "default", "test | default | paper")
-		expList   = flag.String("exp", "all", "comma-separated experiments: fig1a,fig1c,fig1d,fig4,fig5a,fig5b,fig6a,fig6b,fig7a,fig7b,fig8c,table2,anchor,ablate-noise,ablate-inh,ablate-window,ablate-theta,ablate-tau,scaling")
-		csvDir    = flag.String("csv", "", "directory to write CSV rows (optional)")
-		neurons   = flag.Int("neurons", 0, "override scale neurons")
-		train     = flag.Int("train", 0, "override scale training images")
-		workers   = flag.Int("workers", 0, "override engine workers")
-		quick     = flag.Bool("quick", false, "CI smoke mode: test scale, fast experiment subset, BENCH_test.json in the current directory")
-		benchDir  = flag.String("bench-json", "", "directory to write the BENCH_<scale>.json summary (\"\" = off; -quick defaults to .)")
-		metrics   = flag.String("metrics", "", "dump probe metrics to this file, or - for stdout (Prometheus text; *.json for JSON)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		scaleName  = flag.String("scale", "default", "test | default | paper")
+		expList    = flag.String("exp", "all", "comma-separated experiments: fig1a,fig1c,fig1d,fig4,fig5a,fig5b,fig6a,fig6b,fig7a,fig7b,fig8c,table2,anchor,ablate-noise,ablate-inh,ablate-window,ablate-theta,ablate-tau,scaling")
+		csvDir     = flag.String("csv", "", "directory to write CSV rows (optional)")
+		neurons    = flag.Int("neurons", 0, "override scale neurons")
+		train      = flag.Int("train", 0, "override scale training images")
+		workers    = flag.Int("workers", 0, "override engine workers")
+		quick      = flag.Bool("quick", false, "CI smoke mode: test scale, fast experiment subset, BENCH_test.json in the current directory")
+		benchDir   = flag.String("bench-json", "", "directory to write the BENCH_<scale>.json summary (\"\" = off; -quick defaults to .)")
+		metrics    = flag.String("metrics", "", "dump probe metrics to this file, or - for stdout (Prometheus text; *.json for JSON)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		plasticity = flag.String("plasticity", "dense", "STDP scheduling for the training probe: dense | lazy; lazy also runs the dense-vs-lazy throughput comparison at 784×1000")
+		batch      = flag.Int("batch", 0, "prefetch this many spike-train plans concurrently in the training probe (0/1 = off)")
 	)
 	flag.Parse()
+
+	plastMode, err := network.ParsePlasticityMode(*plasticity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	if *batch < 0 {
+		fmt.Fprintf(os.Stderr, "psbench: negative -batch %d\n", *batch)
+		os.Exit(1)
+	}
 
 	if *quick {
 		*scaleName = "test"
@@ -447,12 +479,14 @@ func main() {
 	}
 	ds := dataset.SynthDigits(probeImages, 11)
 	sim, err := core.New(core.Options{
-		Inputs:   ds.Pixels(),
-		Neurons:  probeNeurons,
-		Workers:  scale.Workers,
-		Classes:  ds.NumClasses,
-		Observer: reg,
-		Seed:     11,
+		Inputs:     ds.Pixels(),
+		Neurons:    probeNeurons,
+		Workers:    scale.Workers,
+		Classes:    ds.NumClasses,
+		Observer:   reg,
+		Plasticity: plastMode,
+		Batch:      *batch,
+		Seed:       11,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psbench: probe:", err)
@@ -467,6 +501,18 @@ func main() {
 	fmt.Printf("probe: trained %d images × %d neurons in %v (instrumented)\n",
 		probeImages, probeNeurons, time.Since(probeStart).Round(time.Millisecond))
 
+	var plastCmp *plasticityBench
+	if plastMode == network.LazyPlasticity {
+		cmp, err := plasticityThroughput(scale.Workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench: plasticity probe:", err)
+			os.Exit(1)
+		}
+		plastCmp = &cmp
+		fmt.Printf("plasticity %dx%d: dense %.1f pres/s, lazy %.1f pres/s — %.2fx\n",
+			cmp.Inputs, cmp.Neurons, cmp.DensePresSec, cmp.LazyPresSec, cmp.Speedup)
+	}
+
 	snap := reg.Snapshot()
 	if *benchDir != "" {
 		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
@@ -480,9 +526,12 @@ func main() {
 			Neurons:        scale.Neurons,
 			TrainImages:    scale.TrainImages,
 			Workers:        scale.Workers,
+			Plasticity:     plastMode.String(),
+			Batch:          *batch,
 			Experiments:    benchRows,
 			BucketBoundsNs: obs.BucketBoundsNs,
 			ProbeMetrics:   snap,
+			PlasticityCmp:  plastCmp,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "psbench:", err)
 			os.Exit(1)
@@ -495,6 +544,104 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// plasticityThroughput measures presentation throughput of the dense and
+// lazy STDP schedules on the paper's default geometry (784 inputs × 1000
+// neurons). Both modes present the identical image sequence with learning
+// enabled — the golden suite already proves they compute the same result,
+// so the only difference is wall time. Lateral inhibition is ablated
+// (TInhMS = 0, the existing no-WTA ablation) so every threshold crosser
+// fires and STDP becomes the dominant phase: with the default WTA there
+// are only a handful of post spikes per presentation and plasticity
+// scheduling is invisible in the total. The deterministic 8-bit operating
+// point makes plasticity memory-bound (every post spike moves every
+// synapse by a constant grid step), which is where the dense path's
+// column-strided walks hurt most and the lazy path's row-contiguous
+// replays help most.
+func plasticityThroughput(workers int) (plasticityBench, error) {
+	const (
+		inputs        = 784
+		neurons       = 1000
+		presentations = 8
+		warmup        = 1
+	)
+	syn, _, err := synapse.PresetConfig(synapse.Preset8Bit, synapse.Deterministic)
+	if err != nil {
+		return plasticityBench{}, err
+	}
+	syn.Seed = 7
+	cfg := network.DefaultConfig(inputs, neurons, syn)
+	cfg.TInhMS = 0 // ablate WTA: plasticity-dominated workload
+	ctl := encode.BaselineControl()
+	// A small image set cycled repeatedly keeps the network resonant with
+	// the patterns it is learning, sustaining a high post-spike rate across
+	// every timed presentation — the steady state the probe is after. A
+	// long distinct-image sequence would let homeostasis quiet the layer
+	// down and dilute plasticity with encode/integrate time.
+	ds := dataset.SynthDigits(4, 5)
+	if workers == 0 {
+		workers = engine.Auto
+	}
+
+	measure := func(mode network.PlasticityMode) (time.Duration, error) {
+		exec := engine.New(workers)
+		defer exec.Close()
+		net, err := network.New(cfg, network.WithExecutor(exec), network.WithPlasticity(mode))
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < warmup; i++ {
+			if _, err := net.Present(ds.Images[i%ds.Len()], ctl, true, nil); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := warmup; i < warmup+presentations; i++ {
+			if _, err := net.Present(ds.Images[i%ds.Len()], ctl, true, nil); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Best of three interleaved trials per mode: the min filters out CPU
+	// steal and scheduler noise on shared runners, and interleaving keeps
+	// slow machine phases from landing entirely on one mode. Each trial
+	// rebuilds its network, so both modes always start from the same
+	// initial weights.
+	const trials = 3
+	denseWall, lazyWall := time.Duration(0), time.Duration(0)
+	for trial := 0; trial < trials; trial++ {
+		d, err := measure(network.DensePlasticity)
+		if err != nil {
+			return plasticityBench{}, err
+		}
+		l, err := measure(network.LazyPlasticity)
+		if err != nil {
+			return plasticityBench{}, err
+		}
+		if trial == 0 || d < denseWall {
+			denseWall = d
+		}
+		if trial == 0 || l < lazyWall {
+			lazyWall = l
+		}
+	}
+	persec := func(d time.Duration) float64 {
+		return float64(presentations) / d.Seconds()
+	}
+	return plasticityBench{
+		Inputs:        inputs,
+		Neurons:       neurons,
+		Presentations: presentations,
+		TLearnMS:      ctl.TLearnMS,
+		DenseNs:       denseWall.Nanoseconds(),
+		LazyNs:        lazyWall.Nanoseconds(),
+		DensePresSec:  persec(denseWall),
+		LazyPresSec:   persec(lazyWall),
+		Speedup:       float64(denseWall) / float64(lazyWall),
+	}, nil
 }
 
 // writeBench writes the benchmark summary as indented JSON.

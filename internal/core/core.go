@@ -50,6 +50,17 @@ type Options struct {
 	// Workers sets engine parallelism: 0 = GOMAXPROCS, 1 = sequential.
 	Workers int
 
+	// Plasticity selects the STDP scheduling strategy: DensePlasticity
+	// (the default, eager column updates) or LazyPlasticity (deferred
+	// event-driven row flushes — bit-identical, faster on plasticity-heavy
+	// workloads; DESIGN.md §11).
+	Plasticity network.PlasticityMode
+
+	// Batch (> 1) prefetches the spike-train plans of that many upcoming
+	// training images concurrently over the worker pool. Bit-identical to
+	// unbatched training; see learn.Options.Batch.
+	Batch int
+
 	// Classes is the label arity (0 = 10, the MNIST family).
 	Classes int
 
@@ -98,7 +109,10 @@ func New(o Options) (*Simulator, error) {
 	}
 	exec := engine.New(workers)
 	engine.Instrument(exec, o.Observer)
-	net, err := network.New(cfg, network.WithExecutor(exec), network.WithObserver(o.Observer))
+	net, err := network.New(cfg,
+		network.WithExecutor(exec),
+		network.WithObserver(o.Observer),
+		network.WithPlasticity(o.Plasticity))
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -114,6 +128,7 @@ func New(o Options) (*Simulator, error) {
 	}
 
 	opts.NumClasses = o.Classes
+	opts.Batch = o.Batch
 	tr, err := learn.New(net, opts)
 	if err != nil {
 		exec.Close()

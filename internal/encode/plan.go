@@ -1,0 +1,74 @@
+package encode
+
+// Plan is a fully materialized spike schedule for one presentation: every
+// (step, pixel) spike of a Source over a fixed step count, in CSR-like
+// layout. Because every Source decision is a pure function of
+// (seed, presentation, step, pixel), a plan built ahead of time — possibly
+// on another goroutine, while the network is still presenting earlier
+// images — replays bit-identically to stepping the source inline.
+//
+// A plan is immutable after BuildPlan and safe for concurrent reads.
+type Plan struct {
+	startStep uint64 // global step the presentation is predicted to begin at
+	band      Band
+	kind      TrainKind
+	dt        float64
+
+	offsets []int // per-step prefix offsets into spikes; len = steps+1
+	spikes  []int32
+}
+
+// BuildPlan materializes the source's spikes for a presentation of `steps`
+// steps of width dt ms starting at global step startStep. The source must
+// have been built with presentation == startStep (the network's convention)
+// and Prepared for dt.
+func (s *Source) BuildPlan(startStep uint64, dt float64, steps int, band Band) *Plan {
+	p := &Plan{
+		startStep: startStep,
+		band:      band,
+		kind:      s.Kind,
+		dt:        dt,
+		offsets:   make([]int, steps+1),
+	}
+	buf := make([]int, 0, len(s.rates))
+	for i := 0; i < steps; i++ {
+		buf = s.Step(startStep+uint64(i), dt, buf[:0])
+		for _, px := range buf {
+			p.spikes = append(p.spikes, int32(px))
+		}
+		p.offsets[i+1] = len(p.spikes)
+	}
+	return p
+}
+
+// Matches reports whether the plan was built for a presentation starting at
+// global step startStep under the given band, train kind, step width and
+// step count. A mismatch means the prediction the plan was built on (e.g.
+// the value of the step counter, shifted by an adaptive boost) no longer
+// holds and the spikes must be regenerated inline.
+func (p *Plan) Matches(startStep uint64, band Band, kind TrainKind, dt float64, steps int) bool {
+	return p.startStep == startStep &&
+		p.band == band &&
+		p.kind == kind &&
+		p.dt == dt &&
+		len(p.offsets) == steps+1
+}
+
+// StartStep returns the global step the plan was built for.
+func (p *Plan) StartStep() uint64 { return p.startStep }
+
+// Steps returns the number of simulation steps the plan covers.
+func (p *Plan) Steps() int { return len(p.offsets) - 1 }
+
+// Spikes returns the total spike count across all steps.
+func (p *Plan) Spikes() int { return len(p.spikes) }
+
+// Step appends the pixel indices spiking on presentation-relative step s
+// (ascending, exactly as Source.Step would emit them) and returns the
+// extended slice.
+func (p *Plan) Step(s int, dst []int) []int {
+	for _, px := range p.spikes[p.offsets[s]:p.offsets[s+1]] {
+		dst = append(dst, int(px))
+	}
+	return dst
+}

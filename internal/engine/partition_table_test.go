@@ -1,0 +1,37 @@
+package engine
+
+import "testing"
+
+// Table-driven Partition edge cases: the exact ranges for degenerate and
+// uneven geometries. The property tests in engine_test.go prove coverage
+// invariants; this table pins the concrete contiguous-block convention that
+// chunk-indexed scratch buffers (network.Present) and the golden traces
+// depend on.
+func TestPartitionTable(t *testing.T) {
+	cases := []struct {
+		name string
+		n, k int
+		want [][2]int // expected (lo, hi) per chunk
+	}{
+		{"n=0 one chunk", 0, 1, [][2]int{{0, 0}}},
+		{"n=0 many chunks", 0, 4, [][2]int{{0, 0}, {0, 0}, {0, 0}, {0, 0}}},
+		{"n<k leading chunks get one", 3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {3, 3}}},
+		{"n=1 k=2", 1, 2, [][2]int{{0, 1}, {1, 1}}},
+		{"even split", 8, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+		{"uneven remainder front-loaded", 10, 4, [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{"uneven 7 over 3", 7, 3, [][2]int{{0, 3}, {3, 5}, {5, 7}}},
+		{"single chunk", 9, 1, [][2]int{{0, 9}}},
+		{"k=n", 3, 3, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for chunk, want := range c.want {
+				lo, hi := Partition(c.n, c.k, chunk)
+				if lo != want[0] || hi != want[1] {
+					t.Fatalf("Partition(%d, %d, %d) = [%d, %d), want [%d, %d)",
+						c.n, c.k, chunk, lo, hi, want[0], want[1])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+// Command gen regenerates the golden trace digests in ../testdata using the
+// dense sequential reference path. Run it (via `go generate
+// ./internal/golden`) only when a change is *meant* to alter numerical
+// behaviour; the diff of the committed JSON then documents exactly which
+// cases moved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"parallelspikesim/internal/golden"
+)
+
+func main() {
+	const dir = "testdata"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range golden.Cases() {
+		res, err := golden.Run(c)
+		if err != nil {
+			log.Fatalf("case %s: %v", c.Name, err)
+		}
+		path := golden.TracePath(dir, c)
+		if err := golden.WriteTrace(path, res.Trace); err != nil {
+			log.Fatalf("case %s: %v", c.Name, err)
+		}
+		fmt.Printf("%-40s spikes=%d/%d weights=%08x\n",
+			path, res.Trace.InputSpikes, res.Trace.ExcSpikes, res.Trace.WeightCRC)
+	}
+}

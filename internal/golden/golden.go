@@ -1,0 +1,221 @@
+// Package golden pins the simulator's exact numerical behaviour with
+// committed trace digests. Each golden case trains a small fixed network on
+// a synthetic image sequence and reduces the full execution trace — every
+// input and neuron spike, the winner of every presentation, the final
+// conductance matrix and homeostatic thresholds — to CRC32 digests stored
+// in testdata/ (regenerate with `go generate ./internal/golden`).
+//
+// The suite serves two purposes. First, it is a regression tripwire: any
+// change that perturbs a single spike, RNG draw or weight update in any
+// (rule × format × rounding) combination flips a digest. Second, it is the
+// bit-identity proof for alternative execution strategies: the lazy
+// plasticity engine and the batched trainer must reproduce the digests the
+// dense sequential reference recorded (see DESIGN.md §11).
+package golden
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+// Schema identifies the trace file format.
+const Schema = "psgolden/v1"
+
+// Fixed geometry of every golden case: small enough that the full suite
+// replays in seconds, large enough that WTA, homeostasis and both plasticity
+// rules all engage.
+const (
+	numNeurons = 12
+	numImages  = 4
+	tLearnMS   = 80
+	caseSeed   = 0x601d
+)
+
+// Case is one point of the golden grid: a learning rule, a conductance
+// format and a rounding mode.
+type Case struct {
+	Name     string
+	Preset   synapse.Preset
+	Rule     synapse.RuleKind
+	Rounding fixed.Rounding
+}
+
+func roundingSlug(r fixed.Rounding) string {
+	switch r {
+	case fixed.Truncate:
+		return "trunc"
+	case fixed.Nearest:
+		return "nearest"
+	case fixed.Stochastic:
+		return "stoch"
+	default:
+		return fmt.Sprintf("rounding%d", int(r))
+	}
+}
+
+// Cases enumerates the golden grid: both rules × the paper's quantized
+// formats (Q0.2, Q1.7, Q1.15) × all three rounding modes.
+func Cases() []Case {
+	var out []Case
+	for _, rule := range []synapse.RuleKind{synapse.Deterministic, synapse.Stochastic} {
+		for _, preset := range []synapse.Preset{synapse.Preset2Bit, synapse.Preset8Bit, synapse.Preset16Bit} {
+			for _, rounding := range []fixed.Rounding{fixed.Truncate, fixed.Nearest, fixed.Stochastic} {
+				out = append(out, Case{
+					Name:     fmt.Sprintf("%s-%s-%s", rule, preset, roundingSlug(rounding)),
+					Preset:   preset,
+					Rule:     rule,
+					Rounding: rounding,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Trace is the committed digest of one case's execution.
+type Trace struct {
+	Schema   string `json:"schema"`
+	Case     string `json:"case"`
+	Rule     string `json:"rule"`
+	Preset   string `json:"preset"`
+	Rounding string `json:"rounding"`
+
+	Images        int `json:"images"`
+	StepsPerImage int `json:"steps_per_image"`
+
+	InputSpikes uint64 `json:"input_spikes"`
+	ExcSpikes   uint64 `json:"exc_spikes"`
+	Winners     []int  `json:"winners"`   // winner index per presentation (-1 = silent)
+	SpikeCRC    uint32 `json:"spike_crc"` // every (time, index) spike event, inputs then neurons, per step
+	WeightCRC   uint32 `json:"weight_crc"`
+	ThetaCRC    uint32 `json:"theta_crc"`
+}
+
+// Result is a live replay of one case: the digest trace plus the raw final
+// state, so tests can compare execution strategies exactly, not only
+// through CRCs.
+type Result struct {
+	Trace   Trace
+	Weights []fixed.Weight
+	Theta   []float64
+}
+
+// Run replays a case under the given network options (execution strategy)
+// and digests the trace. The dense sequential reference is Run(c) with no
+// options.
+func Run(c Case, opts ...network.Option) (*Result, error) {
+	syn, _, err := synapse.PresetConfig(c.Preset, c.Rule)
+	if err != nil {
+		return nil, err
+	}
+	syn.Rounding = c.Rounding
+	syn.Seed = caseSeed
+	cfg := network.DefaultConfig(28*28, numNeurons, syn)
+	net, err := network.New(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	data := dataset.SynthDigits(numImages, caseSeed)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: tLearnMS}
+
+	tr := Trace{
+		Schema:        Schema,
+		Case:          c.Name,
+		Rule:          c.Rule.String(),
+		Preset:        string(c.Preset),
+		Rounding:      roundingSlug(c.Rounding),
+		Images:        numImages,
+		StepsPerImage: int(tLearnMS / cfg.DTms),
+	}
+	spikeCRC := crc32.NewIEEE()
+	var buf [12]byte
+	digest := func(events []network.SpikeEvent) {
+		for _, ev := range events {
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(ev.TimeMS))
+			binary.LittleEndian.PutUint32(buf[8:], uint32(ev.Index))
+			spikeCRC.Write(buf[:])
+		}
+	}
+	for i := 0; i < data.Len(); i++ {
+		rec := &network.Recorder{}
+		res, err := net.Present(data.Images[i], ctl, true, rec)
+		if err != nil {
+			return nil, fmt.Errorf("golden: case %s image %d: %w", c.Name, i, err)
+		}
+		digest(rec.InputSpikes)
+		digest(rec.NeuronSpikes)
+		w, _ := res.Winner()
+		tr.Winners = append(tr.Winners, w)
+		tr.InputSpikes += uint64(res.InputSpikes)
+		tr.ExcSpikes += uint64(res.TotalSpikes())
+	}
+	tr.SpikeCRC = spikeCRC.Sum32()
+	tr.WeightCRC = crcFloats(weightsAsFloats(net.Syn.G))
+	tr.ThetaCRC = crcFloats(net.Exc.Theta())
+	return &Result{
+		Trace:   tr,
+		Weights: append([]fixed.Weight(nil), net.Syn.G...),
+		Theta:   append([]float64(nil), net.Exc.Theta()...),
+	}, nil
+}
+
+func weightsAsFloats(g []fixed.Weight) []float64 {
+	out := make([]float64, len(g))
+	for i, w := range g {
+		out[i] = float64(w)
+	}
+	return out
+}
+
+func crcFloats(vs []float64) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// TracePath returns the committed location of a case's trace.
+func TracePath(dir string, c Case) string {
+	return dir + "/" + c.Name + ".json"
+}
+
+// WriteTrace writes a trace as indented JSON (the committed testdata
+// format).
+func WriteTrace(path string, tr Trace) error {
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadTrace loads a committed trace and validates its schema.
+func ReadTrace(path string) (Trace, error) {
+	var tr Trace
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return tr, err
+	}
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return tr, fmt.Errorf("golden: %s: %w", path, err)
+	}
+	if tr.Schema != Schema {
+		return tr, fmt.Errorf("golden: %s: schema %q, want %q", path, tr.Schema, Schema)
+	}
+	return tr, nil
+}
+
+//go:generate go run ./gen

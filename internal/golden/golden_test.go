@@ -1,0 +1,133 @@
+package golden
+
+import (
+	"os"
+	"testing"
+
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+func committed(t *testing.T, c Case) Trace {
+	t.Helper()
+	tr, err := ReadTrace(TracePath("testdata", c))
+	if err != nil {
+		t.Fatalf("missing golden trace (run `go generate ./internal/golden`): %v", err)
+	}
+	return tr
+}
+
+func assertTrace(t *testing.T, got, want Trace) {
+	t.Helper()
+	if got.InputSpikes != want.InputSpikes || got.ExcSpikes != want.ExcSpikes {
+		t.Fatalf("spike totals drifted: got %d/%d, golden %d/%d",
+			got.InputSpikes, got.ExcSpikes, want.InputSpikes, want.ExcSpikes)
+	}
+	if len(got.Winners) != len(want.Winners) {
+		t.Fatalf("winner count drifted: got %d, golden %d", len(got.Winners), len(want.Winners))
+	}
+	for i := range got.Winners {
+		if got.Winners[i] != want.Winners[i] {
+			t.Fatalf("winner of presentation %d drifted: got %d, golden %d",
+				i, got.Winners[i], want.Winners[i])
+		}
+	}
+	if got.SpikeCRC != want.SpikeCRC {
+		t.Fatalf("spike trace drifted: got %08x, golden %08x", got.SpikeCRC, want.SpikeCRC)
+	}
+	if got.WeightCRC != want.WeightCRC {
+		t.Fatalf("final weights drifted: got %08x, golden %08x", got.WeightCRC, want.WeightCRC)
+	}
+	if got.ThetaCRC != want.ThetaCRC {
+		t.Fatalf("final thetas drifted: got %08x, golden %08x", got.ThetaCRC, want.ThetaCRC)
+	}
+}
+
+func TestCasesCoverGrid(t *testing.T) {
+	cases := Cases()
+	if len(cases) != 18 { // 2 rules × 3 formats × 3 roundings
+		t.Fatalf("golden grid has %d cases, want 18", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Fatalf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if _, err := os.Stat(TracePath("testdata", c)); err != nil {
+			t.Fatalf("case %s has no committed trace: %v", c.Name, err)
+		}
+	}
+}
+
+func TestDenseMatchesGolden(t *testing.T) {
+	// The reference path reproduces the committed digests exactly. Any
+	// change to encoding, integration, WTA, plasticity arithmetic or RNG
+	// keying fails here first, naming the (rule, format, rounding) cell.
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, res.Trace, committed(t, c))
+		})
+	}
+}
+
+func TestLazyMatchesGolden(t *testing.T) {
+	// The lazy engine must reproduce the *dense-recorded* digests — the
+	// bit-identity acceptance criterion of the event-driven refactor —
+	// including the full final weight matrix, compared value by value
+	// against a fresh dense replay (CRCs alone could in principle collide).
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			lazy, err := Run(c, network.WithPlasticity(network.LazyPlasticity))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, lazy.Trace, committed(t, c))
+			dense, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range dense.Weights {
+				if dense.Weights[i] != lazy.Weights[i] {
+					t.Fatalf("weight %d: dense %v, lazy %v", i, dense.Weights[i], lazy.Weights[i])
+				}
+			}
+			for i := range dense.Theta {
+				if dense.Theta[i] != lazy.Theta[i] {
+					t.Fatalf("theta %d: dense %v, lazy %v", i, dense.Theta[i], lazy.Theta[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPooledLazyMatchesGolden(t *testing.T) {
+	// Worker-pool execution on top of the lazy engine still reproduces the
+	// sequential dense digests. One representative cell per rule keeps the
+	// suite fast; the full cross-product runs sequentially above.
+	pool := engine.New(4)
+	defer pool.Close()
+	for _, c := range Cases() {
+		if c.Preset != synapse.Preset8Bit || c.Rounding != fixed.Stochastic {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := Run(c,
+				network.WithExecutor(pool),
+				network.WithPlasticity(network.LazyPlasticity))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, res.Trace, committed(t, c))
+		})
+	}
+}

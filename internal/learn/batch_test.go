@@ -1,0 +1,221 @@
+package learn
+
+import (
+	"errors"
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+func newPool(t *testing.T) engine.Executor {
+	t.Helper()
+	pool := engine.New(4)
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func netWith(t *testing.T, seed uint64, opts ...network.Option) *network.Network {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(synapse.PresetFloat, synapse.Stochastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = seed
+	cfg := network.DefaultConfig(784, 8, syn)
+	net, err := network.New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// assertSameTraining compares the full observable outcome of two training
+// runs: moving-error curve, conductances, thresholds and progress counters.
+func assertSameTraining(t *testing.T, label string, a, b *Trainer) {
+	t.Helper()
+	ca, cb := a.MovingErrorCurve(), b.MovingErrorCurve()
+	if len(ca) != len(cb) {
+		t.Fatalf("%s: curve lengths differ: %d vs %d", label, len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("%s: moving error diverged at image %d: %v vs %v", label, i, ca[i], cb[i])
+		}
+	}
+	for i := range a.Net.Syn.G {
+		if a.Net.Syn.G[i] != b.Net.Syn.G[i] {
+			t.Fatalf("%s: conductance %d diverged: %v vs %v", label, i, a.Net.Syn.G[i], b.Net.Syn.G[i])
+		}
+	}
+	ta, tb := a.Net.Exc.Theta(), b.Net.Exc.Theta()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("%s: theta %d diverged", label, i)
+		}
+	}
+	if a.ImagesSeen != b.ImagesSeen || a.BoostCount != b.BoostCount {
+		t.Fatalf("%s: progress diverged: %d/%d images, %d/%d boosts",
+			label, a.ImagesSeen, b.ImagesSeen, a.BoostCount, b.BoostCount)
+	}
+	if a.Net.Step() != b.Net.Step() {
+		t.Fatalf("%s: clocks diverged: %d vs %d", label, a.Net.Step(), b.Net.Step())
+	}
+}
+
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	// Satellite 3's core claim: batch-prefetching spike-train plans changes
+	// where encoding runs, not what the network computes — curves, weights
+	// and thresholds are bit-identical to a plain sequential run.
+	ds := dataset.SynthDigits(24, 7)
+	plain := fastOptions()
+	batched := fastOptions()
+	batched.Batch = 6
+
+	trPlain, err := NewTrainer(netWith(t, 5), plain, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBatch, err := NewTrainer(netWith(t, 5), batched, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trPlain.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := trBatch.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTraining(t, "batched-vs-plain", trPlain, trBatch)
+	if trBatch.PlanHits == 0 {
+		t.Fatal("batched run never consumed a prefetched plan")
+	}
+	if trPlain.PlanHits != 0 {
+		t.Fatal("unbatched run consumed plans")
+	}
+}
+
+func TestBatchedLazyPooledMatchesPlainDense(t *testing.T) {
+	// All the PR's execution strategies at once — lazy plasticity, pooled
+	// executor, batched prefetch — against the plain reference.
+	ds := dataset.SynthDigits(16, 3)
+	plain := fastOptions()
+	fancy := fastOptions()
+	fancy.Batch = 4
+
+	trPlain, err := NewTrainer(netWith(t, 9), plain, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newPool(t)
+	trFancy, err := NewTrainer(netWith(t, 9,
+		network.WithExecutor(pool),
+		network.WithPlasticity(network.LazyPlasticity)), fancy, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trPlain.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := trFancy.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTraining(t, "lazy+pool+batch", trPlain, trFancy)
+}
+
+func TestBatchedCheckpointResumeBitIdentical(t *testing.T) {
+	// A batched run interrupted mid-way and resumed into a fresh batched
+	// trainer replays to the same end state as an uninterrupted run: the
+	// plan window is speculative state that deliberately does not survive
+	// (Train rebuilds it from the restored clock).
+	ds := dataset.SynthDigits(20, 13)
+	opts := fastOptions()
+	opts.Batch = 5
+
+	full, err := NewTrainer(netWith(t, 11), opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed, err := NewTrainer(netWith(t, 11), opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAt := 8
+	crashed.Interrupted = func() bool { return crashed.ImagesSeen >= stopAt }
+	if err := crashed.Train(ds, nil); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	state := crashed.CheckpointState()
+	g := append([]fixed.Weight(nil), crashed.Net.Syn.G...)
+	theta := append([]float64(nil), crashed.Net.Exc.Theta()...)
+
+	resumed, err := NewTrainer(netWith(t, 11), opts, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	copy(resumed.Net.Syn.G, g)
+	copy(resumed.Net.Exc.Theta(), theta)
+	if err := resumed.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTraining(t, "batched-resume", full, resumed)
+}
+
+func TestBatchSurvivesBoosts(t *testing.T) {
+	// Boost re-presentations shift the step counter, invalidating every
+	// remaining speculative plan. The fallback must be silent and
+	// bit-identical, and plans must keep being consumed after the window is
+	// rebuilt.
+	ds := dataset.SynthDigits(18, 17)
+	base := fastOptions()
+	base.Control.TLearnMS = 100
+	base.BoostMinSpikes = 12 // aggressive: force boosts on sparse images
+	base.MaxBoosts = 3
+	batched := base
+	batched.Batch = 4
+
+	trPlain, err := NewTrainer(netWith(t, 21), base, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBatch, err := NewTrainer(netWith(t, 21), batched, ds.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trPlain.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := trBatch.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTraining(t, "boosted-batch", trPlain, trBatch)
+	if trPlain.BoostCount == 0 {
+		t.Skip("no boosts triggered; invalidation path not exercised at this seed")
+	}
+	if trBatch.PlanHits >= trBatch.ImagesSeen {
+		t.Fatal("every presentation claimed a plan hit despite boost invalidations")
+	}
+}
+
+func TestBatchOptionsValidate(t *testing.T) {
+	bad := fastOptions()
+	bad.Batch = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative batch accepted")
+	}
+	ok := fastOptions()
+	ok.Batch = 16
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

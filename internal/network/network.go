@@ -26,6 +26,7 @@ package network
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/encode"
@@ -35,6 +36,46 @@ import (
 	"parallelspikesim/internal/rng"
 	"parallelspikesim/internal/synapse"
 )
+
+// PlasticityMode selects how STDP updates are scheduled. Both modes are
+// bit-identical for identical seeds (the golden suite in internal/golden
+// pins this); they differ only in execution strategy.
+type PlasticityMode int
+
+const (
+	// DensePlasticity applies every post-spike column update eagerly, the
+	// moment the neuron fires — the reference schedule.
+	DensePlasticity PlasticityMode = iota
+	// LazyPlasticity defers post-spike updates into a shared event log and
+	// replays them row-contiguously when a row's pre neuron next spikes (or
+	// at presentation end), converting the dense path's 8 KB-strided column
+	// walks into cache-resident row flushes.
+	LazyPlasticity
+)
+
+// String names the mode as the psbench -plasticity flag spells it.
+func (m PlasticityMode) String() string {
+	switch m {
+	case DensePlasticity:
+		return "dense"
+	case LazyPlasticity:
+		return "lazy"
+	default:
+		return fmt.Sprintf("PlasticityMode(%d)", int(m))
+	}
+}
+
+// ParsePlasticityMode converts a user-facing mode name.
+func ParsePlasticityMode(s string) (PlasticityMode, error) {
+	switch s {
+	case "dense", "eager":
+		return DensePlasticity, nil
+	case "lazy", "event", "event-driven":
+		return LazyPlasticity, nil
+	default:
+		return 0, fmt.Errorf("network: unknown plasticity mode %q", s)
+	}
+}
 
 // Config describes a full network instance.
 type Config struct {
@@ -112,8 +153,9 @@ type Network struct {
 	Plast *synapse.Plasticity
 
 	exec engine.Executor
-	rec  *Recorder     // default recorder (WithRecorder); Present's arg overrides
-	reg  *obs.Registry // observability registry; nil = disabled
+	rec  *Recorder      // default recorder (WithRecorder); Present's arg overrides
+	reg  *obs.Registry  // observability registry; nil = disabled
+	lazy *synapse.Queue // deferred-update queue; nil in dense mode
 
 	// Phase timers and event counters; all nil (no-op) without an observer.
 	obsEncode    *obs.Timer
@@ -131,6 +173,7 @@ type Network struct {
 
 	inputBufs [][]int // per-chunk input spike scratch
 	spikeBufs [][]int // per-chunk neuron spike scratch
+	planBuf   []int   // scratch for consuming precomputed spike plans
 
 	step uint64  // global step counter (keys RNG draws)
 	now  float64 // absolute simulation time, ms
@@ -146,9 +189,10 @@ type Network struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	exec engine.Executor
-	rec  *Recorder
-	reg  *obs.Registry
+	exec  engine.Executor
+	rec   *Recorder
+	reg   *obs.Registry
+	plast PlasticityMode
 }
 
 // WithExecutor runs the network's kernels on exec. The caller retains
@@ -162,6 +206,13 @@ func WithExecutor(exec engine.Executor) Option {
 // called with a nil recorder argument.
 func WithRecorder(rec *Recorder) Option {
 	return func(o *buildOptions) { o.rec = rec }
+}
+
+// WithPlasticity selects the STDP scheduling strategy. The default is
+// DensePlasticity; LazyPlasticity produces bit-identical results faster on
+// plasticity-heavy workloads (see DESIGN.md §11).
+func WithPlasticity(mode PlasticityMode) Option {
+	return func(o *buildOptions) { o.plast = mode }
 }
 
 // WithObserver attaches an observability registry: Present records
@@ -228,12 +279,32 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 		obsInhEv:     bo.reg.Counter("network_inh_events_total"),
 		obsSynUpd:    bo.reg.Counter("network_syn_updates_total"),
 	}
+	if bo.plast == LazyPlasticity {
+		q, err := synapse.NewQueue(plast, cfg.NumInputs)
+		if err != nil {
+			return nil, err
+		}
+		n.lazy = q
+	}
 	w := exec.Workers()
 	n.inputBufs = make([][]int, w)
 	n.spikeBufs = make([][]int, w)
 	n.resetTimers()
 	return n, nil
 }
+
+// Plasticity returns the scheduling mode the network was built with.
+func (n *Network) Plasticity() PlasticityMode {
+	if n.lazy != nil {
+		return LazyPlasticity
+	}
+	return DensePlasticity
+}
+
+// Executor returns the engine the network's kernels run on. Downstream
+// components (learn.Trainer's batched spike-train prefetch) reuse it so one
+// worker pool serves the whole stack.
+func (n *Network) Executor() engine.Executor { return n.exec }
 
 func (n *Network) resetTimers() {
 	for i := range n.lastPre {
@@ -308,12 +379,44 @@ func (r PresentResult) TotalSpikes() int {
 	return sum
 }
 
+// PlanPresentation synthesizes the full spike schedule of one presentation
+// ahead of time: the spikes image img would emit under ctl if presented
+// when the network's global step counter reads startStep. Plans are pure
+// functions of (seed, startStep, image, band), so they can be built
+// concurrently for several upcoming images (learn.Trainer's batch mode does
+// this over the engine pool) and consumed later by PresentPlan — which
+// falls back to inline generation, bit-identically, whenever a plan's
+// predicted start step turns out wrong (e.g. an adaptive boost shifted the
+// clock).
+func (n *Network) PlanPresentation(img []uint8, ctl encode.Control, startStep uint64) (*encode.Plan, error) {
+	if len(img) != n.Cfg.NumInputs {
+		return nil, fmt.Errorf("network: image has %d pixels, network expects %d", len(img), n.Cfg.NumInputs)
+	}
+	if err := ctl.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), startStep)
+	if err != nil {
+		return nil, err
+	}
+	src.Prepare(n.Cfg.DTms)
+	return src.BuildPlan(startStep, n.Cfg.DTms, int(ctl.TLearnMS/n.Cfg.DTms), ctl.Band), nil
+}
+
 // Present shows one image to the network for ctl.TLearnMS milliseconds.
 // When learn is true the STDP rule updates conductances. Membranes and
 // spike timers are reset at the start of the presentation; homeostatic
 // thresholds persist. A nil rec falls back to the recorder installed with
 // WithRecorder (if any).
 func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Recorder) (PresentResult, error) {
+	return n.PresentPlan(img, ctl, learn, rec, nil)
+}
+
+// PresentPlan is Present with an optional precomputed spike schedule (see
+// PlanPresentation). A nil or stale plan — wrong start step, band, train
+// kind, step width or step count — is ignored and the spikes are generated
+// inline; either way the presentation is bit-identical.
+func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *Recorder, plan *encode.Plan) (PresentResult, error) {
 	if rec == nil {
 		rec = n.rec
 	}
@@ -324,11 +427,18 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		return PresentResult{}, err
 	}
 	presentation := n.step // unique per presentation; decorrelates spike trains
-	src, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), presentation)
-	if err != nil {
-		return PresentResult{}, err
+	var src *encode.Source
+	if plan != nil && !plan.Matches(presentation, ctl.Band, n.Cfg.TrainKind, n.Cfg.DTms, int(ctl.TLearnMS/n.Cfg.DTms)) {
+		plan = nil
 	}
-	src.Prepare(n.Cfg.DTms) // precompute spike thresholds before parallel stepping
+	if plan == nil {
+		s, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), presentation)
+		if err != nil {
+			return PresentResult{}, err
+		}
+		s.Prepare(n.Cfg.DTms) // precompute spike thresholds before parallel stepping
+		src = s
+	}
 
 	n.Exc.ResetMembranes()
 	n.Exc.FreezeTheta = !learn // evaluation mode: homeostasis frozen
@@ -347,13 +457,22 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		now := n.now
 		step := n.step
 
-		// (1) Input spikes, generated chunk-parallel over pixels.
+		// (1) Input spikes: replayed from the precomputed plan when one was
+		// supplied, otherwise generated chunk-parallel over pixels. Both
+		// paths draw from the same counter-based stream, so the spikes are
+		// identical.
 		tEnc := n.obsEncode.Start()
-		n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
-			n.inputBufs[chunk] = src.StepRange(step, dt, lo, hi, n.inputBufs[chunk][:0])
-		})
+		var inputSpikes []int
+		if plan != nil {
+			n.planBuf = plan.Step(s, n.planBuf[:0])
+			inputSpikes = n.planBuf
+		} else {
+			n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
+				n.inputBufs[chunk] = src.StepRange(step, dt, lo, hi, n.inputBufs[chunk][:0])
+			})
+			inputSpikes = mergeBufs(n.inputBufs[:n.exec.Workers()])
+		}
 		n.obsEncode.Stop(tEnc)
-		inputSpikes := mergeBufs(n.inputBufs[:n.exec.Workers()])
 		res.InputSpikes += len(inputSpikes)
 		n.TotalInputSpikes += uint64(len(inputSpikes))
 		n.obsInputSp.Add(uint64(len(inputSpikes)))
@@ -361,6 +480,22 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 			for _, px := range inputSpikes {
 				rec.InputSpikes = append(rec.InputSpikes, SpikeEvent{TimeMS: now, Index: px})
 			}
+		}
+
+		// (1b) Lazy mode: the rows about to be read by the current sum must
+		// be brought up to date first. Flushing here — before (3) moves
+		// lastPre — is what keeps the deferred replay bit-identical to the
+		// dense schedule: every pending event recorded since this row's last
+		// flush observed exactly the lastPre value the row still holds.
+		// The flush runs inline: only the handful of rows spiking this
+		// step are touched, so a parallel dispatch would cost more in
+		// barrier overhead than the replay itself.
+		if n.lazy != nil && learn && len(inputSpikes) > 0 && n.lazy.Events() > 0 {
+			tp := n.obsPlast.Start()
+			for _, pre := range inputSpikes {
+				n.lazy.FlushRow(pre, n.lastPre[pre])
+			}
+			n.obsPlast.Stop(tp)
 		}
 
 		// (2) Input current accumulation (eq. 3).
@@ -427,12 +562,18 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		for _, post := range postSpikes {
 			n.Exc.Fire(post, now)
 			if learn {
-				// Partition the 784-synapse column update across workers.
-				tp := n.obsPlast.Start()
-				n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
-					n.Plast.OnPostSpikeRange(post, now, n.lastPre, step, lo, hi)
-				})
-				plastNs += n.obsPlast.Since(tp)
+				if n.lazy != nil {
+					// Defer the column update; rows replay it when their pre
+					// neuron next spikes or at presentation end.
+					n.lazy.Record(post, now, step)
+				} else {
+					// Partition the 784-synapse column update across workers.
+					tp := n.obsPlast.Start()
+					n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
+						n.Plast.OnPostSpikeRange(post, now, n.lastPre, step, lo, hi)
+					})
+					plastNs += n.obsPlast.Since(tp)
+				}
 				n.obsSynUpd.Add(uint64(n.Cfg.NumInputs))
 			}
 			n.lastPost[post] = now
@@ -473,6 +614,21 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 		n.now += dt
 	}
 
+	// Lazy mode: the presentation boundary is a read point — checkpoints,
+	// statistics and receptive-field plots all inspect the matrix between
+	// images — so drain every row. Rows are independent; the full flush
+	// partitions over the engine.
+	if n.lazy != nil && learn && n.lazy.Events() > 0 {
+		tp := n.obsPlast.Start()
+		n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
+			n.lazy.FlushRowsRange(lo, hi, n.lastPre)
+		})
+		n.obsPlast.Stop(tp)
+	}
+	if n.lazy != nil {
+		n.lazy.Reset()
+	}
+
 	res.SpikeCounts = make([]int, n.Cfg.NumNeurons)
 	after := n.Exc.SpikeCounts()
 	for i := range res.SpikeCounts {
@@ -481,18 +637,29 @@ func (n *Network) Present(img []uint8, ctl encode.Control, learn bool, rec *Reco
 	return res, nil
 }
 
-// mergeBufs concatenates per-chunk index buffers in chunk order, preserving
-// ascending index order (chunks are contiguous ranges).
+// mergeBufs concatenates per-chunk index buffers and enforces ascending
+// index order. The order is load-bearing: the current-accumulation loop sums
+// floats in spike order, and float addition is not associative, so a merge
+// that depended on chunk slots happening to hold ascending ranges would make
+// results executor-dependent. With engine.Partition chunks are already
+// ascending and the IsSorted fast path makes the sort free; any executor
+// with a different chunk↔range convention is corrected rather than silently
+// changing the simulation.
 func mergeBufs(bufs [][]int) []int {
+	var out []int
 	switch len(bufs) {
 	case 0:
 		return nil
 	case 1:
-		return bufs[0]
+		out = bufs[0]
+	default:
+		out = bufs[0]
+		for _, b := range bufs[1:] {
+			out = append(out, b...)
+		}
 	}
-	out := bufs[0]
-	for _, b := range bufs[1:] {
-		out = append(out, b...)
+	if !sort.IntsAreSorted(out) {
+		sort.Ints(out)
 	}
 	return out
 }

@@ -1,0 +1,172 @@
+package synapse
+
+import (
+	"fmt"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/rng"
+)
+
+// PostEvent is one deferred post-spike plasticity event: neuron Post fired
+// at absolute time Now (ms) on global step Step. The step keys the
+// counter-based RNG draws, so replaying the event later consumes exactly
+// the random rolls the dense path would have consumed at the time.
+type PostEvent struct {
+	Step uint64
+	Now  float64
+	Post int32
+}
+
+// Queue is the event-driven lazy-plasticity engine (after Bautembach et
+// al., "lazy+event-driven plasticity"): instead of updating all NPre
+// synapses of a post neuron's column the instant it spikes, the spike is
+// recorded as a PostEvent and the updates are deferred until a synapse's
+// value is actually needed — which, in this simulator, is only when its
+// pre neuron spikes (the row feeds the eq. 3 current sum) or when the
+// presentation ends (checkpoints, statistics and visualization read the
+// matrix between images).
+//
+// A single shared event log serves every row; cursor[pre] counts how many
+// events have already been applied to row pre. Flushing a row replays
+// events[cursor[pre]:] in recording order with the row's current last-pre
+// spike time — which is exactly the value every deferred event observed,
+// because lastPre[pre] only changes when pre spikes, and the row is always
+// flushed at that moment, before the timestamp moves. Together with the
+// counter-based RNG (draws keyed by (seed, tag, step, pre, post), never by
+// call order) this makes the lazy path bit-identical to the dense one: per
+// synapse, the same sequence of AddSat/SubSat updates with the same inputs,
+// merely executed later and row-contiguously instead of column-strided.
+//
+// Rows are independent, so flushes of different rows may run concurrently
+// (the network partitions them over the engine); recording and flushing
+// must not overlap.
+type Queue struct {
+	P *Plasticity
+
+	events []PostEvent
+	cursor []int // events already applied, per pre row
+}
+
+// NewQueue binds a deferred-update queue to a plasticity pipeline for a
+// matrix with nPre input rows.
+func NewQueue(p *Plasticity, nPre int) (*Queue, error) {
+	if p == nil {
+		return nil, fmt.Errorf("synapse: lazy queue needs a plasticity pipeline")
+	}
+	if nPre != p.M.NPre {
+		return nil, fmt.Errorf("synapse: lazy queue for %d rows, matrix has %d", nPre, p.M.NPre)
+	}
+	return &Queue{P: p, cursor: make([]int, nPre)}, nil
+}
+
+// Record defers the plasticity updates of a post-neuron spike. Events must
+// be recorded in nondecreasing step order — the order Present emits them.
+func (q *Queue) Record(post int, now float64, step uint64) {
+	if check.Enabled && len(q.events) > 0 {
+		check.QueueEventOrder("synapse: lazy queue record", q.events[len(q.events)-1].Step, step)
+	}
+	q.events = append(q.events, PostEvent{Step: step, Now: now, Post: int32(post)})
+}
+
+// Events returns the number of post-spike events recorded since the last
+// Reset.
+func (q *Queue) Events() int { return len(q.events) }
+
+// Pending returns the number of events not yet applied to row pre.
+func (q *Queue) Pending(pre int) int {
+	if check.Enabled {
+		check.QueueCursor("synapse: lazy queue cursor", q.cursor[pre], len(q.events))
+	}
+	return len(q.events) - q.cursor[pre]
+}
+
+// MaxPending returns the largest Pending over all rows — 0 after a full
+// flush, which is the invariant the network asserts at presentation end.
+func (q *Queue) MaxPending() int {
+	maxP := 0
+	for pre := range q.cursor {
+		if p := q.Pending(pre); p > maxP {
+			maxP = p
+		}
+	}
+	return maxP
+}
+
+// FlushRow applies every pending event to row pre. lastPre is the last
+// spike time of input pre (Never if it has not spiked), which every pending
+// event observed — see the type comment for why that holds. The replay is
+// OnPostSpikeRange restricted to one pre and iterated over events, with the
+// diagnostic counters accumulated locally and published once, so a flush
+// costs two atomic adds instead of one per update.
+func (q *Queue) FlushRow(pre int, lastPre float64) {
+	evs := q.events[q.cursor[pre]:]
+	if check.Enabled {
+		check.QueueCursor("synapse: lazy queue flush", q.cursor[pre], len(q.events))
+	}
+	if len(evs) == 0 {
+		return
+	}
+	q.cursor[pre] = len(q.events)
+	p := q.P
+	w := p.Cfg.Det.WindowMS
+	var pots, deps uint64
+	switch p.Cfg.Kind {
+	case Deterministic:
+		for _, e := range evs {
+			if e.Now-lastPre <= w { // lastPre == Never gives +Inf → depress
+				p.applyPot(pre, int(e.Post), e.Step)
+				pots++
+			} else {
+				p.applyDep(pre, int(e.Post), e.Step)
+				deps++
+			}
+		}
+	case Stochastic:
+		stoch := p.Cfg.Stoch
+		seed := p.Cfg.Seed
+		for _, e := range evs {
+			dt := e.Now - lastPre
+			post := int(e.Post)
+			if pp := stoch.PPot(dt); pp > 0 {
+				if rng.Bernoulli(pp, seed, tagPotRoll, e.Step, uint64(pre), uint64(post)) {
+					p.applyPot(pre, post, e.Step)
+					pots++
+					continue
+				}
+			}
+			if pd := stoch.PDepEvent(dt, w); pd > 0 {
+				if rng.Bernoulli(pd, seed, tagDepRoll, e.Step, uint64(pre), uint64(post)) {
+					p.applyDep(pre, post, e.Step)
+					deps++
+				}
+			}
+		}
+	}
+	if pots > 0 {
+		p.potApplied.Add(pots)
+	}
+	if deps > 0 {
+		p.depApplied.Add(deps)
+	}
+}
+
+// FlushRowsRange flushes every row in [lo, hi) — the unit of work for the
+// engine's end-of-presentation full flush. Rows are disjoint, so concurrent
+// calls with disjoint ranges never race.
+func (q *Queue) FlushRowsRange(lo, hi int, lastPre []float64) {
+	for pre := lo; pre < hi; pre++ {
+		q.FlushRow(pre, lastPre[pre])
+	}
+}
+
+// Reset clears the event log and row cursors. Every row must have been
+// flushed first; resetting with pending updates would silently drop them.
+func (q *Queue) Reset() {
+	if check.Enabled {
+		check.QueueDrained("synapse: lazy queue reset", q.MaxPending())
+	}
+	q.events = q.events[:0]
+	for i := range q.cursor {
+		q.cursor[i] = 0
+	}
+}

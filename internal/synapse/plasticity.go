@@ -62,10 +62,12 @@ func (p *Plasticity) ResetCounters() {
 	p.depRolls.Store(0)
 }
 
-// potentiate applies one LTP step to synapse (pre, post) through the
-// saturating update helper, which quantizes with the configured rounding
-// option (the fixedrange analyzer forbids raw arithmetic on the Weight).
-func (p *Plasticity) potentiate(pre, post int, step uint64) {
+// applyPot performs the arithmetic of one LTP step to synapse (pre, post)
+// through the saturating update helper, which quantizes with the configured
+// rounding option (the fixedrange analyzer forbids raw arithmetic on the
+// Weight). It does not touch the diagnostic counters, so batch callers (the
+// lazy flush) can count locally and publish once per batch.
+func (p *Plasticity) applyPot(pre, post int, step uint64) {
 	idx := pre*p.M.NPost + post
 	g := p.M.G[idx]
 	dg := p.Cfg.potMagnitude(float64(g))
@@ -79,13 +81,17 @@ func (p *Plasticity) potentiate(pre, post int, step uint64) {
 		// Potentiation saturates at GCeil only; the floor is the format's 0.
 		check.WeightUpdate("synapse: potentiate", float64(g), float64(ng), p.Cfg.Format, 0, p.Cfg.GCeil())
 	}
+}
+
+// potentiate applies one LTP step and counts it.
+func (p *Plasticity) potentiate(pre, post int, step uint64) {
+	p.applyPot(pre, post, step)
 	p.potApplied.Add(1)
 }
 
-// depress applies one LTD step to synapse (pre, post) through the
-// saturating update helper, which quantizes with the configured rounding
-// option.
-func (p *Plasticity) depress(pre, post int, step uint64) {
+// applyDep performs the arithmetic of one LTD step to synapse (pre, post)
+// through the saturating update helper, without counter bookkeeping.
+func (p *Plasticity) applyDep(pre, post int, step uint64) {
 	idx := pre*p.M.NPost + post
 	g := p.M.G[idx]
 	dg := p.Cfg.depMagnitude(float64(g))
@@ -98,6 +104,11 @@ func (p *Plasticity) depress(pre, post int, step uint64) {
 	if check.Enabled {
 		check.WeightUpdate("synapse: depress", float64(g), float64(ng), p.Cfg.Format, p.Cfg.Det.GMin, p.Cfg.GCeil())
 	}
+}
+
+// depress applies one LTD step and counts it.
+func (p *Plasticity) depress(pre, post int, step uint64) {
+	p.applyDep(pre, post, step)
 	p.depApplied.Add(1)
 }
 
