@@ -1,0 +1,162 @@
+// Command psserve serves a trained ParallelSpikeSim model over HTTP: the
+// frozen-weight inference engine (internal/infer) behind a small JSON API.
+//
+// The model file is a PSS2 snapshot saved by pssim with -save after training
+// and labeling; psserve refuses unlabeled or corrupt snapshots at startup.
+// The electrical constants are rebuilt from the same preset flags pssim
+// trains with, so serve with the flags you trained with:
+//
+//	pssim  -preset highfreq -rule stochastic -train 2000 -save model.pss
+//	psserve -load model.pss -preset highfreq -rule stochastic
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/classify -d '{"images": [[0,0,…,255]]}'
+//	curl -s localhost:8080/metrics | grep infer_requests_total
+//
+// Classification is deterministic: the same pixels always produce the same
+// prediction, regardless of request interleaving or worker count. Request
+// cost is bounded by -max-batch, -max-inflight and -timeout; SIGINT/SIGTERM
+// drain inflight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/synapse"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		load     = flag.String("load", "", "trained PSS2 snapshot to serve (required)")
+		rule     = flag.String("rule", "stochastic", "learning rule the model was trained with: deterministic | stochastic")
+		preset   = flag.String("preset", "float32", "Table I preset the model was trained with: 2bit|4bit|8bit|16bit|float32|highfreq")
+		rounding = flag.String("rounding", "", "rounding override used at training time: truncation | nearest | stochastic")
+		seed     = flag.Uint64("seed", 7, "master seed the model was trained with")
+		classes  = flag.Int("classes", 10, "class arity of the label table")
+		tlearn   = flag.Float64("tlearn", 0, "presentation time ms (0 = preset)")
+		workers  = flag.Int("workers", 0, "engine workers for batch fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		maxBatch = flag.Int("max-batch", 256, "images per /classify request")
+		inflight = flag.Int("max-inflight", 4, "concurrent classification requests")
+	)
+	flag.Parse()
+	if err := run(*addr, *load, *rule, *preset, *rounding, *seed, *classes, *tlearn, *workers,
+		serverConfig{maxBatch: *maxBatch, maxInflight: *inflight, timeout: *timeout}); err != nil {
+		fmt.Fprintln(os.Stderr, "psserve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildEngine loads the snapshot and assembles the inference engine exactly
+// as pssim's serving-path evaluation does, so served predictions match the
+// accuracy pssim reported.
+func buildEngine(load, rule, preset, rounding string, seed uint64, classes int, tlearn float64,
+	exec engine.Executor, reg *obs.Registry) (*infer.Engine, error) {
+
+	if load == "" {
+		return nil, errors.New("-load is required: train a model with `pssim -save model.pss` first")
+	}
+	kind, err := synapse.ParseRule(rule)
+	if err != nil {
+		return nil, err
+	}
+	syn, band, err := synapse.PresetConfig(synapse.Preset(preset), kind)
+	if err != nil {
+		return nil, err
+	}
+	if rounding != "" {
+		r, err := fixed.ParseRounding(rounding)
+		if err != nil {
+			return nil, err
+		}
+		syn.Rounding = r
+	}
+	syn.Seed = seed
+
+	snap, err := netio.LoadInferenceFile(load, classes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.DefaultConfig(snap.NumInputs, snap.NumNeurons, syn)
+	ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: encode.BaselineControl().TLearnMS}
+	if preset == string(synapse.PresetHighFreq) {
+		ctl = encode.HighFrequencyControl()
+	}
+	if tlearn > 0 {
+		ctl.TLearnMS = tlearn
+	}
+	return infer.FromSnapshot(snap, cfg, ctl, classes,
+		infer.WithExecutor(exec), infer.WithObserver(reg))
+}
+
+func run(addr, load, rule, preset, rounding string, seed uint64, classes int, tlearn float64,
+	workers int, sc serverConfig) error {
+
+	w := workers
+	if w == 0 {
+		w = engine.Auto // CLI convention: 0 means all cores
+	}
+	exec := engine.New(w)
+	defer exec.Close()
+	reg := obs.NewRegistry()
+	engine.Instrument(exec, reg)
+
+	eng, err := buildEngine(load, rule, preset, rounding, seed, classes, tlearn, exec, reg)
+	if err != nil {
+		return err
+	}
+	handler, err := newHandler(eng, reg, sc)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       sc.timeout,
+		// Responses are small; the write window covers the request deadline
+		// plus serialization.
+		WriteTimeout: sc.timeout + 5*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("psserve: serving %s (%d inputs × %d neurons, %d classes) on %s\n",
+		load, eng.NumInputs(), eng.NumNeurons(), eng.NumClasses(), addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("psserve: shutting down, draining inflight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), sc.timeout+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/obs"
+)
+
+// classifier is the slice of infer.Engine the handlers need. An interface so
+// the handler tests can substitute slow or failing models and drive the
+// timeout and error paths deterministically.
+type classifier interface {
+	PredictBatch(imgs [][]uint8) ([]infer.Prediction, error)
+	NumInputs() int
+	NumClasses() int
+}
+
+// serverConfig bounds what one request may cost.
+type serverConfig struct {
+	maxBatch    int           // images per /classify request
+	maxInflight int           // concurrent classification requests
+	timeout     time.Duration // per-request deadline
+}
+
+func (sc serverConfig) validate() error {
+	switch {
+	case sc.maxBatch <= 0:
+		return fmt.Errorf("psserve: max batch %d", sc.maxBatch)
+	case sc.maxInflight <= 0:
+		return fmt.Errorf("psserve: max inflight %d", sc.maxInflight)
+	case sc.timeout <= 0:
+		return fmt.Errorf("psserve: timeout %v", sc.timeout)
+	default:
+		return nil
+	}
+}
+
+// maxBody bounds the /classify request body: the batch limit's worth of
+// pixels rendered as worst-case JSON numbers ("255,") plus generous framing
+// headroom. Anything larger is rejected before it is buffered.
+func (sc serverConfig) maxBody(numInputs int) int64 {
+	return int64(sc.maxBatch)*int64(numInputs)*4 + 1<<16
+}
+
+// classifyRequest is the /classify payload: one row of 8-bit pixels per
+// image.
+type classifyRequest struct {
+	Images [][]uint8 `json:"images"`
+}
+
+// classifyResponse carries one prediction per request image, in order.
+type classifyResponse struct {
+	Predictions []infer.Prediction `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server wires the model, its limits and the serving metrics.
+type server struct {
+	model classifier
+	cfg   serverConfig
+	sem   chan struct{} // inflight-classification slots
+
+	reqs     *obs.Counter
+	rejected *obs.Counter
+	timeouts *obs.Counter
+	latency  *obs.Timer
+}
+
+// newHandler builds the psserve HTTP API over a model:
+//
+//	POST /classify  {"images": [[pixels…], …]} → {"predictions": […]}
+//	GET  /healthz   liveness + model shape
+//	GET  /metrics   Prometheus text exposition of reg
+//
+// Every classification request holds one of maxInflight slots and runs
+// under the configured deadline; requests that cannot finish in time get
+// 503, oversized or malformed ones 4xx. A nil registry disables metric
+// recording but keeps /metrics serving an empty exposition.
+func newHandler(model classifier, reg *obs.Registry, sc serverConfig) (http.Handler, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	s := &server{
+		model: model,
+		cfg:   sc,
+		sem:   make(chan struct{}, sc.maxInflight),
+
+		reqs:     reg.Counter("psserve_http_requests_total"),
+		rejected: reg.Counter("psserve_http_rejected_total"),
+		timeouts: reg.Counter("psserve_http_timeouts_total"),
+		latency:  reg.Timer("psserve_http_classify_ns"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", reg.Handler())
+	return mux, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode failure here can only be a
+	// dead connection, which the server loop handles.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.rejected.Inc()
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"inputs":  s.model.NumInputs(),
+		"classes": s.model.NumClasses(),
+	})
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req classifyRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody(s.model.NumInputs()))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	switch {
+	case len(req.Images) == 0:
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	case len(req.Images) > s.cfg.maxBatch:
+		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d images over the %d limit", len(req.Images), s.cfg.maxBatch)
+		return
+	}
+	for i, img := range req.Images {
+		if len(img) != s.model.NumInputs() {
+			s.fail(w, http.StatusBadRequest, "image %d has %d pixels, model expects %d", i, len(img), s.model.NumInputs())
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+	defer cancel()
+
+	// Bounded concurrency: wait for an inflight slot, but never past the
+	// request deadline — a saturated server sheds load with 503 instead of
+	// queueing unboundedly.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.timeouts.Inc()
+		s.fail(w, http.StatusServiceUnavailable, "server saturated, retry later")
+		return
+	}
+
+	t := s.latency.Start()
+	type outcome struct {
+		preds []infer.Prediction
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		preds, err := s.model.PredictBatch(req.Images)
+		done <- outcome{preds, err}
+	}()
+
+	select {
+	case out := <-done:
+		s.latency.Stop(t)
+		if out.err != nil {
+			s.fail(w, http.StatusInternalServerError, "classification failed: %v", out.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, classifyResponse{Predictions: out.preds})
+	case <-ctx.Done():
+		// The forward pass cannot be interrupted mid-presentation; it
+		// finishes on its goroutine, releases its slot, and the result is
+		// dropped.
+		s.latency.Stop(t)
+		s.timeouts.Inc()
+		s.fail(w, http.StatusServiceUnavailable, "classification exceeded the %v deadline", s.cfg.timeout)
+	}
+}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parallelspikesim/internal/dataset"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/synapse"
+)
+
+// stubModel is a deterministic fake: class = first pixel mod classes.
+type stubModel struct {
+	inputs, classes int
+	delay           time.Duration
+	err             error
+}
+
+func (m *stubModel) NumInputs() int  { return m.inputs }
+func (m *stubModel) NumClasses() int { return m.classes }
+
+func (m *stubModel) PredictBatch(imgs [][]uint8) ([]infer.Prediction, error) {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	out := make([]infer.Prediction, len(imgs))
+	for i, img := range imgs {
+		out[i] = infer.Prediction{Class: int(img[0]) % m.classes, Winner: 0, Spikes: 1, Votes: make([]int, m.classes)}
+	}
+	return out, nil
+}
+
+func defaultConfig() serverConfig {
+	return serverConfig{maxBatch: 4, maxInflight: 2, timeout: 2 * time.Second}
+}
+
+func newTestServer(t *testing.T, model classifier, reg *obs.Registry, sc serverConfig) *httptest.Server {
+	t.Helper()
+	h, err := newHandler(model, reg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postClassify(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4}, nil, defaultConfig())
+	resp, body := postClassify(t, srv.URL, `{"images": [[2,0,0], [7,0,0]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out classifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if len(out.Predictions) != 2 || out.Predictions[0].Class != 2 || out.Predictions[1].Class != 3 {
+		t.Fatalf("predictions %+v, want classes [2 3]", out.Predictions)
+	}
+}
+
+func TestClassifyRejectsBadPayloads(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4}, reg, defaultConfig())
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"not json", `pixels please`, http.StatusBadRequest},
+		{"empty batch", `{"images": []}`, http.StatusBadRequest},
+		{"no images key", `{}`, http.StatusBadRequest},
+		{"oversized batch", `{"images": [[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0]]}`, http.StatusRequestEntityTooLarge},
+		{"wrong pixel count", `{"images": [[1,2]]}`, http.StatusBadRequest},
+		{"pixel out of uint8 range", `{"images": [[300,0,0]]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postClassify(t, srv.URL, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, body, tc.status)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q not a JSON error", body)
+			}
+		})
+	}
+	if v := reg.Counter("psserve_http_rejected_total").Value(); v != uint64(len(cases)) {
+		t.Fatalf("rejected counter %d, want %d", v, len(cases))
+	}
+}
+
+func TestClassifyRejectsOversizedBody(t *testing.T) {
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4}, nil, defaultConfig())
+	huge := fmt.Sprintf(`{"images": [[0,0,0]], "padding": %q}`, bytes.Repeat([]byte{'x'}, 1<<17))
+	resp, _ := postClassify(t, srv.URL, huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestClassifyMethodAndHealthz(t *testing.T) {
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4}, nil, defaultConfig())
+	resp, err := http.Get(srv.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /classify status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Inputs  int    `json:"inputs"`
+		Classes int    `json:"classes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Inputs != 3 || health.Classes != 4 {
+		t.Fatalf("healthz %+v", health)
+	}
+}
+
+func TestClassifyTimeoutPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := serverConfig{maxBatch: 4, maxInflight: 2, timeout: 30 * time.Millisecond}
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4, delay: 500 * time.Millisecond}, reg, sc)
+	resp, body := postClassify(t, srv.URL, `{"images": [[1,0,0]]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if v := reg.Counter("psserve_http_timeouts_total").Value(); v != 1 {
+		t.Fatalf("timeout counter %d, want 1", v)
+	}
+}
+
+func TestClassifySaturationShedsLoad(t *testing.T) {
+	// One slow request holds the single inflight slot; the second cannot get
+	// a slot before its deadline and must be shed with 503, not queued.
+	slow := &stubModel{inputs: 3, classes: 4, delay: 400 * time.Millisecond}
+	sc := serverConfig{maxBatch: 4, maxInflight: 1, timeout: 100 * time.Millisecond}
+	srv := newTestServer(t, slow, nil, sc)
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/classify", "application/json", strings.NewReader(`{"images": [[1,0,0]]}`))
+		if err != nil {
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first request take the slot
+	resp, body := postClassify(t, srv.URL, `{"images": [[1,0,0]]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if code := <-first; code != http.StatusServiceUnavailable {
+		// The first request also overruns the 100 ms deadline (its forward
+		// pass takes 400 ms), so both are 503 — what matters is neither hung.
+		t.Fatalf("first request status %d, want 503", code)
+	}
+}
+
+func TestClassifyModelError(t *testing.T) {
+	srv := newTestServer(t, &stubModel{inputs: 3, classes: 4, err: errors.New("boom")}, nil, defaultConfig())
+	resp, _ := postClassify(t, srv.URL, `{"images": [[1,0,0]]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestHandlerRejectsBadConfig(t *testing.T) {
+	m := &stubModel{inputs: 3, classes: 4}
+	for _, sc := range []serverConfig{
+		{maxBatch: 0, maxInflight: 1, timeout: time.Second},
+		{maxBatch: 1, maxInflight: 0, timeout: time.Second},
+		{maxBatch: 1, maxInflight: 1, timeout: 0},
+	} {
+		if _, err := newHandler(m, nil, sc); err == nil {
+			t.Fatalf("config %+v accepted", sc)
+		}
+	}
+}
+
+// TestServeTrainedModelEndToEnd trains a tiny model, saves it, serves it
+// through the real buildEngine path and classifies over HTTP — the
+// in-process version of scripts/psserve-smoke.sh.
+func TestServeTrainedModelEndToEnd(t *testing.T) {
+	const (
+		preset  = "8bit"
+		rule    = "stochastic"
+		seedV   = uint64(7)
+		tlearn  = 80.0
+		classes = 10
+	)
+	kind, err := synapse.ParseRule(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, band, err := synapse.PresetConfig(synapse.Preset(preset), kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = seedV
+	data := dataset.SynthDigits(6, seedV)
+	cfg := network.DefaultConfig(data.Pixels(), 12, syn)
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: tlearn}
+	resp := make([][]int, cfg.NumNeurons)
+	for i := range resp {
+		resp[i] = make([]int, classes)
+	}
+	for i := 0; i < data.Len(); i++ {
+		res, err := net.Present(data.Images[i], ctl, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, c := range res.SpikeCounts {
+			resp[n][data.Labels[i]] += c
+		}
+	}
+	// Labeled via the shared assignment rule; neurons that stayed silent in
+	// six images remain -1, which a servable snapshot permits.
+	assignments := learn.Assign(resp)
+	model := &learn.Model{Assignments: assignments, Responses: resp, NumClasses: classes}
+	path := filepath.Join(t.TempDir(), "model.pss")
+	if err := netio.SaveFile(path, netio.Capture(net, model)); err != nil {
+		t.Fatal(err)
+	}
+
+	exec := engine.New(2)
+	defer exec.Close()
+	reg := obs.NewRegistry()
+	eng, err := buildEngine(path, rule, preset, "", seedV, classes, tlearn, exec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, eng, reg, serverConfig{maxBatch: 8, maxInflight: 2, timeout: 10 * time.Second})
+
+	body, err := json.Marshal(classifyRequest{Images: data.Images[:3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, respBody := postClassify(t, srv.URL, string(body))
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d: %s", httpResp.StatusCode, respBody)
+	}
+	var out classifyResponse
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Predictions) != 3 {
+		t.Fatalf("%d predictions, want 3", len(out.Predictions))
+	}
+	// Served predictions match the engine's direct batch path (determinism
+	// over HTTP).
+	direct, err := eng.PredictBatch(data.Images[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if out.Predictions[i].Class != direct[i].Class || out.Predictions[i].Winner != direct[i].Winner {
+			t.Fatalf("prediction %d over HTTP %+v, direct %+v", i, out.Predictions[i], direct[i])
+		}
+	}
+
+	metrics, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	prom, err := io.ReadAll(metrics.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"infer_requests_total", "infer_images_total", "psserve_http_requests_total"} {
+		if !strings.Contains(string(prom), metric) {
+			t.Fatalf("/metrics exposition missing %s:\n%s", metric, prom)
+		}
+	}
+}

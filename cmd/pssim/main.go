@@ -47,6 +47,7 @@ import (
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/infer"
 	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/network"
@@ -324,7 +325,17 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 	if err != nil {
 		return err
 	}
-	conf, err := tr.Evaluate(model, inferSet)
+	// Held-out accuracy runs through the serving path: the trained state is
+	// snapshotted exactly as -save writes it, loaded into the frozen-weight
+	// inference engine, and evaluated with the same batched classifier
+	// psserve exposes — so the accuracy printed here is the accuracy a
+	// served copy of this model delivers.
+	eng, err := infer.FromSnapshot(netio.Capture(net, model), cfg, opts.Control, train.NumClasses,
+		infer.WithExecutor(exec), infer.WithObserver(reg))
+	if err != nil {
+		return err
+	}
+	conf, err := learn.EvaluateClassifier(eng, inferSet, train.NumClasses)
 	if err != nil {
 		return err
 	}

@@ -123,6 +123,27 @@ func NewSource(img []uint8, band Band, kind TrainKind, seed, presentation uint64
 	return s, nil
 }
 
+// Rebind repoints the source at a new image and presentation counter,
+// reusing the rate and threshold buffers — the allocation-free path the
+// frozen-weight inference engine uses to stream many images through one
+// Source per worker. The new image must have the same pixel count the
+// source was built with. Any previously prepared thresholds are
+// invalidated; call Prepare again (or let StepRange fall back to on-the-fly
+// threshold computation, which reads the fresh rates either way).
+func (s *Source) Rebind(img []uint8, band Band, presentation uint64) error {
+	if err := band.Validate(); err != nil {
+		return err
+	}
+	if len(img) != len(s.rates) {
+		return fmt.Errorf("encode: rebind image has %d pixels, source built for %d", len(img), len(s.rates))
+	}
+	s.pres = presentation
+	s.presSeed = rng.Hash64(s.seed, presentation)
+	band.Rates(img, s.rates)
+	s.thrDT = -1 // stale thresholds must never match a real dt
+	return nil
+}
+
 // Prepare precomputes the per-pixel Poisson thresholds for step width dt.
 // Call it once before stepping the source from multiple goroutines;
 // unprepared sources compute the same decisions on the fly. Prepare must

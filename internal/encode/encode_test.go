@@ -379,3 +379,82 @@ func TestPoissonSaturatedProbability(t *testing.T) {
 		}
 	}
 }
+
+func TestRebindMatchesFreshSource(t *testing.T) {
+	// A rebound source must step exactly like a source freshly built for the
+	// same (image, band, presentation) — including after a Prepare on the old
+	// image, which must not leak stale thresholds into the new one.
+	band := BaselineBand()
+	imgA := make([]uint8, 64)
+	imgB := make([]uint8, 64)
+	for i := range imgA {
+		imgA[i] = uint8(i * 4)
+		imgB[i] = uint8(255 - i*3)
+	}
+	const dt = 1.0
+	for _, kind := range []TrainKind{Poisson, Regular} {
+		src, err := NewSource(imgA, band, kind, 42, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Prepare(dt)
+		if err := src.Rebind(imgB, band, 19); err != nil {
+			t.Fatal(err)
+		}
+		src.Prepare(dt)
+		fresh, err := NewSource(imgB, band, kind, 42, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.Prepare(dt)
+		var got, want []int
+		for step := uint64(0); step < 200; step++ {
+			got = src.Step(step, dt, got[:0])
+			want = fresh.Step(step, dt, want[:0])
+			if len(got) != len(want) {
+				t.Fatalf("kind %v step %d: rebound %v, fresh %v", kind, step, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("kind %v step %d: rebound %v, fresh %v", kind, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRebindWithoutPrepareIsCorrect(t *testing.T) {
+	// Skipping Prepare after Rebind must fall back to on-the-fly thresholds
+	// computed from the fresh rates, never reuse the stale prepared ones.
+	img := make([]uint8, 32)
+	hot := make([]uint8, 32) // saturated image: spikes every step at 255 Hz band
+	for i := range hot {
+		hot[i] = 255
+	}
+	band := Band{MinHz: 1000, MaxHz: 1000} // rate*dt/1000 = 1 → certain spike
+	src, err := NewSource(img, Band{MinHz: 0, MaxHz: 0.001}, Poisson, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Prepare(1)
+	if err := src.Rebind(hot, band, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Step(0, 1, nil); len(got) != len(hot) {
+		t.Fatalf("rebound source fired %d trains, want all %d (stale thresholds leaked)", len(got), len(hot))
+	}
+}
+
+func TestRebindRejectsBadInputs(t *testing.T) {
+	img := make([]uint8, 16)
+	src, err := NewSource(img, BaselineBand(), Poisson, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Rebind(make([]uint8, 17), BaselineBand(), 0); err == nil {
+		t.Error("size-mismatched rebind accepted")
+	}
+	if err := src.Rebind(img, Band{MinHz: 10, MaxHz: 5}, 0); err == nil {
+		t.Error("invalid band accepted")
+	}
+}

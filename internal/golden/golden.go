@@ -24,6 +24,7 @@ import (
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/infer"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -99,6 +100,14 @@ type Trace struct {
 	SpikeCRC    uint32 `json:"spike_crc"` // every (time, index) spike event, inputs then neurons, per step
 	WeightCRC   uint32 `json:"weight_crc"`
 	ThetaCRC    uint32 `json:"theta_crc"`
+
+	// Frozen-weight inference digests: after training, the same images are
+	// replayed through the infer engine (image i at start step
+	// i·StepsPerImage, neurons labeled round-robin over InferClasses).
+	// Additive fields, so the schema stays psgolden/v1.
+	InferWinners []int  `json:"infer_winners"`  // most-active neuron per image
+	InferPreds   []int  `json:"infer_preds"`    // voted class per image
+	InferVoteCRC uint32 `json:"infer_vote_crc"` // per-image (winner, pred, vote vector)
 }
 
 // Result is a live replay of one case: the digest trace plus the raw final
@@ -110,23 +119,55 @@ type Result struct {
 	Theta   []float64
 }
 
-// Run replays a case under the given network options (execution strategy)
-// and digests the trace. The dense sequential reference is Run(c) with no
-// options.
-func Run(c Case, opts ...network.Option) (*Result, error) {
+// CaseConfig returns the network configuration and frequency control of a
+// golden case — the exact setup Run trains with, exported so the inference
+// differential tests replay the same (rule × format × rounding) grid.
+func CaseConfig(c Case) (network.Config, encode.Control, error) {
 	syn, _, err := synapse.PresetConfig(c.Preset, c.Rule)
 	if err != nil {
-		return nil, err
+		return network.Config{}, encode.Control{}, err
 	}
 	syn.Rounding = c.Rounding
 	syn.Seed = caseSeed
 	cfg := network.DefaultConfig(28*28, numNeurons, syn)
+	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: tLearnMS}
+	return cfg, ctl, nil
+}
+
+// CaseImages returns the synthetic image sequence every golden case trains
+// on (and the inference digests replay).
+func CaseImages() *dataset.Dataset {
+	return dataset.SynthDigits(numImages, caseSeed)
+}
+
+// InferClasses is the class arity of the golden inference digests.
+const InferClasses = 10
+
+// InferAssignments labels the golden population round-robin over the class
+// range: neuron i serves class i mod InferClasses. A fixed synthetic
+// labeling keeps the inference digests independent of the (training-quality-
+// dependent) learned labeling while still exercising every vote path.
+func InferAssignments(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % InferClasses
+	}
+	return out
+}
+
+// Run replays a case under the given network options (execution strategy)
+// and digests the trace. The dense sequential reference is Run(c) with no
+// options.
+func Run(c Case, opts ...network.Option) (*Result, error) {
+	cfg, ctl, err := CaseConfig(c)
+	if err != nil {
+		return nil, err
+	}
 	net, err := network.New(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
-	data := dataset.SynthDigits(numImages, caseSeed)
-	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: tLearnMS}
+	data := CaseImages()
 
 	tr := Trace{
 		Schema:        Schema,
@@ -162,11 +203,76 @@ func Run(c Case, opts ...network.Option) (*Result, error) {
 	tr.SpikeCRC = spikeCRC.Sum32()
 	tr.WeightCRC = crcFloats(weightsAsFloats(net.Syn.G))
 	tr.ThetaCRC = crcFloats(net.Exc.Theta())
-	return &Result{
+	res := &Result{
 		Trace:   tr,
 		Weights: append([]fixed.Weight(nil), net.Syn.G...),
 		Theta:   append([]float64(nil), net.Exc.Theta()...),
-	}, nil
+	}
+	// Inference digests always come from the sequential reference engine;
+	// pooled inference must reproduce them (TestPooledInferMatchesGolden).
+	preds, err := InferReplay(c, res)
+	if err != nil {
+		return nil, fmt.Errorf("golden: case %s inference replay: %w", c.Name, err)
+	}
+	res.Trace.InferWinners = preds.Winners
+	res.Trace.InferPreds = preds.Preds
+	res.Trace.InferVoteCRC = preds.VoteCRC
+	return res, nil
+}
+
+// InferTrace is the digest of one case's frozen-weight inference replay.
+type InferTrace struct {
+	Winners []int
+	Preds   []int
+	VoteCRC uint32
+}
+
+// InferReplay classifies the case's training images through a frozen-weight
+// inference engine built from the trained state in res, image i presented at
+// start step i·StepsPerImage. Options select the execution strategy (e.g. a
+// pooled executor); the digests must not depend on it.
+func InferReplay(c Case, res *Result, opts ...infer.Option) (InferTrace, error) {
+	cfg, ctl, err := CaseConfig(c)
+	if err != nil {
+		return InferTrace{}, err
+	}
+	eng, err := infer.New(infer.Params{
+		Net:         cfg,
+		Control:     ctl,
+		G:           weightsAsFloats(res.Weights),
+		Theta:       res.Theta,
+		Assignments: InferAssignments(numNeurons),
+		NumClasses:  InferClasses,
+	}, opts...)
+	if err != nil {
+		return InferTrace{}, err
+	}
+	data := CaseImages()
+	// The batch path schedules image i at start step i·StepsPerImage, the
+	// same clock a sequential per-image loop would use, so the digests are
+	// executor-independent by construction — and this test proves it.
+	preds, err := eng.PredictBatch(data.Images)
+	if err != nil {
+		return InferTrace{}, err
+	}
+	it := InferTrace{}
+	h := crc32.NewIEEE()
+	var buf [4]byte
+	word := func(v int) {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+	for _, p := range preds {
+		it.Winners = append(it.Winners, p.Winner)
+		it.Preds = append(it.Preds, p.Class)
+		word(p.Winner)
+		word(p.Class)
+		for _, v := range p.Votes {
+			word(v)
+		}
+	}
+	it.VoteCRC = h.Sum32()
+	return it, nil
 }
 
 func weightsAsFloats(g []fixed.Weight) []float64 {

@@ -6,6 +6,7 @@ import (
 
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/infer"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -42,6 +43,28 @@ func assertTrace(t *testing.T, got, want Trace) {
 	}
 	if got.ThetaCRC != want.ThetaCRC {
 		t.Fatalf("final thetas drifted: got %08x, golden %08x", got.ThetaCRC, want.ThetaCRC)
+	}
+	assertInferTrace(t, InferTrace{Winners: got.InferWinners, Preds: got.InferPreds, VoteCRC: got.InferVoteCRC}, want)
+}
+
+func assertInferTrace(t *testing.T, got InferTrace, want Trace) {
+	t.Helper()
+	if len(got.Winners) != len(want.InferWinners) || len(got.Preds) != len(want.InferPreds) {
+		t.Fatalf("inference replay length drifted: got %d/%d, golden %d/%d",
+			len(got.Winners), len(got.Preds), len(want.InferWinners), len(want.InferPreds))
+	}
+	for i := range got.Winners {
+		if got.Winners[i] != want.InferWinners[i] {
+			t.Fatalf("inference winner of image %d drifted: got %d, golden %d",
+				i, got.Winners[i], want.InferWinners[i])
+		}
+		if got.Preds[i] != want.InferPreds[i] {
+			t.Fatalf("inference prediction of image %d drifted: got %d, golden %d",
+				i, got.Preds[i], want.InferPreds[i])
+		}
+	}
+	if got.VoteCRC != want.InferVoteCRC {
+		t.Fatalf("inference vote trace drifted: got %08x, golden %08x", got.VoteCRC, want.InferVoteCRC)
 	}
 }
 
@@ -105,6 +128,33 @@ func TestLazyMatchesGolden(t *testing.T) {
 					t.Fatalf("theta %d: dense %v, lazy %v", i, dense.Theta[i], lazy.Theta[i])
 				}
 			}
+		})
+	}
+}
+
+func TestPooledInferMatchesGolden(t *testing.T) {
+	// Frozen-weight inference fanned out over a worker pool reproduces the
+	// sequentially recorded inference digests: scratch-state reuse across
+	// goroutines must never leak into the spike trace. One representative
+	// cell per rule; the full grid replays sequentially in
+	// TestDenseMatchesGolden.
+	pool := engine.New(4)
+	defer pool.Close()
+	for _, c := range Cases() {
+		if c.Preset != synapse.Preset8Bit || c.Rounding != fixed.Stochastic {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, err := InferReplay(c, res, infer.WithExecutor(pool))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertInferTrace(t, it, committed(t, c))
 		})
 	}
 }

@@ -349,8 +349,7 @@ func (t *Trainer) refillPlans(ds *dataset.Dataset, i int) {
 
 // predict votes with the current training-time response counts.
 func (t *Trainer) predict(spikes []int) int {
-	assigned := assignments(t.resp)
-	return vote(spikes, assigned, t.numClasses)
+	return Vote(spikes, Assign(t.resp), t.numClasses)
 }
 
 // MovingError returns the current training moving error rate.
@@ -511,7 +510,7 @@ func (t *Trainer) Label(ds *dataset.Dataset) (*Model, error) {
 		}
 	}
 	return &Model{
-		Assignments: assignments(resp),
+		Assignments: Assign(resp),
 		Responses:   resp,
 		NumClasses:  t.numClasses,
 	}, nil
@@ -524,7 +523,7 @@ func (t *Trainer) Infer(m *Model, img []uint8) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	return vote(res.SpikeCounts, m.Assignments, m.NumClasses), nil
+	return Vote(res.SpikeCounts, m.Assignments, m.NumClasses), nil
 }
 
 // Evaluate runs inference over a data set and returns the confusion matrix.
@@ -543,8 +542,14 @@ func (t *Trainer) Evaluate(m *Model, ds *dataset.Dataset) (*stats.Confusion, err
 	return conf, nil
 }
 
-// assignments maps each neuron to its strongest class (-1 when silent).
-func assignments(resp [][]int) []int {
+// Assign maps each neuron's per-class response tally to its strongest
+// class. A neuron that never responded (all-zero row) stays unassigned
+// (-1); ties break toward the lowest class index. This is the labeling rule
+// of the paper's readout, shared verbatim by the trainer's provisional
+// predictions, Label, and the frozen-weight inference engine
+// (internal/infer), so a served model can never label differently than the
+// pipeline that trained it.
+func Assign(resp [][]int) []int {
 	out := make([]int, len(resp))
 	for n := range resp {
 		best, bc := -1, 0
@@ -558,22 +563,80 @@ func assignments(resp [][]int) []int {
 	return out
 }
 
-// vote sums spike counts per assigned class and returns the argmax
-// (-1 when every vote is zero).
-func vote(spikes []int, assigned []int, numClasses int) int {
+// VoteCounts sums spike counts into per-class votes under a neuron→class
+// assignment. Unassigned neurons (-1) do not vote; assignments at or above
+// numClasses would corrupt memory and must be rejected by the caller
+// (netio.Snapshot.ValidateInference does this for loaded models).
+func VoteCounts(spikes, assigned []int, numClasses int) []int {
 	votes := make([]int, numClasses)
 	for n, c := range spikes {
 		if a := assigned[n]; a >= 0 {
 			votes[a] += c
 		}
 	}
+	return votes
+}
+
+// Vote returns the class with the most votes, -1 when every vote is zero
+// (no assigned neuron spiked); ties break toward the lowest class index.
+// Training-time prediction, Trainer.Infer and internal/infer all classify
+// through this one tally.
+func Vote(spikes, assigned []int, numClasses int) int {
 	best, bc := -1, 0
-	for class, v := range votes {
+	for class, v := range VoteCounts(spikes, assigned, numClasses) {
 		if v > bc {
 			best, bc = class, v
 		}
 	}
 	return best
+}
+
+// Classifier is the frozen-weight serving interface: classify one image,
+// returning its predicted class (-1 = unclassifiable). internal/infer's
+// Engine implements it; learn cannot import infer (netio sits between
+// them), so the evaluation helper is written against this interface.
+type Classifier interface {
+	Classify(img []uint8) (int, error)
+}
+
+// BatchClassifier is the optional bulk upgrade of Classifier: classify many
+// images in one call (internal/infer fans the batch out over its engine
+// worker pool).
+type BatchClassifier interface {
+	ClassifyBatch(imgs [][]uint8) ([]int, error)
+}
+
+// EvaluateClassifier runs a frozen-weight classifier over a held-out data
+// set and returns the confusion matrix — the same code path psserve answers
+// queries with, so the accuracy pssim reports is the accuracy the served
+// model will deliver. When the classifier also implements BatchClassifier
+// the whole set is classified in one batched call.
+func EvaluateClassifier(c Classifier, ds *dataset.Dataset, numClasses int) (*stats.Confusion, error) {
+	conf, err := stats.NewConfusion(numClasses)
+	if err != nil {
+		return nil, err
+	}
+	if bc, ok := c.(BatchClassifier); ok {
+		preds, err := bc.ClassifyBatch(ds.Images)
+		if err != nil {
+			return nil, fmt.Errorf("learn: batched evaluation: %w", err)
+		}
+		if len(preds) != ds.Len() {
+			return nil, fmt.Errorf("learn: batched evaluation returned %d predictions for %d images", len(preds), ds.Len())
+		}
+		for i, pred := range preds {
+			conf.Add(int(ds.Labels[i]), pred)
+		}
+		return conf, nil
+	}
+	for i := 0; i < ds.Len(); i++ {
+		pred, err := c.Classify(ds.Images[i])
+		if err != nil {
+			return nil, fmt.Errorf("learn: evaluating image %d: %w", i, err)
+		}
+		conf.Add(int(ds.Labels[i]), pred)
+	}
+	return conf, nil
 }
 
 // Result summarizes a full pipeline run.

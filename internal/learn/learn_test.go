@@ -212,7 +212,7 @@ func TestAssignmentsHelper(t *testing.T) {
 		{0, 0, 0},  // silent: -1
 		{10, 1, 1}, // class 0
 	}
-	got := assignments(resp)
+	got := Assign(resp)
 	want := []int{1, -1, 0}
 	for i := range want {
 		if got[i] != want[i] {
@@ -224,10 +224,10 @@ func TestAssignmentsHelper(t *testing.T) {
 func TestVoteHelper(t *testing.T) {
 	assigned := []int{0, 1, -1, 1}
 	spikes := []int{3, 2, 100, 2} // the unassigned neuron's 100 spikes ignored
-	if got := vote(spikes, assigned, 2); got != 1 {
+	if got := Vote(spikes, assigned, 2); got != 1 {
 		t.Fatalf("vote = %d, want 1", got)
 	}
-	if got := vote([]int{0, 0, 0, 0}, assigned, 2); got != -1 {
+	if got := Vote([]int{0, 0, 0, 0}, assigned, 2); got != -1 {
 		t.Fatalf("silent vote = %d, want -1", got)
 	}
 }

@@ -1,0 +1,228 @@
+package learn
+
+import (
+	"errors"
+	"testing"
+
+	"parallelspikesim/internal/dataset"
+)
+
+func TestAssign(t *testing.T) {
+	cases := []struct {
+		name string
+		resp [][]int
+		want []int
+	}{
+		{
+			name: "empty tally",
+			resp: [][]int{},
+			want: []int{},
+		},
+		{
+			name: "unlabeled neuron stays -1",
+			resp: [][]int{{0, 0, 0}, {1, 0, 0}},
+			want: []int{-1, 0},
+		},
+		{
+			name: "strongest class wins",
+			resp: [][]int{{2, 9, 1}, {4, 0, 3}},
+			want: []int{1, 0},
+		},
+		{
+			name: "tie breaks to lowest class",
+			resp: [][]int{{5, 5, 5}, {0, 7, 7}},
+			want: []int{0, 1},
+		},
+		{
+			name: "single spike is enough",
+			resp: [][]int{{0, 0, 1}},
+			want: []int{2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Assign(tc.resp)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Assign = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Assign = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestVoteAndVoteCounts(t *testing.T) {
+	cases := []struct {
+		name       string
+		spikes     []int
+		assigned   []int
+		numClasses int
+		wantVotes  []int
+		wantClass  int
+	}{
+		{
+			name:       "empty spike counts",
+			spikes:     []int{},
+			assigned:   []int{},
+			numClasses: 3,
+			wantVotes:  []int{0, 0, 0},
+			wantClass:  -1,
+		},
+		{
+			name:       "all neurons silent",
+			spikes:     []int{0, 0, 0},
+			assigned:   []int{0, 1, 2},
+			numClasses: 3,
+			wantVotes:  []int{0, 0, 0},
+			wantClass:  -1,
+		},
+		{
+			name:       "unassigned neurons do not vote",
+			spikes:     []int{9, 2},
+			assigned:   []int{-1, 1},
+			numClasses: 2,
+			wantVotes:  []int{0, 2},
+			wantClass:  1,
+		},
+		{
+			name:       "votes accumulate per class",
+			spikes:     []int{3, 4, 5, 1},
+			assigned:   []int{0, 1, 0, 1},
+			numClasses: 2,
+			wantVotes:  []int{8, 5},
+			wantClass:  0,
+		},
+		{
+			name:       "tie breaks to lowest class",
+			spikes:     []int{2, 2},
+			assigned:   []int{1, 2},
+			numClasses: 3,
+			wantVotes:  []int{0, 2, 2},
+			wantClass:  1,
+		},
+		{
+			name:       "only spiking unassigned neurons",
+			spikes:     []int{7},
+			assigned:   []int{-1},
+			numClasses: 4,
+			wantVotes:  []int{0, 0, 0, 0},
+			wantClass:  -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			votes := VoteCounts(tc.spikes, tc.assigned, tc.numClasses)
+			if len(votes) != tc.numClasses {
+				t.Fatalf("VoteCounts length %d, want %d", len(votes), tc.numClasses)
+			}
+			for i := range votes {
+				if votes[i] != tc.wantVotes[i] {
+					t.Fatalf("VoteCounts = %v, want %v", votes, tc.wantVotes)
+				}
+			}
+			if got := Vote(tc.spikes, tc.assigned, tc.numClasses); got != tc.wantClass {
+				t.Fatalf("Vote = %d, want %d", got, tc.wantClass)
+			}
+		})
+	}
+}
+
+// fixedClassifier predicts label == first pixel, to make accuracy exact.
+type fixedClassifier struct {
+	calls int
+	fail  bool
+}
+
+func (c *fixedClassifier) Classify(img []uint8) (int, error) {
+	c.calls++
+	if c.fail {
+		return -1, errors.New("boom")
+	}
+	return int(img[0]), nil
+}
+
+// batchClassifier upgrades fixedClassifier with a bulk path.
+type batchClassifier struct {
+	fixedClassifier
+	batchCalls int
+}
+
+func (c *batchClassifier) ClassifyBatch(imgs [][]uint8) ([]int, error) {
+	c.batchCalls++
+	if c.fail {
+		return nil, errors.New("batch boom")
+	}
+	out := make([]int, len(imgs))
+	for i, img := range imgs {
+		out[i] = int(img[0])
+	}
+	return out, nil
+}
+
+func voteTestSet(n int) *dataset.Dataset {
+	ds := &dataset.Dataset{Name: "t", Width: 2, Height: 1, NumClasses: 4}
+	for i := 0; i < n; i++ {
+		label := uint8(i % 4)
+		ds.Images = append(ds.Images, []uint8{label, 0})
+		ds.Labels = append(ds.Labels, label)
+	}
+	return ds
+}
+
+func TestEvaluateClassifier(t *testing.T) {
+	ds := voteTestSet(8)
+	c := &fixedClassifier{}
+	conf, err := EvaluateClassifier(c, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() != 1 || conf.Total() != 8 {
+		t.Fatalf("accuracy %v over %d, want perfect over 8", conf.Accuracy(), conf.Total())
+	}
+	if c.calls != 8 {
+		t.Fatalf("sequential path made %d calls, want 8", c.calls)
+	}
+	if _, err := EvaluateClassifier(&fixedClassifier{fail: true}, ds, 4); err == nil {
+		t.Fatal("classifier error swallowed")
+	}
+}
+
+func TestEvaluateClassifierUsesBatchPath(t *testing.T) {
+	ds := voteTestSet(6)
+	c := &batchClassifier{}
+	conf, err := EvaluateClassifier(c, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() != 1 {
+		t.Fatalf("accuracy %v, want 1", conf.Accuracy())
+	}
+	if c.batchCalls != 1 || c.calls != 0 {
+		t.Fatalf("batch path not taken: %d batch calls, %d single calls", c.batchCalls, c.calls)
+	}
+	if _, err := EvaluateClassifier(&batchClassifier{fixedClassifier: fixedClassifier{fail: true}}, ds, 4); err == nil {
+		t.Fatal("batch error swallowed")
+	}
+}
+
+// shortBatchClassifier returns fewer predictions than images.
+type shortBatchClassifier struct{ fixedClassifier }
+
+func (c *shortBatchClassifier) ClassifyBatch(imgs [][]uint8) ([]int, error) {
+	return make([]int, len(imgs)-1), nil
+}
+
+func TestEvaluateClassifierRejectsShortBatch(t *testing.T) {
+	if _, err := EvaluateClassifier(&shortBatchClassifier{}, voteTestSet(4), 4); err == nil {
+		t.Fatal("short batch result accepted")
+	}
+}
+
+func TestEvaluateClassifierRejectsBadArity(t *testing.T) {
+	if _, err := EvaluateClassifier(&fixedClassifier{}, voteTestSet(2), 0); err == nil {
+		t.Fatal("zero-class confusion accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package netio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallelspikesim/internal/fixed"
+)
+
+// validModelBytes serializes a small labeled model snapshot — the kind
+// psserve loads — for the loader fuzzer to mutate.
+func validModelBytes(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	s := &Snapshot{
+		NumInputs: 4, NumNeurons: 3, Format: fixed.Q1p7,
+		G:           []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 0.125, 0.375, 0.625, 0.875, 1.125},
+		Theta:       []float64{0.1, 0, 0.2},
+		Assignments: []int{0, -1, 2},
+	}
+	if err := s.Write(&buf); err != nil {
+		tb.Fatalf("building seed model: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// reflowCRC recomputes the PSS2 trailer so a body mutation survives the
+// checksum and exercises the semantic validation layer, not just the CRC.
+func reflowCRC(b []byte) []byte {
+	if len(b) < 8 {
+		return b
+	}
+	sum := crc32.ChecksumIEEE(b[4 : len(b)-4])
+	binary.BigEndian.PutUint32(b[len(b)-4:], sum)
+	return b
+}
+
+// FuzzLoadSnapshot drives the inference snapshot loader (Read +
+// ValidateInference) with arbitrary bytes: truncated files, corrupted PSS2
+// bodies and hostile label tables. The loader must return an error or a
+// snapshot every inference invariant holds for — and must never panic and
+// never allocate beyond the header plausibility bounds (a forged header
+// would otherwise drive a multi-gigabyte make before the checksum check).
+func FuzzLoadSnapshot(f *testing.F) {
+	base := validModelBytes(f)
+	f.Add(base)
+	// Every truncation of the valid file, including mid-payload and
+	// mid-trailer cuts.
+	for cut := 0; cut < len(base); cut += 7 {
+		f.Add(base[:cut])
+	}
+	// Hostile label tables: out-of-range class, large positive, very
+	// negative — with the CRC reflowed so only semantic validation stands
+	// between the bytes and the vote tally. Assignments start after the
+	// 24-byte header + 12 G floats + 3 theta floats.
+	assignOff := 24 + (12+3)*8
+	for _, hostile := range []uint32{10, 0x7fffffff, 0x80000000, uint32(0xfffffff0)} {
+		b := append([]byte(nil), base...)
+		binary.BigEndian.PutUint32(b[assignOff:], hostile)
+		f.Add(reflowCRC(b))
+	}
+	// Hostile payloads: NaN / +Inf / negative / over-range conductance.
+	for _, bits := range []uint64{
+		math.Float64bits(math.NaN()),
+		math.Float64bits(math.Inf(1)),
+		math.Float64bits(-0.5),
+		math.Float64bits(1e12),
+	} {
+		b := append([]byte(nil), base...)
+		binary.BigEndian.PutUint64(b[24:], bits)
+		f.Add(reflowCRC(b))
+	}
+	// Forged giant dimensions (allocation bait) with reflowed CRC.
+	big := append([]byte(nil), base...)
+	binary.BigEndian.PutUint32(big[4:], 0x00ffffff)
+	binary.BigEndian.PutUint32(big[8:], 0x00ffffff)
+	f.Add(reflowCRC(big))
+
+	const numClasses = 10
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.ValidateInference(numClasses); err != nil {
+			return
+		}
+		// Accepted for serving: every invariant the inference engine relies
+		// on must hold.
+		if s.NumInputs <= 0 || s.NumNeurons <= 0 {
+			t.Fatalf("accepted geometry %d×%d", s.NumInputs, s.NumNeurons)
+		}
+		if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
+			t.Fatalf("accepted shape G=%d theta=%d for %d×%d", len(s.G), len(s.Theta), s.NumInputs, s.NumNeurons)
+		}
+		if len(s.Assignments) != s.NumNeurons {
+			t.Fatalf("accepted incomplete label table: %d/%d", len(s.Assignments), s.NumNeurons)
+		}
+		for _, a := range s.Assignments {
+			if a < -1 || a >= numClasses {
+				t.Fatalf("accepted hostile assignment %d", a)
+			}
+		}
+		maxG := s.Format.Max()
+		for _, g := range s.G {
+			if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 || g > maxG {
+				t.Fatalf("accepted conductance %v outside [0, %v]", g, maxG)
+			}
+		}
+		for _, th := range s.Theta {
+			if math.IsNaN(th) || math.IsInf(th, 0) || th < 0 {
+				t.Fatalf("accepted threshold %v", th)
+			}
+		}
+	})
+}
+
+func TestValidateInference(t *testing.T) {
+	good := func() *Snapshot {
+		return &Snapshot{
+			NumInputs: 2, NumNeurons: 2, Format: fixed.Q1p7,
+			G:           []float64{0, 0.5, 1, 1.5},
+			Theta:       []float64{0, 0.25},
+			Assignments: []int{1, -1},
+		}
+	}
+	if err := good().ValidateInference(10); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		classes int
+		mutate  func(*Snapshot)
+	}{
+		{"zero classes", 0, func(s *Snapshot) {}},
+		{"no label table", 10, func(s *Snapshot) { s.Assignments = nil }},
+		{"short label table", 10, func(s *Snapshot) { s.Assignments = s.Assignments[:1] }},
+		{"class out of range", 10, func(s *Snapshot) { s.Assignments[0] = 10 }},
+		{"class below -1", 10, func(s *Snapshot) { s.Assignments[1] = -2 }},
+		{"NaN conductance", 10, func(s *Snapshot) { s.G[0] = math.NaN() }},
+		{"negative conductance", 10, func(s *Snapshot) { s.G[3] = -0.01 }},
+		{"over-range conductance", 10, func(s *Snapshot) { s.G[2] = fixed.Q1p7.Max() + 1 }},
+		{"infinite conductance", 10, func(s *Snapshot) { s.G[1] = math.Inf(1) }},
+		{"NaN theta", 10, func(s *Snapshot) { s.Theta[0] = math.NaN() }},
+		{"negative theta", 10, func(s *Snapshot) { s.Theta[1] = -1 }},
+		{"bad shape", 10, func(s *Snapshot) { s.G = s.G[:3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good()
+			tc.mutate(s)
+			if err := s.ValidateInference(tc.classes); err == nil {
+				t.Fatal("invalid snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestValidateInferenceFloatFormat(t *testing.T) {
+	// The float32 format has Max() = +Inf; finite positive conductances of
+	// any size are legal, infinities still are not.
+	s := &Snapshot{
+		NumInputs: 1, NumNeurons: 1, Format: fixed.Float32,
+		G: []float64{1e9}, Theta: []float64{0}, Assignments: []int{0},
+	}
+	if err := s.ValidateInference(10); err != nil {
+		t.Fatalf("large finite float conductance rejected: %v", err)
+	}
+	s.G[0] = math.Inf(1)
+	if err := s.ValidateInference(10); err == nil {
+		t.Fatal("infinite float conductance accepted")
+	}
+}
+
+func TestLoadInferenceFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "model.pss")
+	if err := os.WriteFile(good, validModelBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadInferenceFile(good, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != s.NumNeurons {
+		t.Fatalf("loaded %d assignments for %d neurons", len(s.Assignments), s.NumNeurons)
+	}
+	// An unlabeled (checkpoint-style) snapshot must be refused for serving.
+	bad := filepath.Join(dir, "ckpt.pss")
+	if err := os.WriteFile(bad, validCheckpointBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInferenceFile(bad, 10); err == nil {
+		t.Fatal("unlabeled checkpoint accepted for inference")
+	}
+	if _, err := LoadInferenceFile(filepath.Join(dir, "missing.pss"), 10); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -141,6 +141,68 @@ func (s *Snapshot) Restore(net *network.Network) error {
 	return nil
 }
 
+// ValidateInference checks that the snapshot can back a frozen-weight
+// inference engine with the given class arity. Read already guarantees
+// structural integrity (shape, checksum, plausibility bounds); this pass
+// adds the semantic requirements serving has and training does not:
+//
+//   - a complete label table (one assignment per neuron — an unlabeled
+//     model cannot vote);
+//   - every assignment in [-1, numClasses), since an out-of-range class
+//     index would corrupt the vote tally;
+//   - finite conductances inside [0, Format.Max()] and finite non-negative
+//     thresholds, so a forged-but-checksummed file cannot smuggle NaN or
+//     ±Inf into the membrane integration.
+//
+// It never panics on hostile input (FuzzLoadSnapshot pins this) and is safe
+// on directly constructed snapshots too.
+func (s *Snapshot) ValidateInference(numClasses int) error {
+	if numClasses <= 0 || numClasses > maxClasses {
+		return fmt.Errorf("netio: inference class arity %d", numClasses)
+	}
+	if s.NumInputs <= 0 || s.NumNeurons <= 0 {
+		return fmt.Errorf("netio: geometry %d×%d", s.NumInputs, s.NumNeurons)
+	}
+	if len(s.G) != s.NumInputs*s.NumNeurons || len(s.Theta) != s.NumNeurons {
+		return fmt.Errorf("netio: payload shape (G %d, theta %d) for %d×%d",
+			len(s.G), len(s.Theta), s.NumInputs, s.NumNeurons)
+	}
+	if len(s.Assignments) != s.NumNeurons {
+		return fmt.Errorf("netio: snapshot has %d label assignments for %d neurons — train and label before serving",
+			len(s.Assignments), s.NumNeurons)
+	}
+	for i, a := range s.Assignments {
+		if a < -1 || a >= numClasses {
+			return fmt.Errorf("netio: neuron %d assigned to class %d, valid range [-1, %d)", i, a, numClasses)
+		}
+	}
+	maxG := s.Format.Max()
+	for i, g := range s.G {
+		if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 || g > maxG {
+			return fmt.Errorf("netio: conductance %d is %v, outside [0, %v]", i, g, maxG)
+		}
+	}
+	for i, th := range s.Theta {
+		if math.IsNaN(th) || math.IsInf(th, 0) || th < 0 {
+			return fmt.Errorf("netio: threshold %d is %v", i, th)
+		}
+	}
+	return nil
+}
+
+// LoadInferenceFile loads a snapshot and validates it for serving in one
+// step — the loader psserve and pssim's serving-path evaluation use.
+func LoadInferenceFile(path string, numClasses int) (*Snapshot, error) {
+	s, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ValidateInference(numClasses); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // fieldWriter accumulates the first write error so the serialization code
 // reads as a flat field list.
 type fieldWriter struct {

@@ -545,12 +545,7 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 		tWTA := n.obsInhibit.Start()
 		var plastNs int64
 		if n.Cfg.TInhMS > 0 && len(candidates) > 1 {
-			winner := candidates[0]
-			for _, c := range candidates[1:] {
-				if n.Exc.Overshoot(c) > n.Exc.Overshoot(winner) {
-					winner = c
-				}
-			}
+			winner := SelectWinner(n.Exc, candidates)
 			for _, c := range candidates {
 				if c != winner {
 					n.Exc.Suppress(c)
@@ -635,6 +630,23 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 		res.SpikeCounts[i] = int(after[i]) - countsBefore[i]
 	}
 	return res, nil
+}
+
+// SelectWinner returns the winner-take-all victor among a step's threshold
+// crossers: the candidate with the largest membrane overshoot, which would
+// have crossed first in continuous time (ties break toward the lowest
+// index, candidates being in ascending order). Both the training path
+// (Present) and the frozen-weight inference path (internal/infer) select
+// winners through this one function, so the two can never disagree on a
+// tiebreak. candidates must be non-empty.
+func SelectWinner(pop *neuron.Population, candidates []int) int {
+	winner := candidates[0]
+	for _, c := range candidates[1:] {
+		if pop.Overshoot(c) > pop.Overshoot(winner) {
+			winner = c
+		}
+	}
+	return winner
 }
 
 // mergeBufs concatenates per-chunk index buffers and enforces ascending

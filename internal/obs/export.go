@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 )
 
 func floatBits(v float64) uint64     { return math.Float64bits(v) }
@@ -42,6 +43,24 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "%s_count %d\n", t.Name, t.Count)
 	}
 	return bw.Flush()
+}
+
+// Handler serves the registry's live state in the Prometheus text format —
+// the /metrics endpoint of psserve. Each request takes a fresh snapshot, so
+// the hot path is never blocked by a slow scrape. A nil registry serves an
+// empty (but valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var snap Snapshot
+		if r != nil {
+			snap = r.Snapshot()
+		}
+		if err := snap.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
 }
 
 // WriteJSON renders the snapshot as indented JSON, with the histogram

@@ -16,6 +16,9 @@ internal/synapse 94
 internal/network 87
 internal/encode 78
 internal/learn 88
+internal/netio 92
+internal/infer 85
+cmd/psserve 58
 '
 
 status=0

@@ -1,0 +1,91 @@
+#!/bin/sh
+# psserve-smoke.sh is the end-to-end serving check: train a test-scale model
+# with pssim, serve it with psserve, and drive the HTTP API from the outside
+# — health, classification, and the Prometheus exposition. It proves the
+# whole chain (train → save → load → validate → serve → classify → observe)
+# works from real binaries on a real socket, which no in-process test can.
+#
+# Usage: scripts/psserve-smoke.sh [port]
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+WORK="$(mktemp -d)"
+MODEL="$WORK/model.pss"
+SERVER_PID=""
+
+cleanup() {
+	if [ -n "$SERVER_PID" ]; then
+		kill "$SERVER_PID" 2>/dev/null || true
+		wait "$SERVER_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "psserve-smoke: building binaries"
+go build -o "$WORK/pssim" ./cmd/pssim
+go build -o "$WORK/psserve" ./cmd/psserve
+
+# Test-scale training run: small synthetic set, short presentations. The
+# serve flags below must match these electrical constants.
+PRESET=8bit
+RULE=stochastic
+SEED=7
+TLEARN=80
+
+echo "psserve-smoke: training test-scale model"
+"$WORK/pssim" -preset "$PRESET" -rule "$RULE" -seed "$SEED" -tlearn "$TLEARN" \
+	-train 60 -label 30 -infer 30 -neurons 20 -save "$MODEL"
+[ -s "$MODEL" ] || { echo "psserve-smoke: FAIL: no model written"; exit 1; }
+
+echo "psserve-smoke: starting server on :$PORT"
+"$WORK/psserve" -load "$MODEL" -preset "$PRESET" -rule "$RULE" -seed "$SEED" \
+	-tlearn "$TLEARN" -classes 10 -addr "127.0.0.1:$PORT" &
+SERVER_PID=$!
+
+BASE="http://127.0.0.1:$PORT"
+# Wait for the listener (the model load is fast, but not instant).
+for _ in $(seq 1 50); do
+	if curl -sf "$BASE/healthz" >"$WORK/health.json" 2>/dev/null; then
+		break
+	fi
+	kill -0 "$SERVER_PID" 2>/dev/null || { echo "psserve-smoke: FAIL: server exited early"; exit 1; }
+	sleep 0.2
+done
+[ -s "$WORK/health.json" ] || { echo "psserve-smoke: FAIL: /healthz never came up"; exit 1; }
+grep -q '"status":"ok"' "$WORK/health.json" || { echo "psserve-smoke: FAIL: bad health: $(cat "$WORK/health.json")"; exit 1; }
+grep -q '"inputs":784' "$WORK/health.json" || { echo "psserve-smoke: FAIL: bad shape: $(cat "$WORK/health.json")"; exit 1; }
+echo "psserve-smoke: healthz ok: $(cat "$WORK/health.json")"
+
+# One all-zero and one all-bright 28x28 image; the API must answer in order
+# with one prediction per image whatever the classes turn out to be.
+ZEROS=$(awk 'BEGIN{for(i=0;i<784;i++)printf i?",0":"0"}')
+BRIGHT=$(awk 'BEGIN{for(i=0;i<784;i++)printf i?",255":"255"}')
+printf '{"images":[[%s],[%s]]}' "$ZEROS" "$BRIGHT" >"$WORK/req.json"
+
+curl -sf -X POST --data-binary @"$WORK/req.json" "$BASE/classify" >"$WORK/resp.json" \
+	|| { echo "psserve-smoke: FAIL: /classify errored"; exit 1; }
+grep -q '"predictions":\[' "$WORK/resp.json" || { echo "psserve-smoke: FAIL: bad response: $(cat "$WORK/resp.json")"; exit 1; }
+NPRED=$(grep -o '"class":' "$WORK/resp.json" | wc -l)
+[ "$NPRED" -eq 2 ] || { echo "psserve-smoke: FAIL: want 2 predictions, got $NPRED: $(cat "$WORK/resp.json")"; exit 1; }
+echo "psserve-smoke: classify ok: $(cat "$WORK/resp.json")"
+
+# Classification must be deterministic request-over-request.
+curl -sf -X POST --data-binary @"$WORK/req.json" "$BASE/classify" >"$WORK/resp2.json"
+cmp -s "$WORK/resp.json" "$WORK/resp2.json" || { echo "psserve-smoke: FAIL: replayed request differs"; exit 1; }
+
+# Malformed input must be rejected, not crash the server.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"images":[]}' "$BASE/classify")
+[ "$CODE" = "400" ] || { echo "psserve-smoke: FAIL: empty batch gave $CODE, want 400"; exit 1; }
+
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt" || { echo "psserve-smoke: FAIL: /metrics errored"; exit 1; }
+REQS=$(sed -n 's/^infer_requests_total \([0-9]*\)$/\1/p' "$WORK/metrics.txt")
+[ -n "$REQS" ] && [ "$REQS" -ge 1 ] || { echo "psserve-smoke: FAIL: infer_requests_total missing or zero"; exit 1; }
+grep -q '^psserve_http_requests_total ' "$WORK/metrics.txt" || { echo "psserve-smoke: FAIL: no psserve_http_requests_total"; exit 1; }
+echo "psserve-smoke: metrics ok (infer_requests_total=$REQS)"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "psserve-smoke: PASS"
