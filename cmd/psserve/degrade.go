@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"parallelspikesim/internal/obs"
+)
+
+// priority is a request's standing in the degradation ladder, set by the
+// X-Priority header. Low-priority traffic (batch backfills, shadow reads)
+// is the first shed under load; high-priority traffic keeps its full
+// deadline for as long as a slot can be found.
+type priority int
+
+const (
+	prioLow priority = iota
+	prioNormal
+	prioHigh
+)
+
+// parsePriority maps the X-Priority header to a rung. An absent header is
+// normal; an unknown value is a client error — a typo in a priority label
+// must not silently change shedding behavior.
+func parsePriority(h string) (priority, error) {
+	switch h {
+	case "", "normal":
+		return prioNormal, nil
+	case "low":
+		return prioLow, nil
+	case "high":
+		return prioHigh, nil
+	}
+	return prioNormal, fmt.Errorf("unknown X-Priority %q (use low, normal or high)", h)
+}
+
+// Sentinel outcomes of ladder admission.
+var (
+	errShed      = errors.New("psserve: shed low-priority request at saturation")
+	errSaturated = errors.New("psserve: no inflight slot within the deadline")
+)
+
+// ladder is the server's graduated response to overload, replacing the old
+// binary available/503 behavior. The rungs, in escalation order:
+//
+//	rung 0  healthy            full per-request deadline
+//	rung 1  pressure           the effective deadline shrinks (half), so
+//	                           queued work drains faster than it arrives;
+//	                           high-priority requests are exempt
+//	rung 2  saturation         low-priority requests are shed immediately
+//	                           with 503 instead of queueing
+//	rung 3  sustained          normal/high requests that cannot get a slot
+//	        saturation         before their deadline get 503
+//
+// Every rung is counted in its own obs counter, disjoint from the request
+// rejection and compute-timeout counters, so the ladder's engagement is
+// directly observable in /metrics.
+type ladder struct {
+	sem      chan struct{} // inflight-classification slots
+	full     time.Duration // healthy per-request deadline
+	shrinkAt int           // busy slots at/above which rung 1 engages
+
+	shrunk    *obs.Counter // psserve_degrade_shrunk_total
+	shed      *obs.Counter // psserve_degrade_shed_total
+	saturated *obs.Counter // psserve_degrade_saturated_total
+}
+
+// newLadder sizes the ladder from the server limits. A shrinkAt of zero
+// defaults to half the inflight capacity (at least one), so pressure is
+// declared while slots remain and the shrunk deadline can still help.
+func newLadder(sc serverConfig, reg *obs.Registry) *ladder {
+	shrinkAt := sc.shrinkAt
+	if shrinkAt == 0 {
+		shrinkAt = sc.maxInflight / 2
+		if shrinkAt < 1 {
+			shrinkAt = 1
+		}
+	}
+	return &ladder{
+		sem:      make(chan struct{}, sc.maxInflight),
+		full:     sc.timeout,
+		shrinkAt: shrinkAt,
+
+		shrunk:    reg.Counter("psserve_degrade_shrunk_total"),
+		shed:      reg.Counter("psserve_degrade_shed_total"),
+		saturated: reg.Counter("psserve_degrade_saturated_total"),
+	}
+}
+
+// budget decides the request's total deadline at arrival — rung 1. Under
+// pressure (busy slots at or above shrinkAt) the deadline halves for
+// everything but high-priority traffic, so the backlog's worst case cost
+// shrinks before anything has to be refused.
+func (l *ladder) budget(p priority) (time.Duration, bool) {
+	if p != prioHigh && len(l.sem) >= l.shrinkAt {
+		l.shrunk.Inc()
+		return l.full / 2, true
+	}
+	return l.full, false
+}
+
+// acquire takes an inflight slot — rungs 2 and 3. At saturation a
+// low-priority request is shed immediately (errShed); others wait until
+// ctx — which carries the possibly-shrunk deadline — expires
+// (errSaturated). The returned release must be called exactly once, after
+// the classification finishes, even if the response has already been
+// written.
+func (l *ladder) acquire(ctx context.Context, p priority) (release func(), err error) {
+	select {
+	case l.sem <- struct{}{}:
+		return l.releaseFn(), nil
+	default:
+	}
+	if p == prioLow {
+		l.shed.Inc()
+		return nil, errShed
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return l.releaseFn(), nil
+	case <-ctx.Done():
+		l.saturated.Inc()
+		return nil, errSaturated
+	}
+}
+
+func (l *ladder) releaseFn() func() { return func() { <-l.sem } }

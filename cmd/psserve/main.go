@@ -1,10 +1,11 @@
-// Command psserve serves a trained ParallelSpikeSim model over HTTP: the
-// frozen-weight inference engine (internal/infer) behind a small JSON API.
+// Command psserve serves trained ParallelSpikeSim models over HTTP: frozen-
+// weight inference engines (internal/infer) behind a fault-tolerant model
+// registry (internal/registry) and a small JSON API.
 //
-// The model file is a PSS2 snapshot saved by pssim with -save after training
-// and labeling; psserve refuses unlabeled or corrupt snapshots at startup.
-// The electrical constants are rebuilt from the same preset flags pssim
-// trains with, so serve with the flags you trained with:
+// Models are PSS2 snapshots saved by pssim with -save after training and
+// labeling; psserve refuses unlabeled or corrupt snapshots. The electrical
+// constants are rebuilt from the same preset flags pssim trains with, so
+// serve with the flags you trained with:
 //
 //	pssim  -preset highfreq -rule stochastic -train 2000 -save model.pss
 //	psserve -load model.pss -preset highfreq -rule stochastic
@@ -13,10 +14,21 @@
 //	curl -s -X POST localhost:8080/classify -d '{"images": [[0,0,…,255]]}'
 //	curl -s localhost:8080/metrics | grep infer_requests_total
 //
-// Classification is deterministic: the same pixels always produce the same
-// prediction, regardless of request interleaving or worker count. Request
-// cost is bounded by -max-batch, -max-inflight and -timeout; SIGINT/SIGTERM
-// drain inflight requests before exit.
+// With -models DIR instead of -load, every *.pss file in DIR is served as
+// a named model under /models/{name}/classify (the file a.pss becomes
+// model "a"); -model picks which of them /classify aliases. POST /reload
+// — or SIGHUP — rescans the snapshots and atomically hot-swaps any that
+// changed: a retrained file becomes the next generation with zero dropped
+// requests, and a corrupt or torn file is rejected while the previous
+// generation keeps serving. Responses carry the model name and generation
+// so clients can audit exactly which snapshot answered.
+//
+// Classification is deterministic: the same pixels against the same
+// generation always produce the same prediction, regardless of request
+// interleaving or worker count. Request cost is bounded by -max-batch,
+// -max-inflight and -timeout; under saturation the server degrades in
+// rungs (shrink deadline, shed low-priority, 503) instead of falling off a
+// cliff; SIGINT/SIGTERM drain inflight requests before exit.
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,41 +50,68 @@ import (
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/registry"
 	"parallelspikesim/internal/synapse"
 )
 
+// options collects every knob main parses; run consumes it whole.
+type options struct {
+	addr      string
+	load      string // single snapshot to serve (mutually exclusive with modelsDir)
+	modelsDir string // directory of *.pss snapshots to serve by name
+	modelName string // registry name for -load / default model for /classify
+
+	rule     string
+	preset   string
+	rounding string
+	seed     uint64
+	classes  int
+	tlearn   float64
+	workers  int
+
+	sc serverConfig
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		load     = flag.String("load", "", "trained PSS2 snapshot to serve (required)")
-		rule     = flag.String("rule", "stochastic", "learning rule the model was trained with: deterministic | stochastic")
-		preset   = flag.String("preset", "float32", "Table I preset the model was trained with: 2bit|4bit|8bit|16bit|float32|highfreq")
-		rounding = flag.String("rounding", "", "rounding override used at training time: truncation | nearest | stochastic")
-		seed     = flag.Uint64("seed", 7, "master seed the model was trained with")
-		classes  = flag.Int("classes", 10, "class arity of the label table")
-		tlearn   = flag.Float64("tlearn", 0, "presentation time ms (0 = preset)")
-		workers  = flag.Int("workers", 0, "engine workers for batch fan-out (0 = GOMAXPROCS, 1 = sequential)")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline")
-		maxBatch = flag.Int("max-batch", 256, "images per /classify request")
-		inflight = flag.Int("max-inflight", 4, "concurrent classification requests")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.load, "load", "", "trained PSS2 snapshot to serve (this or -models is required)")
+	flag.StringVar(&o.modelsDir, "models", "", "directory of *.pss snapshots to serve as named models")
+	flag.StringVar(&o.modelName, "model", "default", "model name for -load, and the model /classify resolves to")
+	flag.StringVar(&o.rule, "rule", "stochastic", "learning rule the models were trained with: deterministic | stochastic")
+	flag.StringVar(&o.preset, "preset", "float32", "Table I preset the models were trained with: 2bit|4bit|8bit|16bit|float32|highfreq")
+	flag.StringVar(&o.rounding, "rounding", "", "rounding override used at training time: truncation | nearest | stochastic")
+	flag.Uint64Var(&o.seed, "seed", 7, "master seed the models were trained with")
+	flag.IntVar(&o.classes, "classes", 10, "class arity of the label tables")
+	flag.Float64Var(&o.tlearn, "tlearn", 0, "presentation time ms (0 = preset)")
+	flag.IntVar(&o.workers, "workers", 0, "engine workers for batch fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	flag.DurationVar(&o.sc.timeout, "timeout", 10*time.Second, "healthy per-request deadline (the ladder may shrink it under load)")
+	flag.IntVar(&o.sc.maxBatch, "max-batch", 256, "images per /classify request")
+	flag.IntVar(&o.sc.maxInflight, "max-inflight", 4, "concurrent classification requests")
+	flag.IntVar(&o.sc.shrinkAt, "shrink-at", 0, "busy slots at which the deadline shrinks (0 = half of -max-inflight)")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "time a client gets to send the request headers")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 15*time.Second, "time a client gets to send the whole request")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 60*time.Second, "time an idle keep-alive connection is kept open")
 	flag.Parse()
-	if err := run(*addr, *load, *rule, *preset, *rounding, *seed, *classes, *tlearn, *workers,
-		serverConfig{maxBatch: *maxBatch, maxInflight: *inflight, timeout: *timeout}); err != nil {
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "psserve:", err)
 		os.Exit(1)
 	}
 }
 
-// buildEngine loads the snapshot and assembles the inference engine exactly
-// as pssim's serving-path evaluation does, so served predictions match the
-// accuracy pssim reported.
-func buildEngine(load, rule, preset, rounding string, seed uint64, classes int, tlearn float64,
-	exec engine.Executor, reg *obs.Registry) (*infer.Engine, error) {
+// newBuilder compiles the preset flags into a registry.Builder: the
+// electrical constants are fixed once at startup, and every (re)loaded
+// snapshot is assembled into an engine exactly as pssim's serving-path
+// evaluation does, so served predictions match the accuracy pssim
+// reported.
+func newBuilder(rule, preset, rounding string, seed uint64, classes int, tlearn float64,
+	exec engine.Executor, reg *obs.Registry) (registry.Builder, error) {
 
-	if load == "" {
-		return nil, errors.New("-load is required: train a model with `pssim -save model.pss` first")
-	}
 	kind, err := synapse.ParseRule(rule)
 	if err != nil {
 		return nil, err
@@ -89,26 +129,72 @@ func buildEngine(load, rule, preset, rounding string, seed uint64, classes int, 
 	}
 	syn.Seed = seed
 
-	snap, err := netio.LoadInferenceFile(load, classes)
-	if err != nil {
-		return nil, err
-	}
-	cfg := network.DefaultConfig(snap.NumInputs, snap.NumNeurons, syn)
-	ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: encode.BaselineControl().TLearnMS}
-	if preset == string(synapse.PresetHighFreq) {
-		ctl = encode.HighFrequencyControl()
-	}
-	if tlearn > 0 {
-		ctl.TLearnMS = tlearn
-	}
-	return infer.FromSnapshot(snap, cfg, ctl, classes,
-		infer.WithExecutor(exec), infer.WithObserver(reg))
+	return func(snap *netio.Snapshot) (registry.Engine, error) {
+		cfg := network.DefaultConfig(snap.NumInputs, snap.NumNeurons, syn)
+		ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: encode.BaselineControl().TLearnMS}
+		if preset == string(synapse.PresetHighFreq) {
+			ctl = encode.HighFrequencyControl()
+		}
+		if tlearn > 0 {
+			ctl.TLearnMS = tlearn
+		}
+		return infer.FromSnapshot(snap, cfg, ctl, classes,
+			infer.WithExecutor(exec), infer.WithObserver(reg))
+	}, nil
 }
 
-func run(addr, load, rule, preset, rounding string, seed uint64, classes int, tlearn float64,
-	workers int, sc serverConfig) error {
+// loadModels seeds the registry: a directory scan in -models mode, one
+// named load in -load mode. At least one model must come up servable.
+func loadModels(models *registry.Registry, o options) error {
+	if o.load != "" && o.modelsDir != "" {
+		return errors.New("use -load or -models, not both")
+	}
+	if o.modelsDir != "" {
+		rep := models.Rescan(o.modelsDir)
+		for _, res := range rep {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "psserve: skipping model %q: %v\n", res.Name, res.Err)
+			}
+		}
+		if len(models.Names()) == 0 {
+			return fmt.Errorf("no servable *%s snapshots in %s", registry.ModelExt, o.modelsDir)
+		}
+		return nil
+	}
+	if o.load == "" {
+		return errors.New("-load or -models is required: train a model with `pssim -save model.pss` first")
+	}
+	_, err := models.Load(o.modelName, o.load)
+	return err
+}
 
-	w := workers
+// newHTTPServer hardens the listener against slow clients: a trickling
+// sender is cut off by the header/read timeouts and an idle keep-alive
+// connection cannot hold a socket forever — without these a slowloris
+// client pins connections indefinitely.
+func newHTTPServer(addr string, h http.Handler, o options) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+		// Responses are small; the write window covers the request deadline
+		// plus serialization.
+		WriteTimeout: o.sc.timeout + 5*time.Second,
+	}
+}
+
+func run(o options) error {
+	switch {
+	case o.readHeaderTimeout <= 0:
+		return fmt.Errorf("read-header-timeout %v", o.readHeaderTimeout)
+	case o.readTimeout <= 0:
+		return fmt.Errorf("read-timeout %v", o.readTimeout)
+	case o.idleTimeout <= 0:
+		return fmt.Errorf("idle-timeout %v", o.idleTimeout)
+	}
+	w := o.workers
 	if w == 0 {
 		w = engine.Auto // CLI convention: 0 means all cores
 	}
@@ -117,32 +203,71 @@ func run(addr, load, rule, preset, rounding string, seed uint64, classes int, tl
 	reg := obs.NewRegistry()
 	engine.Instrument(exec, reg)
 
-	eng, err := buildEngine(load, rule, preset, rounding, seed, classes, tlearn, exec, reg)
+	build, err := newBuilder(o.rule, o.preset, o.rounding, o.seed, o.classes, o.tlearn, exec, reg)
 	if err != nil {
 		return err
 	}
-	handler, err := newHandler(eng, reg, sc)
+	models, err := registry.New(build, o.classes, registry.WithObserver(reg))
+	if err != nil {
+		return err
+	}
+	if err := loadModels(models, o); err != nil {
+		return err
+	}
+	o.sc.defaultModel = o.modelName
+	o.sc.modelsDir = o.modelsDir
+	handler, err := newHandler(models, reg, o.sc)
 	if err != nil {
 		return err
 	}
 
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       sc.timeout,
-		// Responses are small; the write window covers the request deadline
-		// plus serialization.
-		WriteTimeout: sc.timeout + 5*time.Second,
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
 	}
+	srv := newHTTPServer(o.addr, handler, o)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP is the operator's hot-reload: rescan the snapshots and swap in
+	// whatever validates, exactly like POST /reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			rep := models.Rescan(o.modelsDir)
+			for _, res := range rep {
+				if res.Err != nil {
+					fmt.Printf("psserve: SIGHUP reload %q failed (generation %d keeps serving): %v\n", res.Name, res.Gen, res.Err)
+				} else {
+					fmt.Printf("psserve: SIGHUP reload %q now at generation %d\n", res.Name, res.Gen)
+				}
+			}
+		}
+	}()
+
+	for _, m := range models.Models() {
+		fmt.Printf("psserve: serving model %q generation %d (%d inputs, %d classes) from %s\n",
+			m.Name, m.Gen, m.Engine.NumInputs(), m.Engine.NumClasses(), m.Path)
+	}
+	fmt.Printf("psserve: listening on %s\n", o.addr)
+
+	err = serve(ctx, srv, ln, o.sc.timeout+5*time.Second)
+	if err == nil {
+		fmt.Println("psserve: drained, bye")
+	}
+	return err
+}
+
+// serve runs srv on ln until ctx is canceled, then shuts down gracefully:
+// the listener closes (new connections are refused), inflight requests get
+// up to drain to finish, and only then does serve return. Extracted from
+// run so the drain contract is testable without signals.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("psserve: serving %s (%d inputs × %d neurons, %d classes) on %s\n",
-		load, eng.NumInputs(), eng.NumNeurons(), eng.NumClasses(), addr)
+	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -150,7 +275,7 @@ func run(addr, load, rule, preset, rounding string, seed uint64, classes int, tl
 	case <-ctx.Done():
 	}
 	fmt.Println("psserve: shutting down, draining inflight requests")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), sc.timeout+5*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

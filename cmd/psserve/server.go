@@ -10,22 +10,18 @@ import (
 
 	"parallelspikesim/internal/infer"
 	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/registry"
 )
 
-// classifier is the slice of infer.Engine the handlers need. An interface so
-// the handler tests can substitute slow or failing models and drive the
-// timeout and error paths deterministically.
-type classifier interface {
-	PredictBatch(imgs [][]uint8) ([]infer.Prediction, error)
-	NumInputs() int
-	NumClasses() int
-}
-
-// serverConfig bounds what one request may cost.
+// serverConfig bounds what one request may cost and shapes the degradation
+// ladder.
 type serverConfig struct {
-	maxBatch    int           // images per /classify request
-	maxInflight int           // concurrent classification requests
-	timeout     time.Duration // per-request deadline
+	maxBatch     int           // images per /classify request
+	maxInflight  int           // concurrent classification requests
+	timeout      time.Duration // healthy per-request deadline
+	defaultModel string        // model /classify resolves to
+	shrinkAt     int           // ladder rung-1 threshold (0 = maxInflight/2)
+	modelsDir    string        // directory /reload and SIGHUP rescan ("" = reload loaded paths)
 }
 
 func (sc serverConfig) validate() error {
@@ -36,6 +32,10 @@ func (sc serverConfig) validate() error {
 		return fmt.Errorf("psserve: max inflight %d", sc.maxInflight)
 	case sc.timeout <= 0:
 		return fmt.Errorf("psserve: timeout %v", sc.timeout)
+	case sc.defaultModel == "":
+		return fmt.Errorf("psserve: empty default model name")
+	case sc.shrinkAt < 0 || sc.shrinkAt > sc.maxInflight:
+		return fmt.Errorf("psserve: shrink threshold %d outside [0, %d]", sc.shrinkAt, sc.maxInflight)
 	default:
 		return nil
 	}
@@ -54,8 +54,13 @@ type classifyRequest struct {
 	Images [][]uint8 `json:"images"`
 }
 
-// classifyResponse carries one prediction per request image, in order.
+// classifyResponse carries one prediction per request image, in order,
+// tagged with the exact model generation that produced every one of them.
+// The handler resolves the registry pointer once per request, so the tag
+// can never describe a mix of generations.
 type classifyResponse struct {
+	Model       string             `json:"model"`
+	Generation  uint64             `json:"generation"`
 	Predictions []infer.Prediction `json:"predictions"`
 }
 
@@ -63,44 +68,56 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// server wires the model, its limits and the serving metrics.
+// server wires the model registry, its limits, the degradation ladder and
+// the serving metrics.
 type server struct {
-	model classifier
-	cfg   serverConfig
-	sem   chan struct{} // inflight-classification slots
+	models *registry.Registry
+	cfg    serverConfig
+	ladder *ladder
 
-	reqs     *obs.Counter
-	rejected *obs.Counter
-	timeouts *obs.Counter
-	latency  *obs.Timer
+	reqs     *obs.Counter // psserve_http_requests_total: every request seen
+	rejected *obs.Counter // psserve_http_rejected_total: 4xx/5xx request errors
+	timeouts *obs.Counter // psserve_http_timeouts_total: compute overran the deadline
+	reloads  *obs.Counter // psserve_http_reloads_total: admin reloads served
+	latency  *obs.Timer   // psserve_http_classify_ns
 }
 
-// newHandler builds the psserve HTTP API over a model:
+// newHandler builds the psserve HTTP API over a model registry:
 //
-//	POST /classify  {"images": [[pixels…], …]} → {"predictions": […]}
-//	GET  /healthz   liveness + model shape
-//	GET  /metrics   Prometheus text exposition of reg
+//	POST /classify                  classify against the default model
+//	POST /models/{name}/classify    classify against a named model
+//	POST /reload                    rescan/reload snapshots (admin)
+//	GET  /healthz                   liveness + per-model generation and shape
+//	GET  /metrics                   Prometheus text exposition of reg
 //
-// Every classification request holds one of maxInflight slots and runs
-// under the configured deadline; requests that cannot finish in time get
-// 503, oversized or malformed ones 4xx. A nil registry disables metric
-// recording but keeps /metrics serving an empty exposition.
-func newHandler(model classifier, reg *obs.Registry, sc serverConfig) (http.Handler, error) {
+// Every classification request resolves one immutable model generation,
+// holds one inflight slot, and runs under the degradation ladder's
+// deadline; malformed requests get 4xx, overload 503. The rejection,
+// compute-timeout and per-rung degradation counters are disjoint: each
+// failed request increments exactly one of them. A nil registry disables
+// metric recording but keeps /metrics serving an empty exposition.
+func newHandler(models *registry.Registry, reg *obs.Registry, sc serverConfig) (http.Handler, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
+	if models == nil {
+		return nil, fmt.Errorf("psserve: nil model registry")
+	}
 	s := &server{
-		model: model,
-		cfg:   sc,
-		sem:   make(chan struct{}, sc.maxInflight),
+		models: models,
+		cfg:    sc,
+		ladder: newLadder(sc, reg),
 
 		reqs:     reg.Counter("psserve_http_requests_total"),
 		rejected: reg.Counter("psserve_http_rejected_total"),
 		timeouts: reg.Counter("psserve_http_timeouts_total"),
+		reloads:  reg.Counter("psserve_http_reloads_total"),
 		latency:  reg.Timer("psserve_http_classify_ns"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/models/{name}/classify", s.handleModelClassify)
+	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", reg.Handler())
 	return mux, nil
@@ -114,9 +131,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits a JSON error without touching any counter; callers pick
+// the one counter their failure class owns.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// fail rejects a request (bad payload, unknown model, wrong method, model
+// error) and counts it. Deadline and degradation 503s do NOT go through
+// here — their counters are disjoint from the rejection counter.
 func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.rejected.Inc()
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeError(w, status, format, args...)
+}
+
+// healthModel is one model's row in the /healthz report.
+type healthModel struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Inputs     int    `json:"inputs"`
+	Classes    int    `json:"classes"`
+	Path       string `json:"path,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -124,21 +159,94 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"inputs":  s.model.NumInputs(),
-		"classes": s.model.NumClasses(),
-	})
+	models := s.models.Models()
+	rows := make([]healthModel, len(models))
+	for i, m := range models {
+		rows[i] = healthModel{
+			Name:       m.Name,
+			Generation: m.Gen,
+			Inputs:     m.Engine.NumInputs(),
+			Classes:    m.Engine.NumClasses(),
+			Path:       m.Path,
+		}
+	}
+	body := map[string]any{
+		"status": "ok",
+		"models": rows,
+	}
+	// The default model's shape also appears top-level, the form the
+	// single-model API always had.
+	if m, ok := s.models.Get(s.cfg.defaultModel); ok {
+		body["model"] = m.Name
+		body["generation"] = m.Gen
+		body["inputs"] = m.Engine.NumInputs()
+		body["classes"] = m.Engine.NumClasses()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
-func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+// reloadResult is one model's outcome in the /reload report.
+type reloadResult struct {
+	Model      string `json:"model"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
+// handleReload rescans the models directory (or reloads every loaded
+// snapshot path) and reports per-model outcomes. A failed model keeps its
+// previous generation serving, so a partial failure is 500 with a full
+// report, never a half-dead server.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	rep := s.models.Rescan(s.cfg.modelsDir)
+	s.reloads.Inc()
+	out := make([]reloadResult, len(rep))
+	for i, res := range rep {
+		out[i] = reloadResult{Model: res.Name, Generation: res.Gen}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	status := http.StatusOK
+	if rep.Failed() > 0 {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]any{"report": out, "failed": rep.Failed()})
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.classify(w, r, s.cfg.defaultModel)
+}
+
+func (s *server) handleModelClassify(w http.ResponseWriter, r *http.Request) {
+	s.classify(w, r, r.PathValue("name"))
+}
+
+func (s *server) classify(w http.ResponseWriter, r *http.Request, name string) {
+	s.reqs.Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	prio, err := parsePriority(r.Header.Get("X-Priority"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// One registry resolution serves the whole request: the engine, the
+	// generation tag and the input-shape checks below all come from this
+	// immutable Model, so a reload racing this request can never tear it.
+	m, ok := s.models.Get(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
 	var req classifyRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody(s.model.NumInputs()))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody(m.Engine.NumInputs()))
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -157,23 +265,24 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, img := range req.Images {
-		if len(img) != s.model.NumInputs() {
-			s.fail(w, http.StatusBadRequest, "image %d has %d pixels, model expects %d", i, len(img), s.model.NumInputs())
+		if len(img) != m.Engine.NumInputs() {
+			s.fail(w, http.StatusBadRequest, "image %d has %d pixels, model %q expects %d", i, len(img), m.Name, m.Engine.NumInputs())
 			return
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+	// Degradation ladder: rung 1 may shrink the deadline at arrival; rungs
+	// 2 and 3 decide whether the request gets a slot at all.
+	budget, _ := s.ladder.budget(prio)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
-
-	// Bounded concurrency: wait for an inflight slot, but never past the
-	// request deadline — a saturated server sheds load with 503 instead of
-	// queueing unboundedly.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.timeouts.Inc()
-		s.fail(w, http.StatusServiceUnavailable, "server saturated, retry later")
+	release, err := s.ladder.acquire(ctx, prio)
+	switch {
+	case errors.Is(err, errShed):
+		writeError(w, http.StatusServiceUnavailable, "server saturated, low-priority request shed")
+		return
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "server saturated, no slot within %v", budget)
 		return
 	}
 
@@ -184,8 +293,8 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		defer func() { <-s.sem }()
-		preds, err := s.model.PredictBatch(req.Images)
+		defer release()
+		preds, err := m.Engine.PredictBatch(req.Images)
 		done <- outcome{preds, err}
 	}()
 
@@ -196,13 +305,17 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusInternalServerError, "classification failed: %v", out.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, classifyResponse{Predictions: out.preds})
+		writeJSON(w, http.StatusOK, classifyResponse{
+			Model:       m.Name,
+			Generation:  m.Gen,
+			Predictions: out.preds,
+		})
 	case <-ctx.Done():
 		// The forward pass cannot be interrupted mid-presentation; it
 		// finishes on its goroutine, releases its slot, and the result is
 		// dropped.
 		s.latency.Stop(t)
 		s.timeouts.Inc()
-		s.fail(w, http.StatusServiceUnavailable, "classification exceeded the %v deadline", s.cfg.timeout)
+		writeError(w, http.StatusServiceUnavailable, "classification exceeded the %v deadline", budget)
 	}
 }

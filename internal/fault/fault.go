@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -44,6 +45,14 @@ type FS interface {
 	Remove(name string) error
 }
 
+// DirFS is an FS that can also enumerate a directory — the capability the
+// model registry's rescan needs. ReadDir returns the base names of the
+// plain files directly under dir, sorted.
+type DirFS interface {
+	FS
+	ReadDir(dir string) ([]string, error)
+}
+
 // OS is the real filesystem.
 type OS struct{}
 
@@ -58,6 +67,21 @@ func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newp
 
 // Remove deletes the named file.
 func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir returns the base names of the plain files in dir, sorted.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil // os.ReadDir already sorts
+}
 
 // MemFS is an in-memory FS for hermetic crash tests. Writes land in the
 // stored byte slice immediately, so a writer abandoned mid-stream leaves a
@@ -162,6 +186,63 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
+// ReadDir returns the base names of the files directly under dir ("/"
+// separated), sorted. MemFS has a flat namespace, so a "directory" is just
+// a shared name prefix; files nested more than one level below dir are not
+// listed, matching os.ReadDir's one-level view.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	if dir == "" || dir == "." {
+		prefix = ""
+	}
+	var out []string
+	for name := range m.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		base := name[len(prefix):]
+		if base == "" || strings.Contains(base, "/") {
+			continue
+		}
+		out = append(out, base)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Corrupt flips one bit of the named file at byte offset off (taken modulo
+// the file length) — the in-place bit rot a reload must detect. Reports
+// whether the file existed and was non-empty.
+func (m *MemFS) Corrupt(name string, off int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	if off < 0 {
+		off = -off
+	}
+	data[off%len(data)] ^= 0x40
+	return true
+}
+
+// Truncate cuts the named file to its first n bytes — the torn tail a
+// half-written publish leaves behind. Reports whether the file existed and
+// was longer than n.
+func (m *MemFS) Truncate(name string, n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok || n < 0 || len(data) <= n {
+		return false
+	}
+	m.files[name] = data[:n]
+	return true
+}
+
 // ReadFile returns a copy of the named file's contents.
 func (m *MemFS) ReadFile(name string) ([]byte, bool) {
 	m.mu.Lock()
@@ -190,13 +271,14 @@ type Op string
 
 // The injectable operations.
 const (
-	OpCreate Op = "create"
-	OpOpen   Op = "open"
-	OpWrite  Op = "write"
-	OpSync   Op = "sync"
-	OpClose  Op = "close"
-	OpRename Op = "rename"
-	OpRemove Op = "remove"
+	OpCreate  Op = "create"
+	OpOpen    Op = "open"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpReadDir Op = "readdir"
 )
 
 // Injector wraps an FS and injects faults: a one-time crash after a global
@@ -211,6 +293,7 @@ type Injector struct {
 	crashed    bool
 	written    int64
 	transient  map[Op][]error
+	hooks      map[Op]func()
 }
 
 // NewInjector wraps fs with no faults armed.
@@ -235,6 +318,35 @@ func (in *Injector) FailOnce(op Op, err error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.transient[op] = append(in.transient[op], err)
+}
+
+// Hook installs fn to run at every entry of op, before any fault check or
+// delegation. A hook that sleeps models a slow device (e.g. a model file
+// loading off cold storage); a hook that blocks on a channel lets a test
+// freeze a reload mid-flight and race live traffic against it
+// deterministically. A nil fn removes the hook. Hooks run without the
+// injector lock held, so they may call back into the injector.
+func (in *Injector) Hook(op Op, fn func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.hooks == nil {
+		in.hooks = make(map[Op]func())
+	}
+	if fn == nil {
+		delete(in.hooks, op)
+		return
+	}
+	in.hooks[op] = fn
+}
+
+// enter fires the hook installed for op, if any.
+func (in *Injector) enter(op Op) {
+	in.mu.Lock()
+	fn := in.hooks[op]
+	in.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Crashed reports whether the armed crash has fired.
@@ -274,6 +386,7 @@ type injectFile struct {
 
 func (f *injectFile) Write(p []byte) (int, error) {
 	in := f.in
+	in.enter(OpWrite)
 	in.mu.Lock()
 	if in.crashed {
 		in.mu.Unlock()
@@ -315,6 +428,7 @@ func (f *injectFile) Write(p []byte) (int, error) {
 }
 
 func (f *injectFile) Sync() error {
+	f.in.enter(OpSync)
 	if err := f.in.check(OpSync); err != nil {
 		return err
 	}
@@ -322,6 +436,7 @@ func (f *injectFile) Sync() error {
 }
 
 func (f *injectFile) Close() error {
+	f.in.enter(OpClose)
 	if err := f.in.check(OpClose); err != nil {
 		// The underlying file is still released: even a dying process's
 		// descriptors are closed by the OS.
@@ -333,6 +448,7 @@ func (f *injectFile) Close() error {
 
 // Create creates a file through the wrapped FS, subject to injection.
 func (in *Injector) Create(name string) (File, error) {
+	in.enter(OpCreate)
 	if err := in.check(OpCreate); err != nil {
 		return nil, err
 	}
@@ -345,6 +461,7 @@ func (in *Injector) Create(name string) (File, error) {
 
 // Open opens a file through the wrapped FS, subject to injection.
 func (in *Injector) Open(name string) (io.ReadCloser, error) {
+	in.enter(OpOpen)
 	if err := in.check(OpOpen); err != nil {
 		return nil, err
 	}
@@ -353,6 +470,7 @@ func (in *Injector) Open(name string) (io.ReadCloser, error) {
 
 // Rename renames through the wrapped FS, subject to injection.
 func (in *Injector) Rename(oldpath, newpath string) error {
+	in.enter(OpRename)
 	if err := in.check(OpRename); err != nil {
 		return err
 	}
@@ -361,10 +479,25 @@ func (in *Injector) Rename(oldpath, newpath string) error {
 
 // Remove removes through the wrapped FS, subject to injection.
 func (in *Injector) Remove(name string) error {
+	in.enter(OpRemove)
 	if err := in.check(OpRemove); err != nil {
 		return err
 	}
 	return in.fs.Remove(name)
+}
+
+// ReadDir lists a directory through the wrapped FS, subject to injection.
+// The wrapped FS must itself implement DirFS.
+func (in *Injector) ReadDir(dir string) ([]string, error) {
+	in.enter(OpReadDir)
+	if err := in.check(OpReadDir); err != nil {
+		return nil, err
+	}
+	dfs, ok := in.fs.(DirFS)
+	if !ok {
+		return nil, fmt.Errorf("fault: wrapped %T cannot list directories", in.fs)
+	}
+	return dfs.ReadDir(dir)
 }
 
 // Writer is a standalone io.Writer shim that injects one failure at byte

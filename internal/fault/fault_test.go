@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 )
 
@@ -237,5 +238,132 @@ func TestWriterDisabled(t *testing.T) {
 	}
 	if buf.Len() != 100 {
 		t.Fatalf("len %d", buf.Len())
+	}
+}
+
+func TestMemFSReadDir(t *testing.T) {
+	fs := NewMemFS()
+	for _, name := range []string{"models/a.pss", "models/b.pss", "models/sub/c.pss", "top.pss"} {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, f, []byte("x"))
+	}
+	got, err := fs.ReadDir("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a.pss" || got[1] != "b.pss" {
+		t.Fatalf("ReadDir(models) = %v, want [a.pss b.pss]", got)
+	}
+	// Trailing slash is tolerated; nested files stay one level deep.
+	got, err = fs.ReadDir("models/")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ReadDir(models/) = %v, %v", got, err)
+	}
+	top, err := fs.ReadDir(".")
+	if err != nil || len(top) != 1 || top[0] != "top.pss" {
+		t.Fatalf("ReadDir(.) = %v, %v", top, err)
+	}
+	if empty, err := fs.ReadDir("nowhere"); err != nil || len(empty) != 0 {
+		t.Fatalf("ReadDir(nowhere) = %v, %v", empty, err)
+	}
+}
+
+func TestMemFSCorruptAndTruncate(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("snap")
+	writeAll(t, f, []byte("abcdef"))
+
+	if !fs.Corrupt("snap", 2) {
+		t.Fatal("corrupt of existing file failed")
+	}
+	got, _ := fs.ReadFile("snap")
+	if string(got) == "abcdef" {
+		t.Fatal("corrupt left the file intact")
+	}
+	if got[2] != 'c'^0x40 {
+		t.Fatalf("byte 2 = %#x, want flipped %#x", got[2], 'c'^0x40)
+	}
+	if fs.Corrupt("missing", 0) {
+		t.Error("corrupt of missing file reported success")
+	}
+
+	if !fs.Truncate("snap", 3) {
+		t.Fatal("truncate failed")
+	}
+	got, _ = fs.ReadFile("snap")
+	if len(got) != 3 {
+		t.Fatalf("truncated length %d", len(got))
+	}
+	if fs.Truncate("snap", 5) {
+		t.Error("truncate past end reported success")
+	}
+	if fs.Truncate("missing", 0) {
+		t.Error("truncate of missing file reported success")
+	}
+}
+
+func TestInjectorReadDir(t *testing.T) {
+	mem := NewMemFS()
+	f, _ := mem.Create("d/a")
+	writeAll(t, f, []byte("x"))
+	in := NewInjector(mem)
+
+	names, err := in.ReadDir("d")
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	boom := errors.New("dir io error")
+	in.FailOnce(OpReadDir, boom)
+	if _, err := in.ReadDir("d"); !errors.Is(err, boom) {
+		t.Fatalf("transient readdir err = %v, want %v", err, boom)
+	}
+	if names, err := in.ReadDir("d"); err != nil || len(names) != 1 {
+		t.Fatalf("post-transient ReadDir = %v, %v", names, err)
+	}
+}
+
+func TestInjectorHookOrchestratesRace(t *testing.T) {
+	// A hook on OpOpen freezes a "reload" mid-flight until the test releases
+	// it — the deterministic version of a slow model file.
+	mem := NewMemFS()
+	f, _ := mem.Create("m.pss")
+	writeAll(t, f, []byte("model"))
+	in := NewInjector(mem)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	in.Hook(OpOpen, func() {
+		once.Do(func() { close(entered) })
+		<-gate
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		r, err := in.Open("m.pss")
+		if err == nil {
+			r.Close()
+		}
+		done <- err
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("open completed while hook held it")
+	default:
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	in.Hook(OpOpen, nil) // removed hook must not fire
+	if r, err := in.Open("m.pss"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Close()
 	}
 }

@@ -1,0 +1,261 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parallelspikesim/internal/fault"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/obs"
+)
+
+// TestChaosReloadStormUnderFlood is the registry's chaos wall: one writer
+// drives hot-reload cycles — most good, some torn, some bit-flipped, some
+// hit by transient I/O errors — while reader goroutines flood Get+classify
+// the whole time. Invariants asserted on every single response:
+//
+//   - the model resolves once the first generation is published (requests
+//     are never dropped by a reload);
+//   - the engine's answer matches the generation tag of the Model it came
+//     from (no torn or mixed-generation view — the stub engine echoes the
+//     snapshot version, and good publishes are arranged so version == gen);
+//   - generations observed by one reader never move backwards;
+//   - corrupt publishes never surface: every served generation came from a
+//     snapshot that passed validation.
+//
+// Run under -race (CI does), this is the "zero dropped or torn requests"
+// acceptance gate: ≥100 successful swap cycles concurrent with the flood.
+func TestChaosReloadStormUnderFlood(t *testing.T) {
+	const (
+		goodCycles = 120 // successful hot-reloads (≥100 per the acceptance bar)
+		readers    = 8
+	)
+	mem := fault.NewMemFS()
+	in := fault.NewInjector(mem)
+	reg := obs.NewRegistry()
+	r := newTestRegistry(t, in, WithObserver(reg))
+
+	// Good publishes use version = generation, so readers can verify a
+	// response against the generation tag alone. Corrupt publishes use
+	// version 9999 — if one ever serves, the mismatch is unmissable.
+	saveGood := func(version int) {
+		if err := netio.SaveFileFS(mem, "m.pss", testSnapshot(version)); err != nil {
+			t.Error(err)
+		}
+	}
+	saveGood(1)
+	if _, err := r.Load("m", "m.pss"); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		published atomic.Uint64 // highest generation successfully published
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	published.Store(1)
+
+	img := [][]uint8{{0, 0}}
+	readerErr := make([]error, readers)
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			var lastGen uint64
+			fail := func(err error) {
+				if readerErr[rd] == nil {
+					readerErr[rd] = err
+				}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, ok := r.Get("m")
+				if !ok {
+					fail(errors.New("model vanished during reload"))
+					return
+				}
+				if m.Gen < lastGen {
+					fail(errors.New("generation moved backwards"))
+					return
+				}
+				lastGen = m.Gen
+				if m.Gen > published.Load() {
+					fail(errors.New("served generation was never published"))
+					return
+				}
+				preds, err := m.Engine.PredictBatch(img)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if uint64(preds[0].Winner) != m.Gen {
+					fail(errors.New("torn response: prediction version does not match generation tag"))
+					return
+				}
+			}
+		}(rd)
+	}
+
+	// The writer: for each cycle, first a hostile publish attempt that must
+	// be rejected, then a good one that must land.
+	for cycle := 2; cycle <= goodCycles+1; cycle++ {
+		switch cycle % 4 {
+		case 0: // torn tail: half-written publish
+			saveGood(9999)
+			mem.Truncate("m.pss", 16+cycle%32)
+			if _, err := r.Reload("m"); err == nil {
+				t.Fatal("torn snapshot published")
+			}
+		case 1: // bit rot in the payload
+			saveGood(9999)
+			mem.Corrupt("m.pss", 24+cycle)
+			if _, err := r.Reload("m"); err == nil {
+				t.Fatal("corrupt snapshot published")
+			}
+		case 2: // transient open failure
+			in.FailOnce(fault.OpOpen, errors.New("transient io"))
+			if _, err := r.Reload("m"); err == nil {
+				t.Fatal("reload through failing open succeeded")
+			}
+		}
+		saveGood(cycle)
+		// Announce the upcoming generation before the swap: a reader may see
+		// the new pointer the instant Load stores it, so the bound must
+		// already cover it.
+		published.Store(uint64(cycle))
+		m, err := r.Load("m", "m.pss")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Gen != uint64(cycle) {
+			t.Fatalf("cycle %d published generation %d", cycle, m.Gen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for rd, err := range readerErr {
+		if err != nil {
+			t.Errorf("reader %d: %v", rd, err)
+		}
+	}
+
+	if v := reg.Counter("registry_swaps_total").Value(); v != goodCycles+1 {
+		t.Errorf("swaps %d, want %d", v, goodCycles+1)
+	}
+	// Three of every four cycles attempted a hostile publish first.
+	if v := reg.Counter("registry_reload_failures_total").Value(); v == 0 {
+		t.Error("no reload failures counted despite injected corruption")
+	}
+	if m, _ := r.Get("m"); m.Gen != goodCycles+1 {
+		t.Errorf("final generation %d, want %d", m.Gen, goodCycles+1)
+	}
+}
+
+// TestChaosSlowReloadDoesNotBlockReads freezes a reload mid-open with an
+// injector hook and proves readers keep serving the old generation at full
+// speed while the reload is stuck — staging I/O happens outside every lock
+// the read path takes.
+func TestChaosSlowReloadDoesNotBlockReads(t *testing.T) {
+	mem := fault.NewMemFS()
+	in := fault.NewInjector(mem)
+	r := newTestRegistry(t, in)
+	if err := netio.SaveFileFS(mem, "m.pss", testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m", "m.pss"); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	in.Hook(fault.OpOpen, func() {
+		once.Do(func() { close(entered) })
+		<-gate
+	})
+
+	reloaded := make(chan error, 1)
+	go func() {
+		// The new snapshot is written straight to MemFS, bypassing the
+		// injector, so only the registry's Reload hits the frozen Open.
+		if err := netio.SaveFileFS(mem, "staging.tmp", testSnapshot(2)); err != nil {
+			reloaded <- err
+			return
+		}
+		if err := mem.Rename("staging.tmp", "m.pss"); err != nil {
+			reloaded <- err
+			return
+		}
+		_, err := r.Reload("m")
+		reloaded <- err
+	}()
+	<-entered
+
+	// The reload is frozen inside Open. Reads must not block and must see
+	// generation 1 the whole time.
+	img := [][]uint8{{0, 0}}
+	for i := 0; i < 1000; i++ {
+		m, ok := r.Get("m")
+		if !ok || m.Gen != 1 {
+			t.Fatalf("read %d saw %+v, %v during frozen reload", i, m, ok)
+		}
+		preds, err := m.Engine.PredictBatch(img)
+		if err != nil || preds[0].Winner != 1 {
+			t.Fatalf("read %d got %+v, %v", i, preds, err)
+		}
+	}
+	close(gate)
+	if err := <-reloaded; err != nil {
+		t.Fatal(err)
+	}
+	in.Hook(fault.OpOpen, nil)
+	if m, _ := r.Get("m"); m.Gen != 2 {
+		t.Fatalf("generation %d after released reload, want 2", m.Gen)
+	}
+}
+
+// TestChaosConcurrentRescans fires many Rescans of the same directory at
+// once: every swap must stay atomic and the final state coherent, with
+// generations advanced by exactly the number of successful swaps.
+func TestChaosConcurrentRescans(t *testing.T) {
+	mem := fault.NewMemFS()
+	r := newTestRegistry(t, mem)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := netio.SaveFileFS(mem, "models/"+name+ModelExt, testSnapshot(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := r.Rescan("models"); rep.Failed() != 0 {
+		t.Fatalf("seed scan %+v", rep)
+	}
+
+	const scanners = 8
+	var wg sync.WaitGroup
+	for i := 0; i < scanners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				rep := r.Rescan("models")
+				if n := rep.Failed(); n != 0 {
+					t.Errorf("rescan failed %d", n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 1 seed + scanners*5 concurrent rescans each swapping 3 models.
+	wantGen := uint64(1 + scanners*5)
+	for _, name := range []string{"a", "b", "c"} {
+		m, ok := r.Get(name)
+		if !ok || m.Gen != wantGen {
+			t.Errorf("%s generation %d, want %d", name, m.Gen, wantGen)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package registry is the serving layer's model store: a set of named,
+// immutable inference engines behind RCU-style atomic generation pointers,
+// so a retrained snapshot can be hot-swapped under live traffic with zero
+// dropped or torn requests.
+//
+// The reload protocol has three phases, and only the last is visible:
+//
+//  1. Stage. The PSS2 file is read and checksummed (netio.Read), passed
+//     through the same semantic gate first-boot serving uses
+//     (netio.Snapshot.ValidateInference — complete label table, in-range
+//     assignments, finite on-grid conductances), and built into a fully
+//     constructed engine. Nothing the registry serves is touched yet; a
+//     corrupt, torn or half-retrained file dies here and the previous
+//     generation keeps serving untouched.
+//  2. Fence. Under the registry write lock the new generation number is
+//     minted — strictly one above the generation it replaces — and the
+//     shape of the new engine is checked against the live one, because a
+//     silently reshaped model would break clients that cached the input
+//     size.
+//  3. Swap. One atomic pointer store publishes the new *Model. Readers
+//     never block on any of this: Get is a read-lock map lookup plus an
+//     atomic load, and a request that resolved its Model before the swap
+//     finishes against the old engine, which stays valid (engines are
+//     immutable) until the last reference drops.
+//
+// A Model therefore behaves like an RCU read-side critical section with
+// the garbage collector playing the role of the grace period: resolve it
+// once per request and every byte you touch — engine, generation tag,
+// path — is from one consistent generation.
+//
+// The chaos suite (chaos_test.go) hammers this contract: hundreds of
+// reload cycles, some of them corrupt, concurrent with a Get+classify
+// flood under the race detector, asserting no request ever observes a
+// mixed-generation or invalid model.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"parallelspikesim/internal/fault"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/obs"
+)
+
+// Engine is the classification surface one registry generation serves.
+// *infer.Engine satisfies it; tests substitute controllable fakes.
+type Engine interface {
+	PredictBatch(imgs [][]uint8) ([]infer.Prediction, error)
+	NumInputs() int
+	NumClasses() int
+}
+
+// Builder turns a loaded, inference-validated snapshot into a servable
+// engine. It runs in the staging phase, before anything is published, so
+// it may be arbitrarily slow or fail without disturbing live traffic.
+type Builder func(s *netio.Snapshot) (Engine, error)
+
+// Model is one published generation of one named model. It is immutable:
+// a handler resolves it once and serves the whole request from it, which
+// is what makes a response's generation tag trustworthy.
+type Model struct {
+	Name   string
+	Gen    uint64 // 1 on first publish, +1 per successful swap
+	Path   string // snapshot file this generation was loaded from ("" if injected)
+	Engine Engine
+}
+
+// entry is the per-name RCU slot. Entries are created once and never
+// removed, so a reader holding the map read lock briefly and the atomic
+// pointer afterwards can never see a torn mapping.
+type entry struct {
+	cur atomic.Pointer[Model]
+}
+
+// Registry owns the named models. Safe for concurrent use: Get is
+// wait-free after a brief read lock; Load/Publish serialize on a write
+// lock held only for the generation fence and pointer store, never for
+// file I/O or engine construction.
+type Registry struct {
+	build   Builder
+	classes int
+	fs      fault.FS
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+
+	loadNs   *obs.Timer   // registry_load_ns: staging duration (read+validate+build)
+	swaps    *obs.Counter // registry_swaps_total: successful publishes
+	failures *obs.Counter // registry_reload_failures_total: rejected loads
+	models   *obs.Gauge   // registry_models: live named models
+}
+
+// Option customizes a Registry at construction time.
+type Option func(*Registry)
+
+// WithFS routes all snapshot I/O through fsys — the seam the fault
+// injection and chaos tests use. The default is the real filesystem.
+func WithFS(fsys fault.FS) Option {
+	return func(r *Registry) { r.fs = fsys }
+}
+
+// WithObserver attaches reload metrics (registry_load_ns,
+// registry_swaps_total, registry_reload_failures_total, registry_models)
+// to reg. A nil registry keeps the hot path metric-free.
+func WithObserver(reg *obs.Registry) Option {
+	return func(r *Registry) {
+		r.loadNs = reg.Timer("registry_load_ns")
+		r.swaps = reg.Counter("registry_swaps_total")
+		r.failures = reg.Counter("registry_reload_failures_total")
+		r.models = reg.Gauge("registry_models")
+	}
+}
+
+// New builds an empty registry that loads snapshots with build and
+// validates them for numClasses classes.
+func New(build Builder, numClasses int, opts ...Option) (*Registry, error) {
+	if build == nil {
+		return nil, fmt.Errorf("registry: nil builder")
+	}
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("registry: class arity %d", numClasses)
+	}
+	r := &Registry{
+		build:   build,
+		classes: numClasses,
+		fs:      fault.OS{},
+		entries: make(map[string]*entry),
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(r)
+		}
+	}
+	return r, nil
+}
+
+// Get resolves the current generation of the named model. The returned
+// Model is immutable; callers serve entire requests from it so responses
+// can never mix generations.
+func (r *Registry) Get(name string) (Model, bool) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return Model{}, false
+	}
+	m := e.cur.Load()
+	if m == nil {
+		return Model{}, false
+	}
+	return *m, true
+}
+
+// Names returns the sorted names of all published models.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name, e := range r.entries {
+		if e.cur.Load() != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Models returns the current generation of every published model, sorted
+// by name — the health endpoint's view.
+func (r *Registry) Models() []Model {
+	names := r.Names()
+	out := make([]Model, 0, len(names))
+	for _, name := range names {
+		if m, ok := r.Get(name); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Load stages the snapshot at path — read, checksum, inference-validate,
+// build — and atomically publishes it as the next generation of name. On
+// any error the previous generation (if any) keeps serving untouched.
+func (r *Registry) Load(name, path string) (Model, error) {
+	if name == "" {
+		return Model{}, fmt.Errorf("registry: empty model name")
+	}
+	t := r.loadNs.Start()
+	snap, err := netio.LoadFileFS(r.fs, path)
+	if err != nil {
+		r.failures.Inc()
+		return Model{}, fmt.Errorf("registry: loading %q from %s: %w", name, path, err)
+	}
+	if err := snap.ValidateInference(r.classes); err != nil {
+		r.failures.Inc()
+		return Model{}, fmt.Errorf("registry: validating %q from %s: %w", name, path, err)
+	}
+	eng, err := r.build(snap)
+	if err != nil {
+		r.failures.Inc()
+		return Model{}, fmt.Errorf("registry: building %q from %s: %w", name, path, err)
+	}
+	m, err := r.publish(name, path, eng)
+	if err != nil {
+		r.failures.Inc()
+		return Model{}, err
+	}
+	r.loadNs.Stop(t)
+	return m, nil
+}
+
+// Publish atomically installs a prebuilt engine as the next generation of
+// name, bypassing snapshot I/O and validation — the seam for engines
+// constructed in-process (tests, future train-while-serve promotion).
+// Production reloads go through Load, which validates before calling here.
+func (r *Registry) Publish(name, path string, eng Engine) (Model, error) {
+	if name == "" {
+		return Model{}, fmt.Errorf("registry: empty model name")
+	}
+	if eng == nil {
+		return Model{}, fmt.Errorf("registry: nil engine for %q", name)
+	}
+	return r.publish(name, path, eng)
+}
+
+// publish is the fence+swap: generation minting and the shape check under
+// the write lock, then one atomic pointer store.
+func (r *Registry) publish(name, path string, eng Engine) (Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[name]
+	if e == nil {
+		e = &entry{}
+		r.entries[name] = e
+	}
+	gen := uint64(1)
+	if old := e.cur.Load(); old != nil {
+		if old.Engine.NumInputs() != eng.NumInputs() || old.Engine.NumClasses() != eng.NumClasses() {
+			return Model{}, fmt.Errorf(
+				"registry: refusing reshape of %q: serving %d inputs × %d classes, reload has %d × %d — restart to change model shape",
+				name, old.Engine.NumInputs(), old.Engine.NumClasses(), eng.NumInputs(), eng.NumClasses())
+		}
+		gen = old.Gen + 1
+	}
+	m := &Model{Name: name, Gen: gen, Path: path, Engine: eng}
+	e.cur.Store(m)
+	r.swaps.Inc()
+	r.models.Set(float64(r.published()))
+	return *m, nil
+}
+
+// published counts entries with a live generation; callers hold r.mu.
+func (r *Registry) published() int {
+	n := 0
+	for _, e := range r.entries {
+		if e.cur.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the outcome of one model's reload in a Report.
+type Result struct {
+	Name string
+	Gen  uint64 // generation now serving (old one if Err != nil)
+	Err  error
+}
+
+// Report is the outcome of a Rescan, one Result per model, sorted by name.
+type Report []Result
+
+// Failed counts the results that carry an error.
+func (rep Report) Failed() int {
+	n := 0
+	for _, res := range rep {
+		if res.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Reload re-stages the named model from the path its current generation
+// was loaded from. A model published without a path cannot be reloaded.
+func (r *Registry) Reload(name string) (Model, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return Model{}, fmt.Errorf("registry: unknown model %q", name)
+	}
+	if m.Path == "" {
+		return Model{}, fmt.Errorf("registry: model %q has no backing file", name)
+	}
+	return r.Load(name, m.Path)
+}
+
+// ModelExt is the snapshot filename extension a directory scan picks up;
+// the model name is the filename with the extension stripped.
+const ModelExt = ".pss"
+
+// Rescan refreshes the registry: when dir is non-empty it loads every
+// *.pss file in dir (new files become new models, known ones a new
+// generation); it then reloads any remaining models from their recorded
+// paths. Each model's outcome is reported independently — one corrupt
+// file never blocks the others, and a failed model keeps its previous
+// generation serving. Concurrent Rescans are safe; each individual swap
+// is atomic.
+func (r *Registry) Rescan(dir string) Report {
+	var rep Report
+	scanned := make(map[string]bool)
+	if dir != "" {
+		rep = append(rep, r.scanDir(dir, scanned)...)
+	}
+	for _, name := range r.Names() {
+		if scanned[name] {
+			continue
+		}
+		m, err := r.Reload(name)
+		if err != nil {
+			if cur, ok := r.Get(name); ok {
+				m = cur
+			}
+			rep = append(rep, Result{Name: name, Gen: m.Gen, Err: err})
+			continue
+		}
+		rep = append(rep, Result{Name: name, Gen: m.Gen})
+	}
+	sort.Slice(rep, func(i, j int) bool { return rep[i].Name < rep[j].Name })
+	return rep
+}
+
+// scanDir loads every snapshot file in dir, recording the names it
+// covered in scanned.
+func (r *Registry) scanDir(dir string, scanned map[string]bool) Report {
+	dfs, ok := r.fs.(fault.DirFS)
+	if !ok {
+		return Report{{Name: dir, Err: fmt.Errorf("registry: filesystem %T cannot list directories", r.fs)}}
+	}
+	files, err := dfs.ReadDir(dir)
+	if err != nil {
+		r.failures.Inc()
+		return Report{{Name: dir, Err: fmt.Errorf("registry: scanning %s: %w", dir, err)}}
+	}
+	var rep Report
+	for _, file := range files {
+		if !strings.HasSuffix(file, ModelExt) {
+			continue
+		}
+		name := strings.TrimSuffix(file, ModelExt)
+		if name == "" {
+			continue
+		}
+		scanned[name] = true
+		m, err := r.Load(name, dir+"/"+file)
+		if err != nil {
+			if cur, ok := r.Get(name); ok {
+				m = cur
+			}
+			rep = append(rep, Result{Name: name, Gen: m.Gen, Err: err})
+			continue
+		}
+		rep = append(rep, Result{Name: name, Gen: m.Gen})
+	}
+	return rep
+}

@@ -1,0 +1,413 @@
+package registry
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"parallelspikesim/internal/fault"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/obs"
+)
+
+const (
+	testInputs  = 2
+	testNeurons = 3
+	testClasses = 4
+)
+
+// testSnapshot builds a minimal servable snapshot whose Theta[0] carries a
+// version number the stub builder echoes back, so a served response can be
+// traced to the exact snapshot generation it came from.
+func testSnapshot(version int) *netio.Snapshot {
+	return &netio.Snapshot{
+		NumInputs:   testInputs,
+		NumNeurons:  testNeurons,
+		Format:      fixed.Float32,
+		G:           []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Theta:       []float64{float64(version), 0, 0},
+		Assignments: []int{0, 1, 2},
+	}
+}
+
+// stubEngine is a deterministic fake whose predictions carry its version:
+// Winner is the version verbatim, Class the version folded into the class
+// range.
+type stubEngine struct {
+	version int
+	inputs  int
+	classes int
+}
+
+func (e *stubEngine) NumInputs() int  { return e.inputs }
+func (e *stubEngine) NumClasses() int { return e.classes }
+
+func (e *stubEngine) PredictBatch(imgs [][]uint8) ([]infer.Prediction, error) {
+	out := make([]infer.Prediction, len(imgs))
+	for i := range out {
+		out[i] = infer.Prediction{
+			Class:  e.version % e.classes,
+			Winner: e.version,
+			Spikes: 1,
+			Votes:  make([]int, e.classes),
+		}
+	}
+	return out, nil
+}
+
+// stubBuilder reads the version back out of Theta[0].
+func stubBuilder(s *netio.Snapshot) (Engine, error) {
+	return &stubEngine{version: int(s.Theta[0]), inputs: s.NumInputs, classes: testClasses}, nil
+}
+
+func saveSnapshot(t *testing.T, fs fault.FS, path string, version int) {
+	t.Helper()
+	if err := netio.SaveFileFS(fs, path, testSnapshot(version)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestRegistry(t *testing.T, fs fault.FS, opts ...Option) *Registry {
+	t.Helper()
+	r, err := New(stubBuilder, testClasses, append([]Option{WithFS(fs)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(nil, testClasses); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := New(stubBuilder, 0); err == nil {
+		t.Error("zero classes accepted")
+	}
+}
+
+func TestLoadPublishesGenerationOne(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "m.pss", 7)
+	r := newTestRegistry(t, fs)
+
+	if _, ok := r.Get("m"); ok {
+		t.Fatal("empty registry resolved a model")
+	}
+	m, err := r.Load("m", "m.pss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 1 || m.Name != "m" || m.Path != "m.pss" {
+		t.Fatalf("model %+v", m)
+	}
+	got, ok := r.Get("m")
+	if !ok || got.Gen != 1 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	preds, err := got.Engine.PredictBatch([][]uint8{{0, 0}})
+	if err != nil || preds[0].Winner != 7 {
+		t.Fatalf("preds %+v, %v", preds, err)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "m" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestReloadBumpsGeneration(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "m.pss", 1)
+	reg := obs.NewRegistry()
+	r := newTestRegistry(t, fs, WithObserver(reg))
+
+	if _, err := r.Load("m", "m.pss"); err != nil {
+		t.Fatal(err)
+	}
+	saveSnapshot(t, fs, "m.pss", 2)
+	m, err := r.Reload("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 2 {
+		t.Fatalf("gen %d after reload, want 2", m.Gen)
+	}
+	preds, _ := m.Engine.PredictBatch([][]uint8{{0, 0}})
+	if preds[0].Winner != 2 {
+		t.Fatalf("reloaded engine serves version %d, want 2", preds[0].Winner)
+	}
+	if v := reg.Counter("registry_swaps_total").Value(); v != 2 {
+		t.Fatalf("swaps counter %d, want 2", v)
+	}
+	if v := reg.Counter("registry_reload_failures_total").Value(); v != 0 {
+		t.Fatalf("failure counter %d, want 0", v)
+	}
+	if v := reg.Gauge("registry_models").Value(); v != 1 {
+		t.Fatalf("models gauge %v, want 1", v)
+	}
+	if _, err := r.Reload("ghost"); err == nil {
+		t.Error("reload of unknown model succeeded")
+	}
+}
+
+func TestFailedReloadKeepsOldGeneration(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "m.pss", 1)
+	reg := obs.NewRegistry()
+	r := newTestRegistry(t, fs, WithObserver(reg))
+	if _, err := r.Load("m", "m.pss"); err != nil {
+		t.Fatal(err)
+	}
+
+	assertStillV1 := func(stage string) {
+		t.Helper()
+		m, ok := r.Get("m")
+		if !ok || m.Gen != 1 {
+			t.Fatalf("%s: model %+v, %v — old generation lost", stage, m, ok)
+		}
+		preds, err := m.Engine.PredictBatch([][]uint8{{0, 0}})
+		if err != nil || preds[0].Winner != 1 {
+			t.Fatalf("%s: serving version %d (%v), want 1", stage, preds[0].Winner, err)
+		}
+	}
+
+	// Torn publish: the new snapshot is cut mid-payload; the CRC check
+	// rejects it in staging.
+	saveSnapshot(t, fs, "m.pss", 2)
+	if !fs.Truncate("m.pss", 20) {
+		t.Fatal("truncate failed")
+	}
+	if _, err := r.Reload("m"); err == nil {
+		t.Fatal("torn snapshot reloaded")
+	}
+	assertStillV1("torn")
+
+	// Corrupt publish: full length, one flipped bit.
+	saveSnapshot(t, fs, "m.pss", 3)
+	if !fs.Corrupt("m.pss", 30) {
+		t.Fatal("corrupt failed")
+	}
+	if _, err := r.Reload("m"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot reload err = %v, want checksum mismatch", err)
+	}
+	assertStillV1("corrupt")
+
+	// Unservable publish: structurally valid file with an incomplete label
+	// table; ValidateInference rejects it in staging.
+	bad := testSnapshot(4)
+	bad.Assignments = nil
+	if err := netio.SaveFileFS(fs, "m.pss", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload("m"); err == nil {
+		t.Fatal("unlabeled snapshot reloaded")
+	}
+	assertStillV1("unlabeled")
+
+	// Transient I/O error on open.
+	in := fault.NewInjector(fs)
+	r2 := newTestRegistry(t, in)
+	saveSnapshot(t, fs, "ok.pss", 1)
+	if _, err := r2.Load("m", "ok.pss"); err != nil {
+		t.Fatal(err)
+	}
+	in.FailOnce(fault.OpOpen, errors.New("disk on fire"))
+	if _, err := r2.Reload("m"); err == nil {
+		t.Fatal("reload through failing open succeeded")
+	}
+	if m, ok := r2.Get("m"); !ok || m.Gen != 1 {
+		t.Fatalf("model after I/O failure %+v, %v", m, ok)
+	}
+
+	if v := reg.Counter("registry_reload_failures_total").Value(); v != 3 {
+		t.Fatalf("failure counter %d, want 3", v)
+	}
+	if v := reg.Counter("registry_swaps_total").Value(); v != 1 {
+		t.Fatalf("swaps counter %d, want 1", v)
+	}
+	// A later good publish resumes the generation sequence.
+	saveSnapshot(t, fs, "m.pss", 5)
+	m, err := r.Reload("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 2 {
+		t.Fatalf("recovery generation %d, want 2", m.Gen)
+	}
+}
+
+func TestBuilderFailureKeepsOldGeneration(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "m.pss", 1)
+	fail := false
+	build := func(s *netio.Snapshot) (Engine, error) {
+		if fail {
+			return nil, errors.New("builder exploded")
+		}
+		return stubBuilder(s)
+	}
+	r, err := New(build, testClasses, WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m", "m.pss"); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	saveSnapshot(t, fs, "m.pss", 2)
+	if _, err := r.Reload("m"); err == nil {
+		t.Fatal("reload with failing builder succeeded")
+	}
+	if m, _ := r.Get("m"); m.Gen != 1 {
+		t.Fatalf("gen %d after builder failure, want 1", m.Gen)
+	}
+}
+
+func TestPublishRefusesReshape(t *testing.T) {
+	fs := fault.NewMemFS()
+	r := newTestRegistry(t, fs)
+	if _, err := r.Publish("m", "", &stubEngine{version: 1, inputs: 4, classes: testClasses}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Publish("m", "", &stubEngine{version: 2, inputs: 8, classes: testClasses})
+	if err == nil || !strings.Contains(err.Error(), "reshape") {
+		t.Fatalf("reshape err = %v", err)
+	}
+	if m, _ := r.Get("m"); m.Gen != 1 || m.Engine.NumInputs() != 4 {
+		t.Fatalf("model after refused reshape %+v", m)
+	}
+	// Same shape is a legal swap.
+	if m, err := r.Publish("m", "", &stubEngine{version: 2, inputs: 4, classes: testClasses}); err != nil || m.Gen != 2 {
+		t.Fatalf("same-shape publish %+v, %v", m, err)
+	}
+	if _, err := r.Publish("", "", &stubEngine{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.Publish("x", "", nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := r.Load("", "m.pss"); err == nil {
+		t.Error("empty name load accepted")
+	}
+}
+
+func TestRescanDirectory(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "models/alpha.pss", 1)
+	saveSnapshot(t, fs, "models/beta.pss", 2)
+	// Non-snapshot and nested files are ignored.
+	f, _ := fs.Create("models/notes.txt")
+	f.Close()
+	saveSnapshot(t, fs, "models/deep/gamma.pss", 9)
+	r := newTestRegistry(t, fs)
+
+	rep := r.Rescan("models")
+	if len(rep) != 2 || rep.Failed() != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep[0].Name != "alpha" || rep[1].Name != "beta" {
+		t.Fatalf("report names %+v", rep)
+	}
+	if names := r.Names(); len(names) != 2 {
+		t.Fatalf("names %v", names)
+	}
+
+	// Second scan: alpha retrained, beta corrupt, delta appears.
+	saveSnapshot(t, fs, "models/alpha.pss", 3)
+	fs.Corrupt("models/beta.pss", 25)
+	saveSnapshot(t, fs, "models/delta.pss", 4)
+	rep = r.Rescan("models")
+	if len(rep) != 3 || rep.Failed() != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	byName := map[string]Result{}
+	for _, res := range rep {
+		byName[res.Name] = res
+	}
+	if res := byName["alpha"]; res.Err != nil || res.Gen != 2 {
+		t.Fatalf("alpha %+v", res)
+	}
+	if res := byName["beta"]; res.Err == nil || res.Gen != 1 {
+		t.Fatalf("beta %+v — corrupt reload must report the still-serving generation", res)
+	}
+	if res := byName["delta"]; res.Err != nil || res.Gen != 1 {
+		t.Fatalf("delta %+v", res)
+	}
+	// beta's old generation is still serving.
+	if m, ok := r.Get("beta"); !ok || m.Gen != 1 {
+		t.Fatalf("beta after corrupt rescan %+v, %v", m, ok)
+	}
+
+	// Models() mirrors the per-name state.
+	ms := r.Models()
+	if len(ms) != 3 {
+		t.Fatalf("models %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Gen == 0 || m.Engine == nil {
+			t.Fatalf("model %+v", m)
+		}
+	}
+}
+
+func TestRescanWithoutDirReloadsKnownModels(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "one.pss", 1)
+	saveSnapshot(t, fs, "two.pss", 1)
+	r := newTestRegistry(t, fs)
+	for _, name := range []string{"one", "two"} {
+		if _, err := r.Load(name, name+".pss"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saveSnapshot(t, fs, "one.pss", 2)
+	rep := r.Rescan("")
+	if len(rep) != 2 || rep.Failed() != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if m, _ := r.Get("one"); m.Gen != 2 {
+		t.Fatalf("one gen %d, want 2", m.Gen)
+	}
+	if m, _ := r.Get("two"); m.Gen != 2 {
+		t.Fatalf("two gen %d, want 2", m.Gen)
+	}
+}
+
+func TestRescanReadDirFailure(t *testing.T) {
+	fs := fault.NewMemFS()
+	saveSnapshot(t, fs, "models/a.pss", 1)
+	in := fault.NewInjector(fs)
+	r := newTestRegistry(t, in)
+	in.FailOnce(fault.OpReadDir, errors.New("dir gone"))
+	rep := r.Rescan("models")
+	if rep.Failed() != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	// Next scan recovers.
+	if rep := r.Rescan("models"); rep.Failed() != 0 || len(rep) != 1 {
+		t.Fatalf("recovery report %+v", rep)
+	}
+}
+
+func TestRescanPlainFSCannotScan(t *testing.T) {
+	// An FS without ReadDir can still Load/Reload, but a directory scan is
+	// reported as a failure, not a panic.
+	r, err := New(stubBuilder, testClasses, WithFS(plainFS{fault.NewMemFS()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Rescan("models")
+	if rep.Failed() != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// plainFS exposes only the four fault.FS methods of a MemFS, so it is not
+// a fault.DirFS.
+type plainFS struct{ mem *fault.MemFS }
+
+func (p plainFS) Create(name string) (fault.File, error)  { return p.mem.Create(name) }
+func (p plainFS) Open(name string) (io.ReadCloser, error) { return p.mem.Open(name) }
+func (p plainFS) Rename(oldpath, newpath string) error    { return p.mem.Rename(oldpath, newpath) }
+func (p plainFS) Remove(name string) error                { return p.mem.Remove(name) }

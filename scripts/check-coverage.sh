@@ -18,7 +18,8 @@ internal/encode 78
 internal/learn 88
 internal/netio 92
 internal/infer 85
-cmd/psserve 58
+internal/registry 89
+cmd/psserve 60
 '
 
 status=0

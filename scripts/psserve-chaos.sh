@@ -1,0 +1,191 @@
+#!/bin/sh
+# psserve-chaos.sh is the serving chaos wall from the outside: a psserve
+# binary built with -race serves a models directory while this script
+# floods /classify from several workers and concurrently drives hot-reload
+# cycles — retrained snapshots (must swap in as the next generation),
+# truncated snapshots and bit-flipped snapshots (must be rejected with the
+# old generation still serving), plus SIGHUP-triggered rescans. Every flood
+# response must be HTTP 200 with a generation tag inside the published
+# range; any dropped request, torn read or race-detector report fails the
+# run. In-process chaos tests cover the same invariants faster, but only a
+# real binary on a real socket exercises the signal handler, the listener
+# timeouts and the full HTTP stack at once.
+#
+# Usage: scripts/psserve-chaos.sh [port] [cycles]
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18081}"
+CYCLES="${2:-30}"
+WORK="$(mktemp -d)"
+MODELS="$WORK/models"
+SERVER_PID=""
+FLOOD_PIDS=""
+
+cleanup() {
+	for p in $FLOOD_PIDS; do
+		kill "$p" 2>/dev/null || true
+	done
+	if [ -n "$SERVER_PID" ]; then
+		kill "$SERVER_PID" 2>/dev/null || true
+		wait "$SERVER_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "psserve-chaos: building binaries (-race)"
+go build -o "$WORK/pssim" ./cmd/pssim
+go build -race -o "$WORK/psserve" ./cmd/psserve
+
+PRESET=8bit
+RULE=stochastic
+TLEARN=80
+
+# Two distinguishable trained snapshots: reloads alternate between them so
+# every swap is a real weight change, not a no-op.
+echo "psserve-chaos: training two test-scale snapshots"
+"$WORK/pssim" -preset "$PRESET" -rule "$RULE" -seed 7 -tlearn "$TLEARN" \
+	-train 60 -label 30 -infer 30 -neurons 20 -save "$WORK/v1.pss" >/dev/null
+"$WORK/pssim" -preset "$PRESET" -rule "$RULE" -seed 11 -tlearn "$TLEARN" \
+	-train 60 -label 30 -infer 30 -neurons 20 -save "$WORK/v2.pss" >/dev/null
+
+mkdir -p "$MODELS"
+cp "$WORK/v1.pss" "$MODELS/digits.pss"
+
+echo "psserve-chaos: starting server on :$PORT"
+"$WORK/psserve" -models "$MODELS" -model digits -preset "$PRESET" -rule "$RULE" \
+	-seed 7 -tlearn "$TLEARN" -classes 10 -max-inflight 8 \
+	-addr "127.0.0.1:$PORT" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+BASE="http://127.0.0.1:$PORT"
+for _ in $(seq 1 50); do
+	if curl -sf "$BASE/healthz" >"$WORK/health.json" 2>/dev/null; then
+		break
+	fi
+	kill -0 "$SERVER_PID" 2>/dev/null || { echo "psserve-chaos: FAIL: server exited early"; cat "$WORK/server.log"; exit 1; }
+	sleep 0.2
+done
+grep -q '"model":"digits"' "$WORK/health.json" || { echo "psserve-chaos: FAIL: bad health: $(cat "$WORK/health.json")"; exit 1; }
+
+gen() {
+	curl -sf "$BASE/healthz" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p'
+}
+
+[ "$(gen)" = "1" ] || { echo "psserve-chaos: FAIL: initial generation $(gen), want 1"; exit 1; }
+
+# The flood: workers hammer /models/digits/classify for the whole run. A
+# non-200 or a generation tag above the published bound (written to
+# $WORK/published by the reload loop below) is recorded and fails the run.
+ZEROS=$(awk 'BEGIN{for(i=0;i<784;i++)printf i?",0":"0"}')
+printf '{"images":[[%s]]}' "$ZEROS" >"$WORK/req.json"
+echo 1 >"$WORK/published"
+: >"$WORK/flood.err"
+
+flood() {
+	while [ ! -f "$WORK/stop" ]; do
+		body=$(curl -s -X POST --data-binary @"$WORK/req.json" "$BASE/models/digits/classify") || {
+			echo "flood $1: request failed" >>"$WORK/flood.err"
+			return
+		}
+		case "$body" in
+		*'"model":"digits"'*) ;;
+		*)
+			echo "flood $1: bad response: $body" >>"$WORK/flood.err"
+			return
+			;;
+		esac
+		g=$(echo "$body" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
+		bound=$(cat "$WORK/published")
+		if [ -z "$g" ] || [ "$g" -gt "$bound" ]; then
+			echo "flood $1: generation $g above published bound $bound: $body" >>"$WORK/flood.err"
+			return
+		fi
+	done
+}
+for i in 1 2 3 4; do
+	flood "$i" &
+	FLOOD_PIDS="$FLOOD_PIDS $!"
+done
+
+echo "psserve-chaos: $CYCLES reload cycles under flood"
+EXPECT=1
+cycle=0
+while [ "$cycle" -lt "$CYCLES" ]; do
+	cycle=$((cycle + 1))
+	case $((cycle % 4)) in
+	2)
+		# Torn publish: truncated file must be rejected, generation frozen.
+		head -c 100 "$WORK/v2.pss" >"$MODELS/digits.pss"
+		CODE=$(curl -s -o "$WORK/reload.json" -w '%{http_code}' -X POST "$BASE/reload")
+		[ "$CODE" = "500" ] || { echo "psserve-chaos: FAIL: torn reload gave $CODE"; exit 1; }
+		;;
+	3)
+		# Bit rot mid-payload: same contract as a torn file.
+		cp "$WORK/v2.pss" "$MODELS/digits.pss"
+		printf '\377' | dd of="$MODELS/digits.pss" bs=1 seek=60 conv=notrunc 2>/dev/null
+		CODE=$(curl -s -o "$WORK/reload.json" -w '%{http_code}' -X POST "$BASE/reload")
+		[ "$CODE" = "500" ] || { echo "psserve-chaos: FAIL: corrupt reload gave $CODE"; exit 1; }
+		;;
+	esac
+	G=$(gen)
+	[ "$G" = "$EXPECT" ] || { echo "psserve-chaos: FAIL: generation $G after hostile publish, want $EXPECT"; exit 1; }
+
+	# Good publish: alternate snapshots, announce the bound, then reload —
+	# half via the admin endpoint, half via SIGHUP.
+	if [ $((cycle % 2)) = 0 ]; then SRC="$WORK/v2.pss"; else SRC="$WORK/v1.pss"; fi
+	cp "$SRC" "$MODELS/digits.pss"
+	EXPECT=$((EXPECT + 1))
+	echo "$EXPECT" >"$WORK/published"
+	if [ $((cycle % 3)) = 0 ]; then
+		kill -HUP "$SERVER_PID"
+		for _ in $(seq 1 50); do
+			[ "$(gen)" = "$EXPECT" ] && break
+			sleep 0.1
+		done
+	else
+		CODE=$(curl -s -o "$WORK/reload.json" -w '%{http_code}' -X POST "$BASE/reload")
+		[ "$CODE" = "200" ] || { echo "psserve-chaos: FAIL: reload cycle $cycle gave $CODE: $(cat "$WORK/reload.json")"; exit 1; }
+	fi
+	G=$(gen)
+	[ "$G" = "$EXPECT" ] || { echo "psserve-chaos: FAIL: generation $G after reload cycle $cycle, want $EXPECT"; exit 1; }
+
+	if [ -s "$WORK/flood.err" ]; then
+		echo "psserve-chaos: FAIL: flood errors at cycle $cycle:"
+		cat "$WORK/flood.err"
+		exit 1
+	fi
+done
+
+touch "$WORK/stop"
+for p in $FLOOD_PIDS; do
+	wait "$p" 2>/dev/null || true
+done
+FLOOD_PIDS=""
+if [ -s "$WORK/flood.err" ]; then
+	echo "psserve-chaos: FAIL: flood errors:"
+	cat "$WORK/flood.err"
+	exit 1
+fi
+
+# Degradation and reload metrics must show the run actually happened.
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
+SWAPS=$(sed -n 's/^registry_swaps_total \([0-9]*\)$/\1/p' "$WORK/metrics.txt")
+[ -n "$SWAPS" ] && [ "$SWAPS" -ge "$CYCLES" ] || { echo "psserve-chaos: FAIL: registry_swaps_total=$SWAPS, want >= $CYCLES"; exit 1; }
+FAILS=$(sed -n 's/^registry_reload_failures_total \([0-9]*\)$/\1/p' "$WORK/metrics.txt")
+[ -n "$FAILS" ] && [ "$FAILS" -ge 1 ] || { echo "psserve-chaos: FAIL: no reload failures counted despite corrupt publishes"; exit 1; }
+
+# Graceful drain: SIGTERM must exit cleanly, and the race detector must
+# have stayed silent for the whole run.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || { echo "psserve-chaos: FAIL: server exited non-zero"; cat "$WORK/server.log"; exit 1; }
+SERVER_PID=""
+if grep -q 'DATA RACE' "$WORK/server.log"; then
+	echo "psserve-chaos: FAIL: race detector fired:"
+	cat "$WORK/server.log"
+	exit 1
+fi
+grep -q 'drained, bye' "$WORK/server.log" || { echo "psserve-chaos: FAIL: no graceful drain in log"; cat "$WORK/server.log"; exit 1; }
+
+echo "psserve-chaos: PASS ($CYCLES reload cycles, final generation $(tail -1 "$WORK/published"))"
