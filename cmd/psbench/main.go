@@ -35,6 +35,7 @@ import (
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/experiments"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/synapse"
@@ -61,6 +62,24 @@ type plasticityBench struct {
 	Speedup       float64 `json:"speedup"` // dense_ns / lazy_ns
 }
 
+// swarBench is the scalar-vs-SWAR kernel comparison: the same
+// integrate+potentiate+depress sweep over one synapse matrix, once through
+// the per-synapse fixed.Format helpers and once through the word-parallel
+// fixed.Packing kernels the sealed synapse.Matrix uses (DESIGN.md §14).
+// Both sides must finish in the same weight state; the speedup is pure
+// lane parallelism.
+type swarBench struct {
+	Format        string  `json:"format"`
+	Lanes         int     `json:"lanes"`
+	Synapses      int     `json:"synapses"`
+	Reps          int     `json:"reps"`
+	ScalarNs      int64   `json:"scalar_ns"`
+	SwarNs        int64   `json:"swar_ns"`
+	ScalarMSynSec float64 `json:"scalar_msyn_per_sec"`
+	SwarMSynSec   float64 `json:"swar_msyn_per_sec"`
+	Speedup       float64 `json:"speedup"` // scalar_ns / swar_ns
+}
+
 // benchDoc is the machine-readable benchmark summary.
 type benchDoc struct {
 	Schema         string           `json:"schema"`
@@ -74,6 +93,7 @@ type benchDoc struct {
 	BucketBoundsNs []int64          `json:"bucket_bounds_ns"`
 	ProbeMetrics   obs.Snapshot     `json:"probe_metrics"`
 	PlasticityCmp  *plasticityBench `json:"plasticity_probe,omitempty"`
+	SwarCmp        *swarBench       `json:"swar_probe,omitempty"`
 }
 
 func main() {
@@ -90,10 +110,16 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		plasticity = flag.String("plasticity", "dense", "STDP scheduling for the training probe: dense | lazy; lazy also runs the dense-vs-lazy throughput comparison at 784×1000")
 		batch      = flag.Int("batch", 0, "prefetch this many spike-train plans concurrently in the training probe (0/1 = off)")
+		format     = flag.String("format", "q1.7", "Qm.n format for the scalar-vs-SWAR kernel probe: q0.2 | q0.4 | q1.7 | q1.15 | float32 (float32 skips the probe)")
 	)
 	flag.Parse()
 
 	plastMode, err := network.ParsePlasticityMode(*plasticity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	probeFormat, err := fixed.ParseFormat(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psbench:", err)
 		os.Exit(1)
@@ -513,6 +539,20 @@ func main() {
 			cmp.Inputs, cmp.Neurons, cmp.DensePresSec, cmp.LazyPresSec, cmp.Speedup)
 	}
 
+	var swarCmp *swarBench
+	if probeFormat.Packable() {
+		sw, err := swarProbe(probeFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench: swar probe:", err)
+			os.Exit(1)
+		}
+		swarCmp = &sw
+		fmt.Printf("swar %s (%d lanes/word): scalar %.1f Msyn/s, packed %.1f Msyn/s — %.2fx\n",
+			sw.Format, sw.Lanes, sw.ScalarMSynSec, sw.SwarMSynSec, sw.Speedup)
+	} else {
+		fmt.Printf("swar probe skipped: %s has no packed representation\n", probeFormat)
+	}
+
 	snap := reg.Snapshot()
 	if *benchDir != "" {
 		if err := os.MkdirAll(*benchDir, 0o755); err != nil {
@@ -532,6 +572,7 @@ func main() {
 			BucketBoundsNs: obs.BucketBoundsNs,
 			ProbeMetrics:   snap,
 			PlasticityCmp:  plastCmp,
+			SwarCmp:        swarCmp,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "psbench:", err)
 			os.Exit(1)
@@ -641,6 +682,132 @@ func plasticityThroughput(workers int) (plasticityBench, error) {
 		DensePresSec:  persec(denseWall),
 		LazyPresSec:   persec(lazyWall),
 		Speedup:       float64(denseWall) / float64(lazyWall),
+	}, nil
+}
+
+// swarProbe times the same integrate+plasticity sweep twice over a
+// 784×1024 synapse matrix: a scalar pass through the per-synapse
+// fixed.Format helpers (one AddSat/SubSat call and one float accumulate per
+// synapse — the code path before the packed store), and a SWAR pass through
+// the fixed.Packing word kernels (one AccumulateRange/AddSatMasked/
+// SubSatMasked call per row). Each rep is one full-matrix presentation:
+// integrate every row into the current vector, potentiate every synapse one
+// step, depress it back one step. The select mask is built once, mirroring
+// how the lazy queue amortises mask construction across a row's events.
+// Both passes must end in the bit-identical weight state — the kernels'
+// contract — so a divergence fails the probe rather than reporting a bogus
+// speedup. Best of three interleaved trials per side, as in
+// plasticityThroughput.
+func swarProbe(f fixed.Format) (swarBench, error) {
+	const (
+		nPre  = 784
+		nPost = 1024 // multiple of every lane count, so rows stay word-aligned
+		reps  = 4
+		amp   = 0.6
+	)
+	pk, err := f.Packing()
+	if err != nil {
+		return swarBench{}, err
+	}
+	nSyn := nPre * nPost
+	maxCode := f.ToCode(f.Max())
+	codes := make([]uint32, nSyn)
+	for i := range codes {
+		codes[i] = uint32(i) % (maxCode + 1) // sweep the whole code range incl. both saturation rails
+	}
+	wpr := pk.WordsFor(nPost)
+
+	scalarPass := func() (time.Duration, []float64) {
+		g := make([]fixed.Weight, nSyn)
+		for i, c := range codes {
+			g[i] = fixed.Weight(f.FromCode(c))
+		}
+		cur := make([]float64, nPost)
+		step, ceil := f.Step(), f.Max()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for pre := 0; pre < nPre; pre++ {
+				row := g[pre*nPost : (pre+1)*nPost]
+				for i, w := range row {
+					cur[i] += float64(w) * amp
+				}
+				for i := range row {
+					row[i] = f.AddSat(row[i], step, ceil, fixed.Nearest, 0)
+				}
+				for i := range row {
+					row[i] = f.SubSat(row[i], step, 0, fixed.Nearest, 0)
+				}
+			}
+		}
+		wall := time.Since(start)
+		out := make([]float64, nSyn)
+		for i, w := range g {
+			out[i] = float64(w)
+		}
+		return wall, out
+	}
+
+	swarPass := func() (time.Duration, []float64) {
+		words := pk.Pack(codes)
+		cur := make([]float64, nPost)
+		sel := pk.NewSelect(nPost)
+		for i := 0; i < nPost; i++ {
+			pk.SetLane(sel, i)
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for pre := 0; pre < nPre; pre++ {
+				row := words[pre*wpr : (pre+1)*wpr]
+				pk.AccumulateRange(row, amp, cur, 0, nPost)
+				pk.AddSatMasked(row, sel, maxCode)
+				pk.SubSatMasked(row, sel, 0)
+			}
+		}
+		wall := time.Since(start)
+		out := make([]float64, 0, nSyn)
+		for _, c := range pk.Unpack(words, nSyn, nil) {
+			out = append(out, f.FromCode(c))
+		}
+		return wall, out
+	}
+
+	const trials = 3
+	var scalarWall, swarWall time.Duration
+	var scalarG, swarG []float64
+	for trial := 0; trial < trials; trial++ {
+		sd, sg := scalarPass()
+		wd, wg := swarPass()
+		if trial == 0 {
+			scalarG, swarG = sg, wg
+			scalarWall, swarWall = sd, wd
+			continue
+		}
+		if sd < scalarWall {
+			scalarWall = sd
+		}
+		if wd < swarWall {
+			swarWall = wd
+		}
+	}
+	for i := range scalarG {
+		if scalarG[i] != swarG[i] {
+			return swarBench{}, fmt.Errorf("scalar and packed kernels diverged at synapse %d: %v vs %v",
+				i, scalarG[i], swarG[i])
+		}
+	}
+	msyn := func(d time.Duration) float64 {
+		return float64(nSyn) * reps / d.Seconds() / 1e6
+	}
+	return swarBench{
+		Format:        f.String(),
+		Lanes:         pk.Lanes(),
+		Synapses:      nSyn,
+		Reps:          reps,
+		ScalarNs:      scalarWall.Nanoseconds(),
+		SwarNs:        swarWall.Nanoseconds(),
+		ScalarMSynSec: msyn(scalarWall),
+		SwarMSynSec:   msyn(swarWall),
+		Speedup:       float64(scalarWall) / float64(swarWall),
 	}, nil
 }
 

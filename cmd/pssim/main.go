@@ -62,6 +62,7 @@ func main() {
 		mnistDir = flag.String("mnist", "", "directory with real MNIST IDX files (overrides -data)")
 		rule     = flag.String("rule", "stochastic", "learning rule: deterministic | stochastic")
 		preset   = flag.String("preset", "float32", "Table I preset: 2bit|4bit|8bit|16bit|float32|highfreq")
+		format   = flag.String("format", "", "precision override: q0.2 | q0.4 | q1.7 | q1.15 | float32 (\"\" = preset's format)")
 		rounding = flag.String("rounding", "", "rounding override: truncation | nearest | stochastic")
 		neurons  = flag.Int("neurons", 100, "first-layer neurons")
 		nTrain   = flag.Int("train", 2000, "training images")
@@ -95,7 +96,7 @@ func main() {
 		*tlearn, *workers, *seed = f.TLearnMS, f.Workers, f.Seed
 	}
 
-	if err := run(*data, *mnistDir, *rule, *preset, *rounding, *neurons,
+	if err := run(*data, *mnistDir, *rule, *preset, *format, *rounding, *neurons,
 		*nTrain, *nLabel, *nInfer, *tlearn, *workers, *seed, *showMaps, *progress,
 		*savePath, *loadPath, checkpointOpts{Path: *ckptPath, Every: *ckptEach, Resume: *resume},
 		obsOpts{Metrics: *metrics, Every: *metEvery, Pprof: *pprof}); err != nil {
@@ -153,7 +154,7 @@ func (o obsOpts) dump(reg *obs.Registry) error {
 	return err
 }
 
-func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel, nInfer int,
+func run(data, mnistDir, rule, preset, format, rounding string, neurons, nTrain, nLabel, nInfer int,
 	tlearn float64, workers int, seed uint64, showMaps int, progress bool,
 	savePath, loadPath string, ckpt checkpointOpts, ob obsOpts) error {
 
@@ -188,6 +189,13 @@ func run(data, mnistDir, rule, preset, rounding string, neurons, nTrain, nLabel,
 	syn, band, err := synapse.PresetConfig(synapse.Preset(preset), kind)
 	if err != nil {
 		return err
+	}
+	if format != "" {
+		f, err := fixed.ParseFormat(format)
+		if err != nil {
+			return err
+		}
+		syn.Format = f
 	}
 	if rounding != "" {
 		r, err := fixed.ParseRounding(rounding)

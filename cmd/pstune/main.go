@@ -21,6 +21,7 @@ import (
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -35,6 +36,7 @@ var (
 	nNeurons = flag.Int("neurons", 50, "first-layer neurons")
 	rule     = flag.String("rule", "stochastic", "learning rule")
 	preset   = flag.String("preset", "float32", "Table I preset")
+	format   = flag.String("format", "", "precision override: q0.2 | q0.4 | q1.7 | q1.15 | float32 (\"\" = preset's format)")
 	highfreq = flag.Bool("hf", false, "use the high-frequency control (5-78 Hz, 100 ms)")
 	verbose  = flag.Bool("v", false, "verbose diagnostics (winners, contrast, RF dump)")
 	alphaP   = flag.Float64("alphap", 0, "override alpha_p (0 = preset)")
@@ -69,6 +71,13 @@ func main() {
 	test := dataset.SynthDigits(300, 2)
 	syn, _, _ := synapse.PresetConfig(synapse.Preset(*preset), kind)
 	syn.Seed = 6
+	if *format != "" {
+		f, err := fixed.ParseFormat(*format)
+		if err != nil {
+			panic(err)
+		}
+		syn.Format = f
+	}
 	if *alphaP > 0 {
 		syn.Det.AlphaP = *alphaP
 	}
@@ -184,6 +193,6 @@ func main() {
 	}
 	fmt.Printf("rfAcc %.1f%% ", 100*rfAccuracy(net, inferSet, labelSet))
 	fmt.Printf("%s/%s amp=%.2f tinh=%.0f thp=%.2f thtau=%.0g: acc %.1f%% winners %d/%d  %v\n",
-		*rule, *preset, *amp, *tinh, *thplus, *thtau, 100*float64(correct)/float64(total),
+		*rule, syn.Format, *amp, *tinh, *thplus, *thtau, 100*float64(correct)/float64(total),
 		len(distinctWinners), *nNeurons, time.Since(start).Round(time.Millisecond))
 }

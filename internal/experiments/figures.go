@@ -7,6 +7,7 @@ import (
 
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/stats"
 	"parallelspikesim/internal/synapse"
@@ -257,13 +258,15 @@ func FigConductanceHistogram(s Scale, bins int) (*HistogramResult, error) {
 			return nil, err
 		}
 		atMin := 0
-		for _, g := range out.Net.Syn.G {
-			h.Add(float64(g))
-			if g == 0 {
-				atMin++
+		out.Net.Syn.ForEachRow(func(_ int, row []fixed.Weight) {
+			for _, g := range row {
+				h.Add(float64(g))
+				if g == 0 {
+					atMin++
+				}
 			}
-		}
-		frac := float64(atMin) / float64(len(out.Net.Syn.G))
+		})
+		frac := float64(atMin) / float64(out.Net.Syn.Len())
 		if rule == synapse.Stochastic {
 			res.Stochastic, res.StochFracMin, res.StochAcc = h, frac, out.Accuracy
 		} else {

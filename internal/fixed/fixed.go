@@ -22,6 +22,7 @@ package fixed
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Rounding selects how off-grid values map onto the fixed-point grid.
@@ -103,17 +104,29 @@ func NewFormat(intBits, fracBits int) (Format, error) {
 	return Format{IntBits: intBits, FracBits: fracBits}, nil
 }
 
-// ParseFormat parses the paper's "Qm.n" notation, or "float32"/"float" for
-// the unquantized path.
+// ParseFormat parses the paper's "Qm.n" notation (case-insensitive, so
+// "q1.7" and "Q1.7" are the same format), or "float32"/"float"/"fp32" for
+// the unquantized path. It is the single entry point behind every format
+// flag (pssim/psbench/pstune): beyond NewFormat's bit-count validation it
+// requires the code width to divide 64, so every accepted fixed-point
+// format packs exactly into the 64-bit SWAR words of the packed store.
 func ParseFormat(s string) (Format, error) {
-	if s == "float32" || s == "float" || s == "fp32" {
+	switch strings.ToLower(s) {
+	case "float32", "float", "fp32":
 		return Float32, nil
 	}
 	var m, n int
-	if _, err := fmt.Sscanf(s, "Q%d.%d", &m, &n); err != nil {
-		return Format{}, fmt.Errorf("fixed: cannot parse format %q: %v", s, err)
+	if _, err := fmt.Sscanf(strings.ToUpper(s), "Q%d.%d", &m, &n); err != nil {
+		return Format{}, fmt.Errorf("fixed: cannot parse format %q (want Qm.n, e.g. q1.7, or float32): %v", s, err)
 	}
-	return NewFormat(m, n)
+	f, err := NewFormat(m, n)
+	if err != nil {
+		return Format{}, err
+	}
+	if !f.Packable() {
+		return Format{}, fmt.Errorf("fixed: format %s is %d bits wide, which does not pack into 64-bit words (supported widths: 2, 4, 8, 16)", f, f.Bits())
+	}
+	return f, nil
 }
 
 // String renders the format in the paper's Qm.n notation.

@@ -2,6 +2,7 @@ package fixed
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -73,11 +74,25 @@ func TestParseFormat(t *testing.T) {
 		want Format
 	}{
 		{"Q0.2", Q0p2}, {"Q0.4", Q0p4}, {"Q1.7", Q1p7}, {"Q1.15", Q1p15},
+		{"q0.2", Q0p2}, {"q1.7", Q1p7}, {"q1.15", Q1p15},
 		{"float32", Float32}, {"float", Float32}, {"fp32", Float32},
+		{"FLOAT32", Float32}, {"FP32", Float32},
 	} {
 		got, err := ParseFormat(c.in)
 		if err != nil || got != c.want {
 			t.Errorf("ParseFormat(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	// Widths that do not divide 64 cannot pack into SWAR words and are
+	// rejected up front with a clear error.
+	for _, bad := range []string{"Q1.2", "q2.3", "Q0.1", "Q3.9"} {
+		_, err := ParseFormat(bad)
+		if err == nil {
+			t.Errorf("ParseFormat(%q) succeeded, want pack-width error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "64-bit words") {
+			t.Errorf("ParseFormat(%q) error %q does not explain the width rule", bad, err)
 		}
 	}
 	for _, bad := range []string{"", "8bit", "Q.2", "Qx.y"} {

@@ -1,0 +1,332 @@
+// Packed code storage and SWAR word kernels.
+//
+// A Qm.n conductance is an integer code of Bits() bits; when that width
+// divides 64, codes pack lanes-per-word into uint64s (32×Q0.2, 16×Q0.4,
+// 8×Q1.7, 4×Q1.15) and the hot loops — eq. 3 current integration and the
+// flat-step LTP/LTD saturating updates of §III-C — run word-parallel
+// ("SWAR": SIMD within a register). Cross-lane carries are fenced with the
+// classic MSB-masking technique: the lane MSBs are masked out of both
+// operands so the low-bit add/sub can only carry *into* the MSB position,
+// never across a lane boundary, and the true MSBs are recombined by XOR.
+//
+// All packed-word manipulation lives in this package. The Word defined type
+// marks the boundary: psslint's fixedrange analyzer rejects direct indexing
+// of []Word outside internal/fixed, so layout decisions (lane order,
+// padding, masking) cannot leak into callers. synapse.Matrix slices rows
+// out of its word array and hands them to the kernels here.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Word is one 64-bit group of packed fixed-point codes, lane 0 in the least
+// significant bits. The defined type fences the packed domain the same way
+// Weight fences the quantized-value domain: outside internal/fixed, words
+// may be sliced, copied and passed around, but never indexed or bit-twiddled
+// (psslint's fixedrange analyzer enforces this), so every lane access goes
+// through a Packing kernel that respects lane boundaries and saturation.
+type Word uint64
+
+// Packable reports whether the format's codes can pack exactly into 64-bit
+// words: a fixed-point format at least 2 bits wide whose width divides 64.
+// (1-bit formats divide 64 too, but a 1-bit lane has no MSB/low-bit split
+// for the carry-fence kernels; they take the unpacked fallback path.)
+func (f Format) Packable() bool {
+	b := f.Bits()
+	return !f.Float && b >= 2 && 64%b == 0
+}
+
+// Packing holds the precomputed lane geometry and SWAR constants of a
+// packable format, plus the dequantization LUT for narrow lanes. Obtain one
+// with Format.Packing; the zero value is not meaningful.
+type Packing struct {
+	format Format
+	width  uint // lane width in bits
+	lanes  int  // lanes per word: 64 / width
+
+	laneMask Word // (1<<width)-1: one full lane at position 0
+	lowBits  Word // bit 0 of every lane        (e.g. 0x0101… for width 8)
+	msbBits  Word // MSB of every lane          (e.g. 0x8080… for width 8)
+
+	step    float64   // quantization step 1/2^n
+	invStep float64   // 2^n: exact inverse, multiplication instead of division
+	lut     []float64 // lut[c] = float64(c)·step; nil for lanes wider than 8 bits
+}
+
+// Packing derives the SWAR constants for a packable format. It fails for
+// float formats and widths that do not divide 64 (use Packable to probe).
+func (f Format) Packing() (*Packing, error) {
+	if !f.Packable() {
+		return nil, fmt.Errorf("fixed: format %s is not packable into 64-bit words", f)
+	}
+	width := uint(f.Bits())
+	p := &Packing{
+		format:   f,
+		width:    width,
+		lanes:    64 / int(width),
+		laneMask: Word(1)<<width - 1,
+		step:     f.Step(),
+		invStep:  math.Ldexp(1, f.FracBits),
+	}
+	for i := 0; i < p.lanes; i++ {
+		p.lowBits |= Word(1) << (uint(i) * width)
+	}
+	p.msbBits = p.lowBits << (width - 1)
+	if width <= 8 {
+		// 2 KB worst case (256 entries) — stays L1-resident. Wider lanes
+		// dequantize arithmetically; a 512 KB 16-bit LUT would thrash cache.
+		p.lut = make([]float64, 1<<width)
+		for c := range p.lut {
+			p.lut[c] = float64(c) * p.step
+		}
+	}
+	return p, nil
+}
+
+// Format returns the format the packing was derived from.
+func (p *Packing) Format() Format { return p.format }
+
+// Lanes returns the number of codes per 64-bit word.
+func (p *Packing) Lanes() int { return p.lanes }
+
+// Width returns the lane width in bits.
+func (p *Packing) Width() int { return int(p.width) }
+
+// WordsFor returns the number of words needed to hold n lanes.
+func (p *Packing) WordsFor(n int) int {
+	return (n + p.lanes - 1) / p.lanes
+}
+
+// Value dequantizes a code: exactly Format.FromCode for in-range codes,
+// via the LUT when one exists. float64(c)·step is exact for every code
+// (c < 2^width ≤ 2^16 and step is a power of two), which is what makes the
+// packed store bit-identical to the float64-backed one it replaced.
+func (p *Packing) Value(c uint32) float64 {
+	if p.lut != nil {
+		return p.lut[c]
+	}
+	return float64(c) * p.step
+}
+
+// CodeOf converts an on-grid Weight back to its lane code. The inverse
+// scaling by 2^n is exact for on-grid values, so CodeOf(Value(c)) == c;
+// off-grid inputs truncate onto the grid (callers are expected to quantize
+// first — simcheck asserts this at the Matrix write path).
+func (p *Packing) CodeOf(w Weight) uint32 {
+	x := float64(w) * p.invStep
+	if x <= 0 {
+		return 0
+	}
+	if max := uint32(p.laneMask); x >= float64(max) {
+		return max
+	}
+	return uint32(x)
+}
+
+// Get extracts lane i from a packed slice.
+func (p *Packing) Get(words []Word, i int) uint32 {
+	w := words[i/p.lanes] >> (uint(i%p.lanes) * p.width)
+	return uint32(w & p.laneMask)
+}
+
+// Set stores code c (masked to the lane width) into lane i.
+func (p *Packing) Set(words []Word, i int, c uint32) {
+	sh := uint(i%p.lanes) * p.width
+	wi := i / p.lanes
+	words[wi] = words[wi]&^(p.laneMask<<sh) | (Word(c)&p.laneMask)<<sh
+}
+
+// Pack packs codes (masked to the lane width) into a fresh word slice.
+func (p *Packing) Pack(codes []uint32) []Word {
+	words := make([]Word, p.WordsFor(len(codes)))
+	for i, c := range codes {
+		words[i/p.lanes] |= (Word(c) & p.laneMask) << (uint(i%p.lanes) * p.width)
+	}
+	return words
+}
+
+// Unpack appends the first n lane codes to dst and returns it.
+func (p *Packing) Unpack(words []Word, n int, dst []uint32) []uint32 {
+	for i := 0; i < n; {
+		w := words[i/p.lanes]
+		end := i + p.lanes
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
+			dst = append(dst, uint32(w&p.laneMask))
+			w >>= p.width
+		}
+	}
+	return dst
+}
+
+// broadcast replicates a code into every lane.
+func (p *Packing) broadcast(c uint32) Word {
+	return (Word(c) & p.laneMask) * p.lowBits
+}
+
+// laneAdd adds a to x per lane, modulo 2^width, with carries fenced at lane
+// boundaries: the MSBs are masked out so the low-bit sum can only carry into
+// the MSB position, then the true MSB parity is recombined by XOR.
+func (p *Packing) laneAdd(x, a Word) Word {
+	h := p.msbBits
+	return (x&^h + a&^h) ^ (x^a)&h
+}
+
+// laneSub subtracts a from x per lane, modulo 2^width. Seeding each lane's
+// MSB of the minuend fences borrows: the low-bit difference can consume the
+// seeded MSB but never borrow across a lane; the true MSB is recomputed
+// from the operands' MSBs and the borrow indicator.
+func (p *Packing) laneSub(x, a Word) Word {
+	h := p.msbBits
+	d := (x | h) - a&^h
+	return d&^h | (x^a^^d)&h
+}
+
+// lanesGE returns full-lane masks (all bits of the lane set) where
+// lane(x) ≥ lane(y), unsigned. Exact for all inputs: the low bits compare
+// via a borrow-fenced subtraction and the MSBs resolve the three MSB cases
+// directly.
+func (p *Packing) lanesGE(x, y Word) Word {
+	h := p.msbBits
+	// d's MSB per lane = 1 iff low(x) ≥ low(y) (seeded MSB survived).
+	d := (x&^h | h) - y&^h
+	ge := (x & ^y & h) | (^(x ^ y) & d & h)
+	return p.expandMSB(ge)
+}
+
+// expandMSB spreads lane-MSB bits into full-lane masks. The selected MSBs
+// shift down to the lane's low bit and multiply by the lane mask; lanes
+// cannot overlap, so the products OR together carry-free.
+func (p *Packing) expandMSB(m Word) Word {
+	return (m >> (p.width - 1)) * p.laneMask
+}
+
+// addSatOneWord applies a saturating +1 to every lane selected by sel (a
+// full-lane mask, as produced by SetLane), clamping at the ceil lane value
+// ceilB (broadcast form). Lanes already at or above ceil clamp to exactly
+// ceil — the same semantics as Format.AddSat with a flat one-step update.
+func (p *Packing) addSatOneWord(w, sel, ceilB Word) Word {
+	capped := p.lanesGE(w, ceilB)
+	out := p.laneAdd(w, sel&^capped&p.lowBits)
+	clamp := sel & capped
+	return out&^clamp | ceilB&clamp
+}
+
+// subSatOneWord applies a saturating −1 to every lane selected by sel,
+// clamping at the floor lane value floorB (broadcast form). Lanes at or
+// below floor clamp to exactly floor — Format.SubSat with a flat one-step
+// update.
+func (p *Packing) subSatOneWord(w, sel, floorB Word) Word {
+	floored := p.lanesGE(floorB, w)
+	out := p.laneSub(w, sel&^floored&p.lowBits)
+	clamp := sel & floored
+	return out&^clamp | floorB&clamp
+}
+
+// NewSelect allocates a lane-select mask covering n lanes, all clear.
+// Select masks use full-lane bits (SetLane) so they compose directly with
+// the word kernels.
+func (p *Packing) NewSelect(n int) []Word {
+	return make([]Word, p.WordsFor(n))
+}
+
+// ClearSelect zeroes a select mask in place.
+func (p *Packing) ClearSelect(sel []Word) {
+	for i := range sel {
+		sel[i] = 0
+	}
+}
+
+// SetLane marks lane i in a select mask.
+func (p *Packing) SetLane(sel []Word, i int) {
+	sel[i/p.lanes] |= p.laneMask << (uint(i%p.lanes) * p.width)
+}
+
+// AddSatMasked applies a saturating one-step increment to every lane
+// selected in sel, word-parallel, clamping at code ceil. This is the
+// word-kernel form of Format.AddSat for the paper's ≤8-bit learning modes,
+// where the update amplitude is pinned to the quantization step (§III-C):
+// 8–32 synapses potentiate per operation instead of one.
+func (p *Packing) AddSatMasked(words, sel []Word, ceil uint32) {
+	ceilB := p.broadcast(ceil)
+	for wi, m := range sel {
+		if m != 0 {
+			words[wi] = p.addSatOneWord(words[wi], m, ceilB)
+		}
+	}
+}
+
+// SubSatMasked is AddSatMasked's depression twin: a saturating one-step
+// decrement on every selected lane, clamping at code floor.
+func (p *Packing) SubSatMasked(words, sel []Word, floor uint32) {
+	floorB := p.broadcast(floor)
+	for wi, m := range sel {
+		if m != 0 {
+			words[wi] = p.subSatOneWord(words[wi], m, floorB)
+		}
+	}
+}
+
+// IncSat applies a saturating one-step increment to a single lane — the
+// per-synapse form the dense plasticity path uses when only one lane of a
+// row moves.
+func (p *Packing) IncSat(words []Word, i int, ceil uint32) uint32 {
+	c := p.Get(words, i)
+	if c >= ceil {
+		c = ceil
+	} else {
+		c++
+	}
+	p.Set(words, i, c)
+	return c
+}
+
+// DecSat applies a saturating one-step decrement to a single lane.
+func (p *Packing) DecSat(words []Word, i int, floor uint32) uint32 {
+	c := p.Get(words, i)
+	if c <= floor {
+		c = floor
+	} else {
+		c--
+	}
+	p.Set(words, i, c)
+	return c
+}
+
+// AccumulateRange adds Value(code_i)·amp into cur[i] for every lane i in
+// [lo, hi) — the word-parallel inner loop of eq. 3. Each 64-bit load
+// delivers up to 32 conductances and the LUT dequantizes without touching
+// the wide matrix again, so the walk runs at packed-row memory bandwidth.
+// The additions happen in ascending lane order, preserving the float
+// summation order of the scalar loop it replaces (bit-identity).
+func (p *Packing) AccumulateRange(words []Word, amp float64, cur []float64, lo, hi int) {
+	if lut := p.lut; lut != nil {
+		for i := lo; i < hi; {
+			w := words[i/p.lanes] >> (uint(i%p.lanes) * p.width)
+			end := (i/p.lanes + 1) * p.lanes
+			if end > hi {
+				end = hi
+			}
+			for ; i < end; i++ {
+				cur[i] += lut[w&p.laneMask] * amp
+				w >>= p.width
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; {
+		w := words[i/p.lanes] >> (uint(i%p.lanes) * p.width)
+		end := (i/p.lanes + 1) * p.lanes
+		if end > hi {
+			end = hi
+		}
+		for ; i < end; i++ {
+			cur[i] += float64(w&p.laneMask) * p.step * amp
+			w >>= p.width
+		}
+	}
+}

@@ -200,12 +200,13 @@ func Run(c Case, opts ...network.Option) (*Result, error) {
 		tr.InputSpikes += uint64(res.InputSpikes)
 		tr.ExcSpikes += uint64(res.TotalSpikes())
 	}
+	weights := net.Syn.Weights()
 	tr.SpikeCRC = spikeCRC.Sum32()
-	tr.WeightCRC = crcFloats(weightsAsFloats(net.Syn.G))
+	tr.WeightCRC = crcFloats(weightsAsFloats(weights))
 	tr.ThetaCRC = crcFloats(net.Exc.Theta())
 	res := &Result{
 		Trace:   tr,
-		Weights: append([]fixed.Weight(nil), net.Syn.G...),
+		Weights: weights,
 		Theta:   append([]float64(nil), net.Exc.Theta()...),
 	}
 	// Inference digests always come from the sequential reference engine;

@@ -149,7 +149,7 @@ func New(p Params, opts ...Option) (*Engine, error) {
 		if check.Enabled {
 			check.Conductance("infer: frozen matrix", g, p.Net.Syn.Format, 0, p.Net.Syn.Format.Max())
 		}
-		mat.G[i] = fixed.Weight(g)
+		mat.SetWeight(i/p.Net.NumNeurons, i%p.Net.NumNeurons, fixed.Weight(g))
 	}
 	var bo buildOptions
 	for _, opt := range opts {
@@ -296,10 +296,7 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 			}
 		}
 		for _, pre := range s.in {
-			row := e.syn.Row(pre)
-			for i := range cur {
-				cur[i] += float64(row[i]) * amp
-			}
+			e.syn.AccumulateCurrent(pre, amp, cur)
 		}
 
 		// (3) LIF integration: collect threshold crossers, then let the

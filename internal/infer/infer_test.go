@@ -38,8 +38,9 @@ func trainCase(t *testing.T, c golden.Case, opts ...infer.Option) (*network.Netw
 			t.Fatal(err)
 		}
 	}
-	g := make([]float64, len(net.Syn.G))
-	for i, w := range net.Syn.G {
+	weights := net.Syn.Weights()
+	g := make([]float64, len(weights))
+	for i, w := range weights {
 		g[i] = float64(w)
 	}
 	eng, err := infer.New(infer.Params{
@@ -133,9 +134,7 @@ func TestEngineIsImmutable(t *testing.T) {
 	// Scribble over every slice the engine was built from: the trained
 	// network's matrix and thetas, and the assignment table generator's
 	// output is fresh each call so nothing to corrupt there.
-	for i := range net.Syn.G {
-		net.Syn.G[i] = 0
-	}
+	net.Syn.Fill(0)
 	th := net.Exc.Theta()
 	for i := range th {
 		th[i] = 1e6

@@ -6,7 +6,6 @@ import (
 
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/engine"
-	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -46,9 +45,10 @@ func assertSameTraining(t *testing.T, label string, a, b *Trainer) {
 			t.Fatalf("%s: moving error diverged at image %d: %v vs %v", label, i, ca[i], cb[i])
 		}
 	}
-	for i := range a.Net.Syn.G {
-		if a.Net.Syn.G[i] != b.Net.Syn.G[i] {
-			t.Fatalf("%s: conductance %d diverged: %v vs %v", label, i, a.Net.Syn.G[i], b.Net.Syn.G[i])
+	wa, wb := a.Net.Syn.Weights(), b.Net.Syn.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("%s: conductance %d diverged: %v vs %v", label, i, wa[i], wb[i])
 		}
 	}
 	ta, tb := a.Net.Exc.Theta(), b.Net.Exc.Theta()
@@ -153,7 +153,7 @@ func TestBatchedCheckpointResumeBitIdentical(t *testing.T) {
 		t.Fatalf("want ErrInterrupted, got %v", err)
 	}
 	state := crashed.CheckpointState()
-	g := append([]fixed.Weight(nil), crashed.Net.Syn.G...)
+	g := crashed.Net.Syn.Weights()
 	theta := append([]float64(nil), crashed.Net.Exc.Theta()...)
 
 	resumed, err := NewTrainer(netWith(t, 11), opts, ds.NumClasses)
@@ -163,7 +163,9 @@ func TestBatchedCheckpointResumeBitIdentical(t *testing.T) {
 	if err := resumed.RestoreState(state); err != nil {
 		t.Fatal(err)
 	}
-	copy(resumed.Net.Syn.G, g)
+	for i, w := range g {
+		resumed.Net.Syn.SetWeight(i/resumed.Net.Syn.NPost, i%resumed.Net.Syn.NPost, w)
+	}
 	copy(resumed.Net.Exc.Theta(), theta)
 	if err := resumed.Train(ds, nil); err != nil {
 		t.Fatal(err)

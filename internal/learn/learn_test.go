@@ -6,7 +6,6 @@ import (
 
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
-	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/synapse"
 )
@@ -313,7 +312,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	state := trA.CheckpointState()
-	gAtCkpt := append([]fixed.Weight(nil), crashed.Syn.G...)
+	gAtCkpt := crashed.Syn.Weights()
 	thetaAtCkpt := append([]float64(nil), crashed.Exc.Theta()...)
 
 	resumed := testNet(t, synapse.Stochastic, 8, 5)
@@ -321,7 +320,9 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	copy(resumed.Syn.G, gAtCkpt)
+	for i, w := range gAtCkpt {
+		resumed.Syn.SetWeight(i/resumed.Syn.NPost, i%resumed.Syn.NPost, w)
+	}
 	copy(resumed.Exc.Theta(), thetaAtCkpt)
 	if err := trB.RestoreState(state); err != nil {
 		t.Fatal(err)
@@ -336,9 +337,10 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	if resumed.Step() != full.Step() {
 		t.Fatalf("step diverged: %d vs %d", resumed.Step(), full.Step())
 	}
-	for i := range full.Syn.G {
-		if full.Syn.G[i] != resumed.Syn.G[i] {
-			t.Fatalf("conductance %d diverged: %v vs %v", i, full.Syn.G[i], resumed.Syn.G[i])
+	wf, wr := full.Syn.Weights(), resumed.Syn.Weights()
+	for i := range wf {
+		if wf[i] != wr[i] {
+			t.Fatalf("conductance %d diverged: %v vs %v", i, wf[i], wr[i])
 		}
 	}
 	for i, th := range full.Exc.Theta() {

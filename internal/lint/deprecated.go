@@ -9,16 +9,19 @@ import (
 // guards. Declared as variables so the analyzer tests can point them at
 // fixture packages.
 var (
-	enginePkgPath = "parallelspikesim/internal/engine"
-	learnPkgPath  = "parallelspikesim/internal/learn"
+	enginePkgPath  = "parallelspikesim/internal/engine"
+	learnPkgPath   = "parallelspikesim/internal/learn"
+	synapsePkgPath = "parallelspikesim/internal/synapse"
 )
 
 // DeprecatedAnalyzer flags qualified uses of the constructors that the
-// functional-options API replaced:
+// functional-options API replaced, and of the accessors the sealed Matrix
+// storage API replaced:
 //
 //	engine.NewPool(...)   -> engine.New(n) / engine.New(engine.Auto)
 //	engine.Sequential{}   -> engine.New(1)
 //	learn.NewTrainer(...) -> learn.New(net, opts) with opts.NumClasses set
+//	(*synapse.Matrix).Row -> At / AccumulateCurrentRange / ForEachRow
 //
 // Unlike the grep this replaces, the check resolves each use through the
 // type checker, so renamed imports, line breaks, or look-alike identifiers
@@ -33,7 +36,7 @@ var DeprecatedAnalyzer = &Analyzer{
 
 func runDeprecated(pass *Pass) error {
 	self := pass.Pkg.Path()
-	if self == enginePkgPath || self == learnPkgPath {
+	if self == enginePkgPath || self == learnPkgPath || self == synapsePkgPath {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -46,6 +49,8 @@ func runDeprecated(pass *Pass) error {
 					pass.Report(n.Pos(), "engine.NewPool is deprecated; use engine.New(n) or engine.New(engine.Auto)")
 				case isPkgFunc(obj, learnPkgPath, "NewTrainer"):
 					pass.Report(n.Pos(), "learn.NewTrainer is deprecated; use learn.New with Options.NumClasses")
+				case isMethodOf(obj, synapsePkgPath, "Matrix", "Row"):
+					pass.Report(n.Pos(), "synapse.Matrix.Row is deprecated (returns a copy, never writes through); use At, AccumulateCurrentRange or ForEachRow")
 				}
 			case *ast.CompositeLit:
 				if tn := namedTypeOf(pass.TypesInfo, n); tn != nil &&
@@ -63,6 +68,25 @@ func runDeprecated(pass *Pass) error {
 func isPkgFunc(obj types.Object, pkgPath, name string) bool {
 	fn, ok := obj.(*types.Func)
 	return ok && fn.Name() == name && objPkgPath(fn) == pkgPath
+}
+
+// isMethodOf reports whether obj is the method `name` on the defined type
+// `recv` (value or pointer receiver) from package pkgPath.
+func isMethodOf(obj types.Object, pkgPath, recv, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || objPkgPath(fn) != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
 }
 
 // namedTypeOf resolves a composite literal's type to its defined type's

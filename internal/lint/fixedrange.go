@@ -12,7 +12,8 @@ var fixedPkgPath = "parallelspikesim/internal/fixed"
 
 // FixedRangeAnalyzer flags raw +, -, *, / arithmetic (and their compound
 // assignment and ++/-- forms) on values of type fixed.Weight outside
-// internal/fixed.
+// internal/fixed, and direct lane indexing of packed []fixed.Word code
+// words outside internal/fixed.
 //
 // Weight is the on-grid quantized conductance (paper §III-C). Every
 // mutation must pass through the sanctioned helpers (Format.AddSat,
@@ -21,9 +22,15 @@ var fixedPkgPath = "parallelspikesim/internal/fixed"
 // silently leaves the grid and bypasses saturation. Comparisons are fine,
 // and an explicit float64(w) conversion is the sanctioned way to leave the
 // quantized domain (e.g. for current accumulation or statistics).
+//
+// Word is a 64-bit carrier holding several packed Qm.n codes (DESIGN.md
+// §14). `words[i]` selects a carrier word, not a synapse, and writing one
+// clobbers every lane it holds — only the SWAR kernels in internal/fixed
+// know the lane geometry. Slicing (words[lo:hi]) stays allowed so callers
+// can hand whole rows to the kernels.
 var FixedRangeAnalyzer = &Analyzer{
 	Name: "fixedrange",
-	Doc:  "flags raw arithmetic on fixed.Weight outside internal/fixed; use Format.AddSat/SubSat/QuantizeWeight",
+	Doc:  "flags raw arithmetic on fixed.Weight and direct indexing of packed []fixed.Word outside internal/fixed",
 	Run:  runFixedRange,
 }
 
@@ -57,6 +64,10 @@ func runFixedRange(pass *Pass) error {
 				if n.Op == token.SUB && isWeight(pass.TypesInfo, n.X) {
 					pass.Report(n.Pos(), "negating fixed.Weight leaves the unsigned Qm.n range; conductance is non-negative")
 				}
+			case *ast.IndexExpr:
+				if isWordSequence(pass.TypesInfo, n.X) {
+					pass.Report(n.Pos(), "indexing packed fixed.Word codes addresses a carrier word, not a synapse; use the fixed.Packing kernels (Get/Set/AddSatMasked/AccumulateRange)")
+				}
 			}
 			return true
 		})
@@ -77,4 +88,34 @@ func isWeight(info *types.Info, e ast.Expr) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Weight" && objPkgPath(obj) == fixedPkgPath
+}
+
+// isWordSequence reports whether the expression's type is a slice or array
+// of the defined type fixed.Word.
+func isWordSequence(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Pointer: // &[N]Word auto-indexes through the pointer
+		arr, ok := t.Elem().Underlying().(*types.Array)
+		if !ok {
+			return false
+		}
+		elem = arr.Elem()
+	default:
+		return false
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Word" && objPkgPath(obj) == fixedPkgPath
 }

@@ -5,7 +5,9 @@ package deprecated
 
 import (
 	eng "parallelspikesim/internal/engine"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/synapse"
 )
 
 // Bad uses each deprecated constructor once. The renamed import proves the
@@ -26,6 +28,29 @@ func BadSplit() {
 			NewPool(2)
 	p.Close()
 }
+
+// BadRow calls the sealed-Matrix copy shim through a variable receiver; the
+// method call resolves through the type checker like any qualified call.
+func BadRow(m *synapse.Matrix) []fixed.Weight {
+	return m.Row(0) // want `synapse.Matrix.Row is deprecated`
+}
+
+// GoodMatrix reads through the sealed accessors; none of it may be flagged.
+func GoodMatrix(m *synapse.Matrix) float64 {
+	total := 0.0
+	m.ForEachRow(func(pre int, row []fixed.Weight) {
+		for _, w := range row {
+			total += float64(w)
+		}
+	})
+	return total + float64(m.At(0, 0))
+}
+
+// Row is a local function whose name collides with the deprecated method;
+// calling it must not be flagged.
+func Row(n int) int { return n }
+
+var _ = Row(3)
 
 // Good uses only the functional-options API; none of it may be flagged.
 func Good() {

@@ -29,3 +29,23 @@ func Good(w fixed.Weight, amp float64) float64 {
 	}
 	return float64(w)
 }
+
+// BadWords indexes packed code words directly: each element is a 64-bit
+// carrier holding several lanes, so `words[i]` is never one synapse.
+func BadWords(words []fixed.Word, arr [4]fixed.Word) fixed.Word {
+	w := words[0] // want `indexing packed fixed.Word codes`
+	words[1] = 0  // want `indexing packed fixed.Word codes`
+	w |= arr[2]   // want `indexing packed fixed.Word codes`
+	pa := &arr
+	w ^= pa[3] // want `indexing packed fixed.Word codes`
+	return w
+}
+
+// GoodWords slices rows out of the backing store and hands them to the
+// lane-aware kernels; slicing and kernel calls may not be flagged.
+func GoodWords(pk *fixed.Packing, words []fixed.Word, cur []float64) float64 {
+	row := words[:pk.WordsFor(len(cur))]
+	pk.AccumulateRange(row, 1.0, cur, 0, len(cur))
+	pk.Set(row, 0, pk.CodeOf(0.5))
+	return pk.Value(pk.Get(row, 0))
+}

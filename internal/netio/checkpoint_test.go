@@ -346,8 +346,9 @@ func TestCrashResumeBitIdentical(t *testing.T) {
 		t.Fatalf("clock diverged: step %d/%d now %v/%v",
 			netRes.Step(), netFull.Step(), netRes.Now(), netFull.Now())
 	}
-	for i := range netFull.Syn.G {
-		if netFull.Syn.G[i] != netRes.Syn.G[i] {
+	wFull, wRes := netFull.Syn.Weights(), netRes.Syn.Weights()
+	for i := range wFull {
+		if wFull[i] != wRes[i] {
 			t.Fatalf("conductance %d diverged", i)
 		}
 	}

@@ -93,12 +93,17 @@ func Capture(net *network.Network, model *learn.Model) *Snapshot {
 		NumInputs:  net.Cfg.NumInputs,
 		NumNeurons: net.Cfg.NumNeurons,
 		Format:     net.Cfg.Syn.Format,
-		G:          make([]float64, len(net.Syn.G)),
+		G:          make([]float64, 0, net.Syn.Len()),
 		Theta:      append([]float64(nil), net.Exc.Theta()...),
 	}
-	for i, g := range net.Syn.G {
-		s.G[i] = float64(g)
-	}
+	// The snapshot payload stays plain pre-major float64 regardless of the
+	// matrix's storage layout (packed codes or flat weights), so PSS2 bytes
+	// on disk are unchanged by the packed store — see DESIGN.md §14.
+	net.Syn.ForEachRow(func(_ int, row []fixed.Weight) {
+		for _, g := range row {
+			s.G = append(s.G, float64(g))
+		}
+	})
 	if model != nil {
 		s.Assignments = append([]int(nil), model.Assignments...)
 	}
@@ -125,17 +130,19 @@ func (s *Snapshot) Restore(net *network.Network) error {
 		return fmt.Errorf("netio: format mismatch: snapshot %s, network %s",
 			s.Format, net.Cfg.Syn.Format)
 	}
-	if len(s.G) != len(net.Syn.G) || len(s.Theta) != net.Cfg.NumNeurons {
+	if len(s.G) != net.Syn.Len() || len(s.Theta) != net.Cfg.NumNeurons {
 		return fmt.Errorf("netio: corrupt snapshot (G %d, theta %d)", len(s.G), len(s.Theta))
 	}
+	nPost := net.Cfg.NumNeurons
 	for i, g := range s.G {
 		// Snapshot conductances were written from an on-grid matrix, so the
 		// direct Weight conversion is sound; under -tags simcheck each value
-		// is re-verified against the format grid before it enters the matrix.
+		// is re-verified against the format grid before it enters the matrix
+		// (the packed store would truncate an off-grid value onto the grid).
 		if check.Enabled {
 			check.Conductance("netio: restore", g, s.Format, 0, s.Format.Max())
 		}
-		net.Syn.G[i] = fixed.Weight(g)
+		net.Syn.SetWeight(i/nPost, i%nPost, fixed.Weight(g))
 	}
 	copy(net.Exc.Theta(), s.Theta)
 	return nil

@@ -95,8 +95,9 @@ func TestFixedFormatRoundTrip(t *testing.T) {
 	if err := got.Restore(fresh); err != nil {
 		t.Fatal(err)
 	}
-	for i := range net.Syn.G {
-		if net.Syn.G[i] != fresh.Syn.G[i] {
+	wn, wf := net.Syn.Weights(), fresh.Syn.Weights()
+	for i := range wn {
+		if wn[i] != wf[i] {
 			t.Fatalf("conductance %d mismatch", i)
 		}
 	}

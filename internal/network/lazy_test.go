@@ -39,9 +39,10 @@ func assertSameRun(t *testing.T, label string, a, b *Network, imgs [][]uint8, ct
 			}
 		}
 	}
-	for i := range a.Syn.G {
-		if a.Syn.G[i] != b.Syn.G[i] {
-			t.Fatalf("%s: conductance %d diverged: %v vs %v", label, i, a.Syn.G[i], b.Syn.G[i])
+	wa, wb := a.Syn.Weights(), b.Syn.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("%s: conductance %d diverged: %v vs %v", label, i, wa[i], wb[i])
 		}
 	}
 	pa, da, _, _ := a.Plast.Counters()
@@ -101,11 +102,12 @@ func TestLazyInferenceMatchesDense(t *testing.T) {
 	cfg := presetConfig(t, synapse.PresetFloat, synapse.Stochastic, 11)
 	dense, _ := New(cfg)
 	lazy, _ := New(cfg, WithPlasticity(LazyPlasticity))
-	before := lazy.Syn.Clone()
+	before := lazy.Syn.Weights()
 	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 100}
 	assertSameRun(t, "inference", dense, lazy, [][]uint8{testImage()}, ctl, false)
-	for i := range before.G {
-		if before.G[i] != lazy.Syn.G[i] {
+	after := lazy.Syn.Weights()
+	for i := range before {
+		if before[i] != after[i] {
 			t.Fatal("inference presentation changed conductances in lazy mode")
 		}
 	}
@@ -162,8 +164,9 @@ func TestPlanReplayMatchesInline(t *testing.T) {
 			}
 		}
 	}
-	for i := range inline.Syn.G {
-		if inline.Syn.G[i] != planned.Syn.G[i] {
+	wi, wp := inline.Syn.Weights(), planned.Syn.Weights()
+	for i := range wi {
+		if wi[i] != wp[i] {
 			t.Fatalf("conductance %d diverged under plan replay", i)
 		}
 	}
@@ -189,8 +192,9 @@ func TestStalePlanFallsBack(t *testing.T) {
 	if rr.InputSpikes != rn.InputSpikes {
 		t.Fatalf("stale plan changed the spike train: %d vs %d", rr.InputSpikes, rn.InputSpikes)
 	}
-	for i := range ref.Syn.G {
-		if ref.Syn.G[i] != net.Syn.G[i] {
+	wr, wn := ref.Syn.Weights(), net.Syn.Weights()
+	for i := range wr {
+		if wr[i] != wn[i] {
 			t.Fatal("stale plan perturbed learning")
 		}
 	}

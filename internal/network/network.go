@@ -513,10 +513,7 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 			}
 			amp := n.Cfg.SpikeAmp
 			for _, pre := range inputSpikes {
-				row := n.Syn.Row(pre)
-				for i := lo; i < hi; i++ {
-					cur[i] += float64(row[i]) * amp
-				}
+				n.Syn.AccumulateCurrentRange(pre, amp, cur, lo, hi)
 			}
 		})
 

@@ -152,14 +152,14 @@ func TestNoWTAManyActiveNeurons(t *testing.T) {
 
 func TestLearningChangesConductance(t *testing.T) {
 	net, _ := New(testConfig(t, synapse.Stochastic, 10), nil)
-	before := net.Syn.Clone()
+	before := net.Syn.Weights()
 	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
 	if _, err := net.Present(testImage(), ctl, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	changed := 0
-	for i := range before.G {
-		if before.G[i] != net.Syn.G[i] {
+	for i, g := range net.Syn.Weights() {
+		if before[i] != g {
 			changed++
 		}
 	}
@@ -170,13 +170,13 @@ func TestLearningChangesConductance(t *testing.T) {
 
 func TestNoLearningKeepsConductance(t *testing.T) {
 	net, _ := New(testConfig(t, synapse.Deterministic, 10), nil)
-	before := net.Syn.Clone()
+	before := net.Syn.Weights()
 	ctl := encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 300}
 	if _, err := net.Present(testImage(), ctl, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	for i := range before.G {
-		if before.G[i] != net.Syn.G[i] {
+	for i, g := range net.Syn.Weights() {
+		if before[i] != g {
 			t.Fatal("inference presentation changed conductances")
 		}
 	}
@@ -266,10 +266,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("%v: image %d input spikes differ", kind, i)
 			}
 		}
-		for i := range seqNet.Syn.G {
-			if seqNet.Syn.G[i] != parNet.Syn.G[i] {
+		ws, wp := seqNet.Syn.Weights(), parNet.Syn.Weights()
+		for i := range ws {
+			if ws[i] != wp[i] {
 				t.Fatalf("%v: conductance %d diverged: %v vs %v",
-					kind, i, seqNet.Syn.G[i], parNet.Syn.G[i])
+					kind, i, ws[i], wp[i])
 			}
 		}
 		for i := range seqNet.Exc.V {
@@ -291,7 +292,7 @@ func TestPresentationsAreReproducible(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return append([]fixed.Weight(nil), net.Syn.G...)
+		return net.Syn.Weights()
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -334,7 +335,7 @@ func TestQuantizedNetworkStaysOnGrid(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for i, g := range net.Syn.G {
+	for i, g := range net.Syn.Weights() {
 		if !syn.Format.OnGrid(float64(g)) {
 			t.Fatalf("synapse %d off grid: %v", i, g)
 		}

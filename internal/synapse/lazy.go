@@ -2,8 +2,10 @@ package synapse
 
 import (
 	"fmt"
+	"sync"
 
 	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/rng"
 )
 
@@ -45,6 +47,19 @@ type Queue struct {
 
 	events []PostEvent
 	cursor []int // events already applied, per pre row
+
+	// scratch pools flushScratch buffers for the batched deterministic
+	// flush; pooled because flushes of different rows run concurrently.
+	scratch sync.Pool
+}
+
+// flushScratch is the per-flush working set of the word-parallel
+// deterministic replay: per-post update counts, the list of touched posts,
+// and a lane-select mask sized to the matrix row.
+type flushScratch struct {
+	count   []int32
+	touched []int32
+	sel     []fixed.Word
 }
 
 // NewQueue binds a deferred-update queue to a plasticity pipeline for a
@@ -112,6 +127,12 @@ func (q *Queue) FlushRow(pre int, lastPre float64) {
 	var pots, deps uint64
 	switch p.Cfg.Kind {
 	case Deterministic:
+		if p.fastStep && !check.Enabled {
+			var ok bool
+			if pots, deps, ok = q.flushRowDetPacked(pre, lastPre, evs); ok {
+				break
+			}
+		}
 		for _, e := range evs {
 			if e.Now-lastPre <= w { // lastPre == Never gives +Inf → depress
 				p.applyPot(pre, int(e.Post), e.Step)
@@ -147,6 +168,86 @@ func (q *Queue) FlushRow(pre int, lastPre float64) {
 	}
 	if deps > 0 {
 		p.depApplied.Add(deps)
+	}
+}
+
+// flushRowDetPacked is the word-parallel deterministic replay: the SWAR
+// form of FlushRow's scalar event loop, valid only on the flat-step packed
+// path (p.fastStep).
+//
+// Within one flush lastPre is fixed and event times are nondecreasing, so
+// the classification age e.Now − lastPre is nondecreasing too: the events
+// split into an LTP prefix (age ≤ window) and an LTD suffix. Within each
+// phase every update is a saturating ±1 on lane e.Post, and saturating
+// increments commute — k events on the same post land on min/max-clamped
+// code ± k regardless of interleaving with other posts. The replay
+// therefore reduces to per-post event counts applied as rounds of
+// word-parallel AddSatMasked/SubSatMasked passes (one round per repeat
+// count tier), touching 8–32 lanes per machine word instead of one synapse
+// per call.
+//
+// Returns ok=false without touching the row if the monotone-time invariant
+// does not hold (hostile or out-of-order logs); the caller then runs the
+// exact scalar replay.
+func (q *Queue) flushRowDetPacked(pre int, lastPre float64, evs []PostEvent) (pots, deps uint64, ok bool) {
+	w := q.P.Cfg.Det.WindowMS
+	split := len(evs)
+	for i, e := range evs {
+		if i > 0 && e.Now < evs[i-1].Now {
+			return 0, 0, false
+		}
+		if split == len(evs) && e.Now-lastPre > w { // lastPre == Never gives +Inf → depress
+			split = i
+		}
+	}
+	// A nondecreasing age crosses the window edge at most once, so
+	// evs[:split] is exactly the LTP set and evs[split:] the LTD set.
+	p := q.P
+	pk := p.M.packing()
+	s, _ := q.scratch.Get().(*flushScratch)
+	if s == nil || len(s.count) < p.M.NPost {
+		s = &flushScratch{
+			count: make([]int32, p.M.NPost),
+			sel:   pk.NewSelect(p.M.NPost),
+		}
+	}
+	row := p.M.rowWords(pre)
+	q.applyPhaseCounts(pk, row, evs[:split], true, s)
+	q.applyPhaseCounts(pk, row, evs[split:], false, s)
+	q.scratch.Put(s)
+	return uint64(split), uint64(len(evs) - split), true
+}
+
+// applyPhaseCounts applies one flush phase (all-LTP or all-LTD) to a packed
+// row: tally events per post, then repeatedly select every post with
+// remaining count and apply a word-parallel saturating ±1, until all counts
+// drain. The round count is the maximum repeat count, so the common
+// each-post-spiked-once flush is a single masked pass over the row.
+func (q *Queue) applyPhaseCounts(pk *fixed.Packing, row []fixed.Word, evs []PostEvent, pot bool, s *flushScratch) {
+	if len(evs) == 0 {
+		return
+	}
+	for _, e := range evs {
+		if s.count[e.Post] == 0 {
+			s.touched = append(s.touched, e.Post)
+		}
+		s.count[e.Post]++
+	}
+	for len(s.touched) > 0 {
+		pk.ClearSelect(s.sel)
+		live := s.touched[:0]
+		for _, post := range s.touched {
+			pk.SetLane(s.sel, int(post))
+			if s.count[post]--; s.count[post] > 0 {
+				live = append(live, post)
+			}
+		}
+		if pot {
+			pk.AddSatMasked(row, s.sel, q.P.ceilCode)
+		} else {
+			pk.SubSatMasked(row, s.sel, q.P.floorCode)
+		}
+		s.touched = live
 	}
 }
 

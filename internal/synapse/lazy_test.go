@@ -36,9 +36,10 @@ func queueFixture(t *testing.T, kind RuleKind) (*Plasticity, *Plasticity, *Queue
 
 func assertSameMatrix(t *testing.T, dense, lazy *Plasticity) {
 	t.Helper()
-	for i := range dense.M.G {
-		if dense.M.G[i] != lazy.M.G[i] {
-			t.Fatalf("synapse %d diverged: dense %v, lazy %v", i, dense.M.G[i], lazy.M.G[i])
+	dw, lw := dense.M.Weights(), lazy.M.Weights()
+	for i := range dw {
+		if dw[i] != lw[i] {
+			t.Fatalf("synapse %d diverged: dense %v, lazy %v", i, dw[i], lw[i])
 		}
 	}
 	dp, dd, _, _ := dense.Counters()
@@ -192,9 +193,84 @@ func TestQueueQuantizedStaysOnGrid(t *testing.T) {
 		}
 	}
 	q.FlushRowsRange(0, 4, lastPre)
-	for i, g := range m.G {
+	for i, g := range m.Weights() {
 		if !cfg.Format.OnGrid(float64(g)) {
 			t.Fatalf("synapse %d off the %s grid: %v", i, cfg.Format, g)
 		}
 	}
+}
+
+// TestQueueRepeatedPostsMatchDense drives the batched word-parallel replay
+// through its multi-round path: the same posts spike several times within
+// one flush (LTP) and again outside the window (LTD), with the row pinned
+// against both saturation rails. The count-based replay must agree with the
+// dense per-event application exactly.
+func TestQueueRepeatedPostsMatchDense(t *testing.T) {
+	for _, fill := range []float64{0.0, 0.5, 1.0} { // floor rail, interior, ceiling rail
+		dense, lazy, q := queueFixture(t, Deterministic)
+		dense.M.Fill(fill)
+		lazy.M.Fill(fill)
+		lastPre := []float64{0, 1, 2, Never, 4, 5}
+
+		events := []struct {
+			post int
+			now  float64
+			step uint64
+		}{
+			// LTP phase: post 1 spikes three times, post 0 once.
+			{1, 10, 10}, {0, 11, 11}, {1, 12, 12}, {1, 13, 13},
+			// LTD phase (ages beyond the window): post 2 twice, post 1 once.
+			{2, 500, 500}, {1, 501, 501}, {2, 502, 502},
+		}
+		for _, e := range events {
+			for pre := range lastPre {
+				dense.OnPostSpikeRange(e.post, e.now, lastPre, e.step, pre, pre+1)
+			}
+			q.Record(e.post, e.now, e.step)
+		}
+		q.FlushRowsRange(0, len(lastPre), lastPre)
+		assertSameMatrix(t, dense, lazy)
+		q.Reset()
+
+		// A second batch through the same queue reuses the pooled scratch;
+		// stale counts or masks would corrupt this flush.
+		for _, e := range events {
+			e.step += 1000
+			e.now += 1000
+			for pre := range lastPre {
+				dense.OnPostSpikeRange(e.post, e.now, lastPre, e.step, pre, pre+1)
+			}
+			q.Record(e.post, e.now, e.step)
+		}
+		q.FlushRowsRange(0, len(lastPre), lastPre)
+		assertSameMatrix(t, dense, lazy)
+	}
+}
+
+// TestQueueNonMonotoneEventsFallBack feeds the deterministic flush an event
+// log whose timestamps go backwards. The word-parallel replay depends on
+// nondecreasing times (one LTP→LTD split); it must detect the violation and
+// fall back to the exact scalar replay rather than misclassify events.
+func TestQueueNonMonotoneEventsFallBack(t *testing.T) {
+	dense, lazy, q := queueFixture(t, Deterministic)
+	lastPre := []float64{0, 1, 2, Never, 4, 5}
+
+	// Steps are nondecreasing (the recorded invariant) but times are not:
+	// an LTD-age event lands between two LTP-age ones.
+	events := []struct {
+		post int
+		now  float64
+		step uint64
+	}{{0, 10, 10}, {2, 800, 10}, {1, 11, 11}}
+	for _, e := range events {
+		for pre := range lastPre {
+			dense.OnPostSpikeRange(e.post, e.now, lastPre, e.step, pre, pre+1)
+		}
+		q.Record(e.post, e.now, e.step)
+	}
+	q.FlushRowsRange(0, len(lastPre), lastPre)
+	if q.MaxPending() != 0 {
+		t.Fatalf("pending after flush: %d", q.MaxPending())
+	}
+	assertSameMatrix(t, dense, lazy)
 }

@@ -9,21 +9,36 @@ import (
 )
 
 // Matrix is the all-to-all conductance array connecting NPre input spike
-// trains to NPost excitatory neurons. Storage is pre-major — G[pre*NPost +
-// post] — so the hot per-step current accumulation (iterate posts for each
-// spiking pre) walks contiguous memory, matching the coalesced layout the
-// paper's GPU kernels would use.
+// trains to NPost excitatory neurons, stored pre-major — synapse (pre, post)
+// lives at flat index pre·NPost + post — so the hot per-step current
+// accumulation (iterate posts for each spiking pre) walks contiguous memory,
+// matching the coalesced layout the paper's GPU kernels would use.
 //
-// Conductances are held as fixed.Weight: float64-backed for speed, but a
-// defined type so that every write provably goes through the quantization
-// helpers of internal/fixed (psslint's fixedrange analyzer rejects raw
-// arithmetic on Weight anywhere else), keeping the array on the grid of the
-// configured fixed-point format at all times.
+// Storage is sealed behind the accessor API. For a packable fixed-point
+// format (width divides 64: Q0.2, Q0.4, Q1.7, Q1.15) conductances are held
+// as native Qm.n codes packed lanes-per-uint64 in a struct-of-arrays row
+// layout — each row is a contiguous run of fixed.Word, padded to a word
+// boundary — and the hot kernels (eq. 3 integration, flat-step LTP/LTD)
+// run word-parallel over them (see internal/fixed's SWAR layer and
+// DESIGN.md §14). The float path and any unpackable format fall back to a
+// flat []fixed.Weight behind the same interface.
+//
+// Reads go through At / RowCodes / ForEachRow / Column / Weights; writes go
+// through the quantizing Set or the on-grid SetWeight. No caller sees the
+// raw storage: the old exported G field and the mutable Row escape hatch are
+// gone (Row survives one release as a deprecated copying shim, flagged by
+// psslint), so layout changes cannot leak and every write provably lands on
+// the format grid.
 type Matrix struct {
 	NPre   int
 	NPost  int
-	G      []fixed.Weight
 	Format fixed.Format
+
+	// Exactly one store is active. pk non-nil selects the packed store.
+	pk    *fixed.Packing
+	words []fixed.Word // packed codes, row-major, wpr words per row
+	wpr   int
+	g     []fixed.Weight // fallback store: float formats, unpackable widths
 }
 
 // NewMatrix allocates an NPre × NPost conductance matrix initialized to zero.
@@ -31,30 +46,127 @@ func NewMatrix(nPre, nPost int, format fixed.Format) (*Matrix, error) {
 	if nPre <= 0 || nPost <= 0 {
 		return nil, fmt.Errorf("synapse: matrix dimensions %d×%d", nPre, nPost)
 	}
-	return &Matrix{
-		NPre:   nPre,
-		NPost:  nPost,
-		G:      make([]fixed.Weight, nPre*nPost),
-		Format: format,
-	}, nil
+	m := &Matrix{NPre: nPre, NPost: nPost, Format: format}
+	if format.Packable() {
+		pk, err := format.Packing()
+		if err != nil {
+			return nil, err
+		}
+		m.pk = pk
+		m.wpr = pk.WordsFor(nPost)
+		m.words = make([]fixed.Word, nPre*m.wpr)
+	} else {
+		m.g = make([]fixed.Weight, nPre*nPost)
+	}
+	return m, nil
 }
 
 // Len returns the number of synapses.
-func (m *Matrix) Len() int { return len(m.G) }
+func (m *Matrix) Len() int { return m.NPre * m.NPost }
+
+// Packed reports whether the packed code store is active (false on the
+// float/unpackable fallback).
+func (m *Matrix) Packed() bool { return m.pk != nil }
+
+// packing exposes the matrix's lane geometry to the plasticity kernels in
+// this package; nil when the fallback store is active.
+func (m *Matrix) packing() *fixed.Packing { return m.pk }
+
+// rowWords returns the packed word row of input pre (package-internal: the
+// plasticity kernels slice rows and hand them to internal/fixed; nothing
+// outside internal/fixed indexes into them).
+func (m *Matrix) rowWords(pre int) []fixed.Word {
+	return m.words[pre*m.wpr : (pre+1)*m.wpr]
+}
 
 // At returns the conductance of the synapse from pre to post.
-func (m *Matrix) At(pre, post int) fixed.Weight { return m.G[pre*m.NPost+post] }
+func (m *Matrix) At(pre, post int) fixed.Weight {
+	if m.pk != nil {
+		return fixed.Weight(m.pk.Value(m.pk.Get(m.rowWords(pre), post)))
+	}
+	return m.g[pre*m.NPost+post]
+}
 
 // Set stores a conductance, clamping it into the format's representable
 // range and snapping it onto the grid by round-to-nearest.
 func (m *Matrix) Set(pre, post int, g float64) {
-	m.G[pre*m.NPost+post] = m.Format.QuantizeWeight(g, fixed.Nearest, 0)
+	m.SetWeight(pre, post, m.Format.QuantizeWeight(g, fixed.Nearest, 0))
 }
 
-// Row returns the contiguous slice of conductances from input pre to every
-// post neuron. Mutating it bypasses quantization; callers must not.
+// SetWeight stores an already-quantized conductance. The value must be on
+// the format grid (checkpoint restore and snapshot loads hold this by
+// construction; the simcheck sanitizer re-verifies at those call sites) —
+// an off-grid value would be silently truncated onto the grid by the packed
+// store.
+func (m *Matrix) SetWeight(pre, post int, w fixed.Weight) {
+	if m.pk != nil {
+		m.pk.Set(m.rowWords(pre), post, m.pk.CodeOf(w))
+		return
+	}
+	m.g[pre*m.NPost+post] = w
+}
+
+// RowCodes returns the packed code words of input pre's row — NPost lanes,
+// padded to a word boundary — or nil on the fallback store. The slice
+// aliases the matrix: treat it as read-only (psslint additionally bans
+// indexing into packed words outside internal/fixed, so callers can only
+// hand it to the sanctioned fixed kernels).
+func (m *Matrix) RowCodes(pre int) []fixed.Word {
+	if m.pk == nil {
+		return nil
+	}
+	return m.rowWords(pre)
+}
+
+// ForEachRow calls fn for every input row in ascending pre order with the
+// row's conductances decoded into the Weight domain. The row slice is a
+// scratch buffer reused across calls: it is valid only during fn and must
+// not be retained or mutated (mutations do not write back).
+func (m *Matrix) ForEachRow(fn func(pre int, row []fixed.Weight)) {
+	if m.pk == nil {
+		for pre := 0; pre < m.NPre; pre++ {
+			fn(pre, m.g[pre*m.NPost:(pre+1)*m.NPost])
+		}
+		return
+	}
+	row := make([]fixed.Weight, m.NPost)
+	codes := make([]uint32, 0, m.NPost)
+	for pre := 0; pre < m.NPre; pre++ {
+		codes = m.pk.Unpack(m.rowWords(pre), m.NPost, codes[:0])
+		for i, c := range codes {
+			row[i] = fixed.Weight(m.pk.Value(c))
+		}
+		fn(pre, row)
+	}
+}
+
+// Weights returns a fresh pre-major copy of every conductance — the
+// sanctioned bulk read-out for digests and golden traces.
+func (m *Matrix) Weights() []fixed.Weight {
+	out := make([]fixed.Weight, 0, m.Len())
+	m.ForEachRow(func(_ int, row []fixed.Weight) {
+		out = append(out, row...)
+	})
+	return out
+}
+
+// Row returns a copy of the conductances from input pre to every post
+// neuron.
+//
+// Deprecated: Row predates the sealed storage API and survives one release
+// for diff reviewability. It now returns a copy — mutations no longer write
+// through. Use At or AccumulateCurrentRange for reads on the hot path, and
+// Set/SetWeight to write. psslint's deprecated analyzer flags callers.
 func (m *Matrix) Row(pre int) []fixed.Weight {
-	return m.G[pre*m.NPost : (pre+1)*m.NPost]
+	row := make([]fixed.Weight, m.NPost)
+	if m.pk != nil {
+		for post := range row {
+			row[post] = fixed.Weight(m.pk.Value(m.pk.Get(m.rowWords(pre), post)))
+		}
+		return row
+	}
+	copy(row, m.g[pre*m.NPost:(pre+1)*m.NPost])
+	return row
 }
 
 // Column copies the conductances into post neuron `post` from every input
@@ -66,33 +178,56 @@ func (m *Matrix) Column(post int, dst []float64) {
 	if len(dst) != m.NPre {
 		panic(fmt.Sprintf("synapse: Column dst length %d, want %d", len(dst), m.NPre))
 	}
+	if m.pk != nil {
+		for pre := 0; pre < m.NPre; pre++ {
+			dst[pre] = m.pk.Value(m.pk.Get(m.rowWords(pre), post))
+		}
+		return
+	}
 	for pre := 0; pre < m.NPre; pre++ {
-		dst[pre] = float64(m.G[pre*m.NPost+post])
+		dst[pre] = float64(m.g[pre*m.NPost+post])
 	}
 }
 
 // InitUniform fills the matrix with independent uniform draws in [lo, hi],
 // quantized round-to-nearest onto the format grid. This is the random
-// conductance initialization performed before learning.
+// conductance initialization performed before learning. Draws are consumed
+// in flat pre-major order regardless of the active store, so seeds
+// reproduce the same matrix on every storage layout.
 func (m *Matrix) InitUniform(stream *rng.Stream, lo, hi float64) {
-	for i := range m.G {
-		m.G[i] = m.Format.QuantizeWeight(stream.Range(lo, hi), fixed.Nearest, 0)
+	for pre := 0; pre < m.NPre; pre++ {
+		for post := 0; post < m.NPost; post++ {
+			m.SetWeight(pre, post, m.Format.QuantizeWeight(stream.Range(lo, hi), fixed.Nearest, 0))
+		}
 	}
 }
 
 // Fill sets every conductance to the same (quantized) value.
 func (m *Matrix) Fill(g float64) {
 	q := m.Format.QuantizeWeight(g, fixed.Nearest, 0)
-	for i := range m.G {
-		m.G[i] = q
+	if m.pk != nil {
+		c := m.pk.CodeOf(q)
+		for pre := 0; pre < m.NPre; pre++ {
+			row := m.rowWords(pre)
+			for post := 0; post < m.NPost; post++ {
+				m.pk.Set(row, post, c)
+			}
+		}
+		return
+	}
+	for i := range m.g {
+		m.g[i] = q
 	}
 }
 
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := *m
-	c.G = make([]fixed.Weight, len(m.G))
-	copy(c.G, m.G)
+	if m.pk != nil {
+		c.words = append([]fixed.Word(nil), m.words...)
+	} else {
+		c.g = append([]fixed.Weight(nil), m.g...)
+	}
 	return &c
 }
 
@@ -100,25 +235,40 @@ func (m *Matrix) Clone() *Matrix {
 func (m *Matrix) Stats() (minG, maxG, mean float64) {
 	minG, maxG = math.Inf(1), math.Inf(-1)
 	sum := 0.0
-	for _, g := range m.G {
-		v := float64(g)
-		if v < minG {
-			minG = v
+	m.ForEachRow(func(_ int, row []fixed.Weight) {
+		for _, g := range row {
+			v := float64(g)
+			if v < minG {
+				minG = v
+			}
+			if v > maxG {
+				maxG = v
+			}
+			sum += v
 		}
-		if v > maxG {
-			maxG = v
-		}
-		sum += v
-	}
-	return minG, maxG, sum / float64(len(m.G))
+	})
+	return minG, maxG, sum / float64(m.Len())
 }
 
 // AccumulateCurrent adds g·amp into current[post] for every post neuron, for
-// a spike on input pre. This is the per-spike inner loop of eq. 3; the
-// conversion out of the Weight domain is the sanctioned read-out.
+// a spike on input pre — the per-spike inner loop of eq. 3.
 func (m *Matrix) AccumulateCurrent(pre int, amp float64, current []float64) {
-	row := m.Row(pre)
-	for post, g := range row {
-		current[post] += float64(g) * amp
+	m.AccumulateCurrentRange(pre, amp, current, 0, m.NPost)
+}
+
+// AccumulateCurrentRange is AccumulateCurrent restricted to post neurons
+// [lo, hi) — the unit the parallel engine partitions across workers. On the
+// packed store each 64-bit word load delivers up to 32 conductances,
+// dequantized through the format's LUT, so the walk touches 8× less synapse
+// memory than the float64 row it replaced while producing bit-identical
+// sums (lane order matches the scalar accumulation order).
+func (m *Matrix) AccumulateCurrentRange(pre int, amp float64, current []float64, lo, hi int) {
+	if m.pk != nil {
+		m.pk.AccumulateRange(m.rowWords(pre), amp, current, lo, hi)
+		return
+	}
+	row := m.g[pre*m.NPost : (pre+1)*m.NPost]
+	for i := lo; i < hi; i++ {
+		current[i] += float64(row[i]) * amp
 	}
 }

@@ -27,6 +27,21 @@ type Plasticity struct {
 	Cfg Config
 	M   *Matrix
 
+	// fastStep marks the flat-step code path: the matrix uses the packed
+	// store and the format is ≤8 bits, so potMagnitude/depMagnitude are
+	// pinned to the quantization step (§III-C) and both bounds sit on the
+	// grid. Every update is then exactly a saturating ±1 in the code
+	// domain — quantization has zero residue, so the rounding option (and
+	// its stochastic roll, a pure counter-based function with no stream
+	// state) never engages — and runs on packed lanes without leaving the
+	// integer domain. Bit-identical to the scalar AddSat/SubSat path by
+	// construction; the property tests in internal/fixed and the golden
+	// wall pin it. simcheck builds take the scalar path instead so the
+	// per-update WeightUpdate assertions still fire.
+	fastStep  bool
+	ceilCode  uint32 // GCeil as a lane code (valid when fastStep)
+	floorCode uint32 // Det.GMin as a lane code (valid when fastStep)
+
 	// Event counters (diagnostics). Updated atomically: range updates for
 	// different posts run on different workers.
 	potApplied atomic.Uint64
@@ -45,7 +60,18 @@ func NewPlasticity(cfg Config, m *Matrix) (*Plasticity, error) {
 		// quantization invariants break silently.
 		return nil, fmt.Errorf("synapse: config format %s != matrix format %s", cfg.Format, m.Format)
 	}
-	return &Plasticity{Cfg: cfg, M: m}, nil
+	p := &Plasticity{Cfg: cfg, M: m}
+	if pk := m.packing(); pk != nil {
+		bits := cfg.Format.Bits()
+		if bits >= 1 && bits <= 8 &&
+			cfg.Format.OnGrid(cfg.GCeil()) &&
+			cfg.Det.GMin >= 0 && cfg.Format.OnGrid(cfg.Det.GMin) {
+			p.fastStep = true
+			p.ceilCode = pk.CodeOf(fixed.Weight(cfg.GCeil()))
+			p.floorCode = pk.CodeOf(fixed.Weight(cfg.Det.GMin))
+		}
+	}
+	return p, nil
 }
 
 // Counters reports how many potentiation/depression updates were applied
@@ -68,15 +94,21 @@ func (p *Plasticity) ResetCounters() {
 // Weight). It does not touch the diagnostic counters, so batch callers (the
 // lazy flush) can count locally and publish once per batch.
 func (p *Plasticity) applyPot(pre, post int, step uint64) {
-	idx := pre*p.M.NPost + post
-	g := p.M.G[idx]
+	if p.fastStep && !check.Enabled {
+		// Flat-step LTP on the packed store: a saturating +1 in the code
+		// domain, no float round trip, no quantization (zero residue by
+		// construction — see the fastStep field comment).
+		p.M.packing().IncSat(p.M.rowWords(pre), post, p.ceilCode)
+		return
+	}
+	g := p.M.At(pre, post)
 	dg := p.Cfg.potMagnitude(float64(g))
 	roll := 0.0
 	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
 		roll = rng.Uniform(p.Cfg.Seed, tagPotRound, step, uint64(pre), uint64(post))
 	}
 	ng := p.Cfg.Format.AddSat(g, dg, p.Cfg.GCeil(), p.Cfg.Rounding, roll)
-	p.M.G[idx] = ng
+	p.M.SetWeight(pre, post, ng)
 	if check.Enabled {
 		// Potentiation saturates at GCeil only; the floor is the format's 0.
 		check.WeightUpdate("synapse: potentiate", float64(g), float64(ng), p.Cfg.Format, 0, p.Cfg.GCeil())
@@ -92,15 +124,18 @@ func (p *Plasticity) potentiate(pre, post int, step uint64) {
 // applyDep performs the arithmetic of one LTD step to synapse (pre, post)
 // through the saturating update helper, without counter bookkeeping.
 func (p *Plasticity) applyDep(pre, post int, step uint64) {
-	idx := pre*p.M.NPost + post
-	g := p.M.G[idx]
+	if p.fastStep && !check.Enabled {
+		p.M.packing().DecSat(p.M.rowWords(pre), post, p.floorCode)
+		return
+	}
+	g := p.M.At(pre, post)
 	dg := p.Cfg.depMagnitude(float64(g))
 	roll := 0.0
 	if p.Cfg.Rounding == fixed.Stochastic && !p.Cfg.Format.Float {
 		roll = rng.Uniform(p.Cfg.Seed, tagDepRound, step, uint64(pre), uint64(post))
 	}
 	ng := p.Cfg.Format.SubSat(g, dg, p.Cfg.Det.GMin, p.Cfg.Rounding, roll)
-	p.M.G[idx] = ng
+	p.M.SetWeight(pre, post, ng)
 	if check.Enabled {
 		check.WeightUpdate("synapse: depress", float64(g), float64(ng), p.Cfg.Format, p.Cfg.Det.GMin, p.Cfg.GCeil())
 	}

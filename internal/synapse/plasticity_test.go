@@ -47,9 +47,10 @@ func TestMatrixAtSetRowColumn(t *testing.T) {
 	if m.At(1, 2) != 0.5 {
 		t.Fatal("At/Set mismatch")
 	}
-	row := m.Row(1)
-	if len(row) != 4 || row[2] != 0.5 {
-		t.Fatalf("Row = %v", row)
+	for post, want := range []fixed.Weight{0, 0, 0.5, 0} {
+		if got := m.At(1, post); got != want {
+			t.Fatalf("At(1, %d) = %v, want %v", post, got, want)
+		}
 	}
 	col := make([]float64, 3)
 	m.Column(2, col)
@@ -86,7 +87,7 @@ func TestMatrixInitUniform(t *testing.T) {
 	if mean < 0.25 || mean > 0.35 {
 		t.Fatalf("init mean %v implausible for U[0.2,0.4]", mean)
 	}
-	for _, g := range m.G {
+	for _, g := range m.Weights() {
 		if !m.Format.OnGrid(float64(g)) {
 			t.Fatalf("initialized conductance %v off grid", g)
 		}
@@ -96,7 +97,7 @@ func TestMatrixInitUniform(t *testing.T) {
 func TestMatrixFillAndClone(t *testing.T) {
 	m, _ := NewMatrix(2, 3, fixed.Float32)
 	m.Fill(0.7)
-	for _, g := range m.G {
+	for _, g := range m.Weights() {
 		if g != 0.7 {
 			t.Fatal("Fill incomplete")
 		}
@@ -284,7 +285,7 @@ func TestConductanceStaysInBounds(t *testing.T) {
 			lastPre[0], lastPre[1] = now-1, now-2
 			p.OnPostSpike(int(step)%4, now, lastPre, step)
 		}
-		for i, g := range m.G {
+		for i, g := range m.Weights() {
 			if float64(g) < cfg.Det.GMin-1e-12 || float64(g) > cfg.GCeil()+1e-12 {
 				t.Fatalf("%v: conductance %d = %v out of [%v, %v]", kind, i, g, cfg.Det.GMin, cfg.GCeil())
 			}
@@ -306,7 +307,7 @@ func TestQuantizedUpdatesStayOnGrid(t *testing.T) {
 				p.OnPostSpike(int(step)%4, now, lastPre, step)
 				lastPre[int(step)%4] = now
 			}
-			for i, g := range m.G {
+			for i, g := range m.Weights() {
 				if !cfg.Format.OnGrid(float64(g)) {
 					t.Fatalf("%s/%s: conductance %d = %v off grid", preset, mode, i, g)
 				}
@@ -373,7 +374,7 @@ func TestDeterministicReproducible(t *testing.T) {
 		for step := uint64(0); step < 100; step++ {
 			p.OnPostSpike(int(step)%8, 100+float64(step), lastPre, step)
 		}
-		return append([]fixed.Weight(nil), m.G...)
+		return m.Weights()
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -397,7 +398,7 @@ func TestStochasticReproducibleSameSeed(t *testing.T) {
 			now := 100 + float64(step)
 			p.OnPostSpike(int(step)%8, now, lastPre, step)
 		}
-		return append([]fixed.Weight(nil), m.G...)
+		return m.Weights()
 	}
 	a, b := run(7), run(7)
 	for i := range a {
@@ -435,9 +436,10 @@ func TestOnPostSpikeRangeMatchesFull(t *testing.T) {
 	p1.OnPostSpike(2, 100, lastPre, 33)
 	p2.OnPostSpikeRange(2, 100, lastPre, 33, 0, 7)
 	p2.OnPostSpikeRange(2, 100, lastPre, 33, 7, 16)
-	for i := range m1.G {
-		if m1.G[i] != m2.G[i] {
-			t.Fatalf("range split diverged at synapse %d: %v vs %v", i, m1.G[i], m2.G[i])
+	w1, w2 := m1.Weights(), m2.Weights()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("range split diverged at synapse %d: %v vs %v", i, w1[i], w2[i])
 		}
 	}
 }
@@ -469,15 +471,15 @@ func TestUpdateBoundedProperty(t *testing.T) {
 		if g0 > cfg.GCeil() {
 			g0 = cfg.GCeil()
 		}
-		m.G[0] = cfg.Format.QuantizeWeight(g0, fixed.Nearest, 0)
-		g0 = float64(m.G[0])
+		m.SetWeight(0, 0, cfg.Format.QuantizeWeight(g0, fixed.Nearest, 0))
+		g0 = float64(m.At(0, 0))
 		p, _ := NewPlasticity(cfg, m)
 		last := 0.0
 		if recent {
 			last = 99.5
 		}
 		p.OnPostSpike(0, 100, []float64{last}, 7)
-		g1 := float64(m.G[0])
+		g1 := float64(m.At(0, 0))
 		if !cfg.Format.OnGrid(g1) {
 			return false
 		}
