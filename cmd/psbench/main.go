@@ -140,6 +140,7 @@ func main() {
 	}
 	if *pprofAddr != "" {
 		addr := *pprofAddr
+		//psslint:detached opt-in pprof debug listener; serves until the process exits
 		go func() {
 			if err := http.ListenAndServe(addr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "psbench: pprof server:", err)

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/dataset"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
@@ -134,6 +135,7 @@ func postClassify(t *testing.T, url string, body string) (*http.Response, []byte
 }
 
 func TestClassifyEndpoint(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, version: 7})
 	srv := newTestServer(t, models, nil, defaultConfig())
 	resp, body := postClassify(t, srv.URL, `{"images": [[2,0,0], [7,0,0]]}`)
@@ -153,6 +155,7 @@ func TestClassifyEndpoint(t *testing.T) {
 }
 
 func TestNamedModelEndpoint(t *testing.T) {
+	check.NoLeaks(t)
 	models := stubRegistry(t, map[string]registry.Engine{
 		"default": &stubModel{inputs: 3, classes: 4, version: 1},
 		"edge":    &stubModel{inputs: 3, classes: 4, version: 2},
@@ -193,6 +196,7 @@ func TestNamedModelEndpoint(t *testing.T) {
 }
 
 func TestClassifyRejectsBadPayloads(t *testing.T) {
+	check.NoLeaks(t)
 	reg := obs.NewRegistry()
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4})
 	srv := newTestServer(t, models, reg, defaultConfig())
@@ -226,6 +230,7 @@ func TestClassifyRejectsBadPayloads(t *testing.T) {
 }
 
 func TestClassifyRejectsBadPriority(t *testing.T) {
+	check.NoLeaks(t)
 	reg := obs.NewRegistry()
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4})
 	srv := newTestServer(t, models, reg, defaultConfig())
@@ -245,6 +250,7 @@ func TestClassifyRejectsBadPriority(t *testing.T) {
 }
 
 func TestClassifyRejectsOversizedBody(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4})
 	srv := newTestServer(t, models, nil, defaultConfig())
 	huge := fmt.Sprintf(`{"images": [[0,0,0]], "padding": %q}`, bytes.Repeat([]byte{'x'}, 1<<17))
@@ -255,6 +261,7 @@ func TestClassifyRejectsOversizedBody(t *testing.T) {
 }
 
 func TestClassifyMethodAndHealthz(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4})
 	srv := newTestServer(t, models, nil, defaultConfig())
 	resp, err := http.Get(srv.URL + "/classify")
@@ -300,6 +307,7 @@ func TestClassifyMethodAndHealthz(t *testing.T) {
 // rejection counter, and a degradation shed only its rung counter — no
 // request is double-counted.
 func TestTimeoutAndRejectedCountersDisjoint(t *testing.T) {
+	check.NoLeaks(t)
 	reg := obs.NewRegistry()
 	sc := serverConfig{maxBatch: 4, maxInflight: 2, timeout: 30 * time.Millisecond, defaultModel: "default"}
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, delay: 500 * time.Millisecond})
@@ -337,6 +345,7 @@ func TestTimeoutAndRejectedCountersDisjoint(t *testing.T) {
 // server: shrink, shed, saturation 503 — each counted exactly once in its
 // own metric.
 func TestDegradationLadder(t *testing.T) {
+	check.NoLeaks(t)
 	reg := obs.NewRegistry()
 	sc := serverConfig{maxBatch: 4, maxInflight: 1, timeout: 200 * time.Millisecond, defaultModel: "default"}
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, delay: 2 * time.Second})
@@ -410,6 +419,7 @@ func waitForBusySlot(t *testing.T, reg *obs.Registry) {
 
 // TestLadderBudget exercises rung 1 decisions directly.
 func TestLadderBudget(t *testing.T) {
+	check.NoLeaks(t)
 	reg := obs.NewRegistry()
 	l := newLadder(serverConfig{maxBatch: 1, maxInflight: 4, timeout: 8 * time.Second, defaultModel: "d"}, reg)
 	if l.shrinkAt != 2 {
@@ -451,6 +461,7 @@ func TestLadderBudget(t *testing.T) {
 }
 
 func TestClassifyModelError(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, err: errors.New("boom")})
 	srv := newTestServer(t, models, nil, defaultConfig())
 	resp, _ := postClassify(t, srv.URL, `{"images": [[1,0,0]]}`)
@@ -460,6 +471,7 @@ func TestClassifyModelError(t *testing.T) {
 }
 
 func TestHandlerRejectsBadConfig(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4})
 	for _, sc := range []serverConfig{
 		{maxBatch: 0, maxInflight: 1, timeout: time.Second, defaultModel: "default"},
@@ -481,6 +493,7 @@ func TestHandlerRejectsBadConfig(t *testing.T) {
 // snapshot becomes the next generation, a corrupt one is rejected with the
 // old generation still serving, and the report says which is which.
 func TestReloadEndpoint(t *testing.T) {
+	check.NoLeaks(t)
 	mem := fault.NewMemFS()
 	if err := netio.SaveFileFS(mem, "models/m.pss", testSnapshot(1)); err != nil {
 		t.Fatal(err)
@@ -575,6 +588,7 @@ func TestReloadEndpoint(t *testing.T) {
 // contract: canceling the serve context lets inflight classifications
 // finish while new connections are refused.
 func TestGracefulDrainCompletesInflight(t *testing.T) {
+	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, delay: 400 * time.Millisecond})
 	h, err := newHandler(models, nil, serverConfig{maxBatch: 4, maxInflight: 2, timeout: 5 * time.Second, defaultModel: "default"})
 	if err != nil {
@@ -650,6 +664,7 @@ func TestGracefulDrainCompletesInflight(t *testing.T) {
 // read and idle windows are all bounded so a trickling client cannot hold
 // a connection forever, and run refuses configs that disable them.
 func TestNewHTTPServerSlowlorisHardening(t *testing.T) {
+	check.NoLeaks(t)
 	o := options{
 		readHeaderTimeout: 3 * time.Second,
 		readTimeout:       7 * time.Second,
@@ -687,6 +702,7 @@ func TestNewHTTPServerSlowlorisHardening(t *testing.T) {
 // tag whose prediction matches it exactly — the HTTP-level torn-read
 // check.
 func TestHTTPChaosReloadStorm(t *testing.T) {
+	check.NoLeaks(t)
 	const goodCycles = 100
 	mem := fault.NewMemFS()
 	if err := netio.SaveFileFS(mem, "models/m.pss", testSnapshot(1)); err != nil {
@@ -805,6 +821,7 @@ func TestHTTPChaosReloadStorm(t *testing.T) {
 // hot-reloads a retrained snapshot — the in-process version of
 // scripts/psserve-smoke.sh and psserve-chaos.sh.
 func TestServeTrainedModelEndToEnd(t *testing.T) {
+	check.NoLeaks(t)
 	const (
 		preset  = "8bit"
 		rule    = "stochastic"

@@ -174,6 +174,7 @@ func run(data, mnistDir, rule, preset, format, rounding string, neurons, nTrain,
 	reg := ob.registry()
 	if ob.Pprof != "" {
 		ln := ob.Pprof
+		//psslint:detached opt-in pprof debug listener; serves until the process exits
 		go func() {
 			if err := http.ListenAndServe(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pssim: pprof server:", err)

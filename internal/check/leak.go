@@ -1,0 +1,116 @@
+// Goroutine-leak detection for tests. Unlike the rest of this package,
+// NoLeaks is not gated on the simcheck tag: it costs nothing unless called,
+// and only test code calls it. It lives here (not in a _test.go file) so
+// every test package can share it.
+
+package check
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB that NoLeaks needs. Declaring it locally
+// keeps the "testing" package (and its flag registration) out of production
+// binaries that link internal/check.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// NoLeaks snapshots the live goroutines and registers a cleanup that fails
+// the test if new ones are still running when it ends. Call it first thing
+// in a test that exercises goroutine-spawning code:
+//
+//	func TestHandler(t *testing.T) {
+//		check.NoLeaks(t)
+//		...
+//	}
+//
+// Goroutines that are merely slow to exit get a grace window: the cleanup
+// re-stacks every 10 ms for up to 2 s before reporting. Runtime-internal
+// and test-harness goroutines are ignored, as are net/http's idle keep-alive
+// connection goroutines (owned by the shared transport, not the test).
+func NoLeaks(tb TB) {
+	tb.Helper()
+	before := goroutineStacks()
+	tb.Cleanup(func() {
+		tb.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineStacks() {
+				if _, ok := before[id]; !ok {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if len(leaked) > 0 {
+			sort.Strings(leaked)
+			tb.Errorf("check.NoLeaks: %d goroutine(s) leaked by this test:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}
+
+// goroutineStacks returns the stacks of all interesting live goroutines,
+// keyed by goroutine ID.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(g, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		if ignoredStack(g) {
+			continue
+		}
+		id := strings.Fields(header)[1]
+		stacks[id] = g
+	}
+	return stacks
+}
+
+// ignoredStack reports whether a goroutine dump belongs to infrastructure a
+// test does not own: the runtime, the testing harness, signal handling, or
+// net/http's pooled idle connections (reused across tests by design).
+func ignoredStack(g string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runTests",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+		"internal/check.goroutineStacks",
+	} {
+		if strings.Contains(g, frame) {
+			return true
+		}
+	}
+	return false
+}

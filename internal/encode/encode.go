@@ -180,6 +180,8 @@ func (s *Source) Rate(i int) float64 { return s.rates[i] }
 // Step appends the indices of trains that spike during simulation step
 // `step` of width dt ms, and returns the extended slice. Steps are
 // independent of call order.
+//
+//psslint:noalloc
 func (s *Source) Step(step uint64, dt float64, spikes []int) []int {
 	return s.StepRange(step, dt, 0, len(s.rates), spikes)
 }
@@ -187,6 +189,8 @@ func (s *Source) Step(step uint64, dt float64, spikes []int) []int {
 // StepRange is Step restricted to trains [lo, hi); the parallel engine uses
 // it to partition spike generation by pixel. Splitting a step across ranges
 // yields exactly the spikes of a full Step, in the same (ascending) order.
+//
+//psslint:noalloc
 func (s *Source) StepRange(step uint64, dt float64, lo, hi int, spikes []int) []int {
 	switch s.Kind {
 	case Poisson:

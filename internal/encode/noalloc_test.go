@@ -1,0 +1,37 @@
+package encode
+
+// AllocsPerRun gate for the //psslint:noalloc annotations on the spike
+// source step loop: once the caller's spike buffer has capacity for the
+// image, Step and StepRange must not touch the heap.
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/check"
+)
+
+func TestNoAllocStep(t *testing.T) {
+	if check.Enabled {
+		t.Skip("simcheck build: noalloc gates apply to release paths only")
+	}
+	img := make([]uint8, 16)
+	for i := range img {
+		img[i] = uint8(i * 17) // mix of silent and near-saturated pixels
+	}
+	s, err := NewSource(img, BaselineBand(), Poisson, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.5
+	s.Prepare(dt)
+	spikes := make([]int, 0, len(img))
+	step := uint64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		spikes = s.Step(step, dt, spikes[:0])
+		spikes = s.StepRange(step, dt, 0, len(img), spikes[:0])
+		step++
+	})
+	if avg != 0 {
+		t.Errorf("Step/StepRange allocate %.1f per run, want 0", avg)
+	}
+}

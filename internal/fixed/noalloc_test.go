@@ -1,0 +1,40 @@
+package fixed
+
+// AllocsPerRun gates for the //psslint:noalloc annotations on the packed
+// SWAR kernels. The compiler-escape half of the ratchet lives in
+// scripts/check-allocs.sh; this half pins the runtime behaviour.
+
+import "testing"
+
+func TestNoAllocPackedKernels(t *testing.T) {
+	for _, f := range []Format{Q0p2, Q0p4, Q1p7} {
+		pk, err := f.Packing()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 13 // straddles word boundaries for every width
+		codes := make([]uint32, n)
+		mid := pk.CodeOf(Weight(f.Max() / 2))
+		for i := range codes {
+			codes[i] = mid
+		}
+		words := pk.Pack(codes)
+		sel := pk.NewSelect(n)
+		pk.SetLane(sel, 3)
+		pk.SetLane(sel, 7)
+		pk.SetLane(sel, n-1)
+		ceil := pk.CodeOf(Weight(f.Max()))
+		floor := pk.CodeOf(0)
+		cur := make([]float64, n)
+		avg := testing.AllocsPerRun(100, func() {
+			pk.AddSatMasked(words, sel, ceil)
+			pk.SubSatMasked(words, sel, floor)
+			pk.IncSat(words, 2, ceil)
+			pk.DecSat(words, 5, floor)
+			pk.AccumulateRange(words, 0.5, cur, 0, n)
+		})
+		if avg != 0 {
+			t.Errorf("%s: packed kernel cycle allocates %.1f per run, want 0", f, avg)
+		}
+	}
+}

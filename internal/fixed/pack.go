@@ -251,6 +251,8 @@ func (p *Packing) SetLane(sel []Word, i int) {
 // word-kernel form of Format.AddSat for the paper's ≤8-bit learning modes,
 // where the update amplitude is pinned to the quantization step (§III-C):
 // 8–32 synapses potentiate per operation instead of one.
+//
+//psslint:noalloc
 func (p *Packing) AddSatMasked(words, sel []Word, ceil uint32) {
 	ceilB := p.broadcast(ceil)
 	for wi, m := range sel {
@@ -262,6 +264,8 @@ func (p *Packing) AddSatMasked(words, sel []Word, ceil uint32) {
 
 // SubSatMasked is AddSatMasked's depression twin: a saturating one-step
 // decrement on every selected lane, clamping at code floor.
+//
+//psslint:noalloc
 func (p *Packing) SubSatMasked(words, sel []Word, floor uint32) {
 	floorB := p.broadcast(floor)
 	for wi, m := range sel {
@@ -274,6 +278,8 @@ func (p *Packing) SubSatMasked(words, sel []Word, floor uint32) {
 // IncSat applies a saturating one-step increment to a single lane — the
 // per-synapse form the dense plasticity path uses when only one lane of a
 // row moves.
+//
+//psslint:noalloc
 func (p *Packing) IncSat(words []Word, i int, ceil uint32) uint32 {
 	c := p.Get(words, i)
 	if c >= ceil {
@@ -286,6 +292,8 @@ func (p *Packing) IncSat(words []Word, i int, ceil uint32) uint32 {
 }
 
 // DecSat applies a saturating one-step decrement to a single lane.
+//
+//psslint:noalloc
 func (p *Packing) DecSat(words []Word, i int, floor uint32) uint32 {
 	c := p.Get(words, i)
 	if c <= floor {
@@ -303,6 +311,8 @@ func (p *Packing) DecSat(words []Word, i int, floor uint32) uint32 {
 // the wide matrix again, so the walk runs at packed-row memory bandwidth.
 // The additions happen in ascending lane order, preserving the float
 // summation order of the scalar loop it replaces (bit-identity).
+//
+//psslint:noalloc
 func (p *Packing) AccumulateRange(words []Word, amp float64, cur []float64, lo, hi int) {
 	if lut := p.lut; lut != nil {
 		for i := lo; i < hi; {

@@ -273,7 +273,34 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 	}
 
 	res := network.PresentResult{Steps: e.steps}
+	res.InputSpikes = e.run(s, startStep, dt)
+
+	res.SpikeCounts = make([]int, e.cfg.NumNeurons)
+	for i, c := range pop.SpikeCounts() {
+		res.SpikeCounts[i] = int(c)
+	}
+	if check.Enabled {
+		// The engine's thresholds are frozen; a drifted scratch copy would
+		// silently desynchronize inference from the trained model.
+		for i, th := range pop.Theta() {
+			check.Assert(th == e.theta[i],
+				"infer: scratch theta %d drifted from frozen value (%v != %v)", i, th, e.theta[i])
+		}
+	}
+	return res, nil
+}
+
+// run is the per-presentation step loop — the inference hot path proper,
+// split out of forward so the allocation ratchet can pin it: every buffer
+// it touches lives in the pooled scratch, and after the scratch's first
+// presentation warms the append capacities a run performs zero heap
+// allocations (TestNoAllocRun). Returns the total input spike count.
+//
+//psslint:noalloc
+func (e *Engine) run(s *scratch, startStep uint64, dt float64) int {
+	pop := s.pop
 	amp := e.cfg.SpikeAmp
+	inputSpikes := 0
 	for step := 0; step < e.steps; step++ {
 		now := float64(step) * dt
 
@@ -281,7 +308,7 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 		// training path's chunk merge produces, which fixes the float
 		// summation order below.
 		s.in = s.src.Step(startStep+uint64(step), dt, s.in[:0])
-		res.InputSpikes += len(s.in)
+		inputSpikes += len(s.in)
 
 		// (2) Input current accumulation (eq. 3), spike-major like the
 		// training kernel.
@@ -325,20 +352,7 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 				"infer: inhibition enabled but %d neurons fired in one step", len(post))
 		}
 	}
-
-	res.SpikeCounts = make([]int, e.cfg.NumNeurons)
-	for i, c := range pop.SpikeCounts() {
-		res.SpikeCounts[i] = int(c)
-	}
-	if check.Enabled {
-		// The engine's thresholds are frozen; a drifted scratch copy would
-		// silently desynchronize inference from the trained model.
-		for i, th := range pop.Theta() {
-			check.Assert(th == e.theta[i],
-				"infer: scratch theta %d drifted from frozen value (%v != %v)", i, th, e.theta[i])
-		}
-	}
-	return res, nil
+	return inputSpikes
 }
 
 // Prediction is the classification outcome for one image.

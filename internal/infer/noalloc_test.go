@@ -1,0 +1,75 @@
+package infer
+
+// In-package AllocsPerRun gate for the //psslint:noalloc annotation on
+// Engine.run, the inference hot loop. Forward itself allocates exactly its
+// result's SpikeCounts slice; run — the step loop proper — must be
+// allocation-free once the pooled scratch has served one presentation.
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/synapse"
+)
+
+func TestNoAllocRun(t *testing.T) {
+	if check.Enabled {
+		t.Skip("simcheck build: noalloc gates apply to release paths only")
+	}
+	syn, _, err := synapse.PresetConfig(synapse.Preset8Bit, synapse.Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Seed = 9
+	cfg := network.DefaultConfig(16, 4, syn)
+	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 20}
+	n := cfg.NumInputs * cfg.NumNeurons
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = 0.3
+	}
+	e, err := New(Params{
+		Net:         cfg,
+		Control:     ctl,
+		G:           g,
+		Theta:       make([]float64, cfg.NumNeurons),
+		Assignments: []int{0, 1, 0, 1},
+		NumClasses:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]uint8, cfg.NumInputs)
+	for i := range img {
+		img[i] = uint8(i * 16)
+	}
+	// One full presentation binds the source and warms every append
+	// capacity in the scratch; holding the scratch across the measurement
+	// keeps the pool out of the picture.
+	s := e.scratch.Get().(*scratch)
+	defer e.scratch.Put(s)
+	if _, err := e.forward(s, img, 0); err != nil {
+		t.Fatal(err)
+	}
+	dt := e.cfg.DTms
+	total := 0
+	avg := testing.AllocsPerRun(20, func() {
+		// forward's per-presentation setup, minus the result allocation.
+		if err := s.src.Rebind(img, e.ctl.Band, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		s.src.Prepare(dt)
+		s.pop.ResetMembranes()
+		s.pop.ClearSpikeCounts()
+		for i := range s.current {
+			s.current[i] = 0
+		}
+		total += e.run(s, 0, dt)
+	})
+	if avg != 0 {
+		t.Errorf("run allocates %.1f per presentation, want 0 (input spikes seen: %d)", avg, total)
+	}
+}

@@ -8,7 +8,7 @@
 // that each analyzer's Run function would port to the upstream multichecker
 // by changing only the Pass type's import path.
 //
-// The four analyzers encode invariants the compiler cannot see:
+// The seven analyzers encode invariants the compiler cannot see:
 //
 //   - deprecated: qualified calls of the constructors the functional-options
 //     API replaced (engine.NewPool, engine.Sequential{}, positional
@@ -25,6 +25,19 @@
 //   - ioerr: silently dropped errors from netio calls and from Close on
 //     writable files. A checkpoint whose write or close error vanishes is a
 //     checkpoint that may not exist after a crash.
+//   - rcuimmut: read-side discipline for the RCU-style hot-reload scheme.
+//     A pointer loaded from atomic.Pointer is a published snapshot shared
+//     with concurrent readers: no writes through it, no aliasing it into
+//     mutable fields, no re-publishing it, and (in registered packages)
+//     Store only inside the sanctioned validate→fence→swap function.
+//   - golifecycle: every goroutine must be tied to a lifecycle — a
+//     WaitGroup, a channel drain, or a cancellation receive — or carry a
+//     //psslint:detached justification; goroutine sends that can block
+//     forever once the receiver cancels are flagged too.
+//   - hotalloc: the source-level half of the zero-alloc ratchet — obvious
+//     heap constructs inside //psslint:noalloc functions. The compiler
+//     escape-analysis gate (EscapeCheck, scripts/check-allocs.sh) and
+//     testing.AllocsPerRun tests are the runtime-truth halves.
 package lint
 
 import (
@@ -123,7 +136,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DeprecatedAnalyzer, FixedRangeAnalyzer, DetRandAnalyzer, IOErrAnalyzer}
+	return []*Analyzer{
+		DeprecatedAnalyzer, FixedRangeAnalyzer, DetRandAnalyzer, IOErrAnalyzer,
+		RCUImmutAnalyzer, GoLifecycleAnalyzer, HotAllocAnalyzer,
+	}
 }
 
 // objPkgPath returns the import path of the package an object belongs to

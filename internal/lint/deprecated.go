@@ -26,8 +26,9 @@ var (
 // Unlike the grep this replaces, the check resolves each use through the
 // type checker, so renamed imports, line breaks, or look-alike identifiers
 // in other packages neither fool nor false-positive it. Uses inside the
-// defining packages (the wrappers themselves and their in-package tests)
-// are exempt.
+// engine/learn packages (the wrappers themselves) are exempt; synapse has
+// no exemption anymore — Matrix.Row was removed after its PR 7 grace
+// period, and any reintroduction is flagged even inside its own package.
 var DeprecatedAnalyzer = &Analyzer{
 	Name: "deprecated",
 	Doc:  "flags calls to engine.NewPool, engine.Sequential composite literals and positional learn.NewTrainer; use engine.New / learn.New instead",
@@ -36,7 +37,7 @@ var DeprecatedAnalyzer = &Analyzer{
 
 func runDeprecated(pass *Pass) error {
 	self := pass.Pkg.Path()
-	if self == enginePkgPath || self == learnPkgPath || self == synapsePkgPath {
+	if self == enginePkgPath || self == learnPkgPath {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -50,7 +51,7 @@ func runDeprecated(pass *Pass) error {
 				case isPkgFunc(obj, learnPkgPath, "NewTrainer"):
 					pass.Report(n.Pos(), "learn.NewTrainer is deprecated; use learn.New with Options.NumClasses")
 				case isMethodOf(obj, synapsePkgPath, "Matrix", "Row"):
-					pass.Report(n.Pos(), "synapse.Matrix.Row is deprecated (returns a copy, never writes through); use At, AccumulateCurrentRange or ForEachRow")
+					pass.Report(n.Pos(), "synapse.Matrix.Row was removed with the sealed storage API (PR 7 grace period ended); use At, AccumulateCurrentRange or ForEachRow")
 				}
 			case *ast.CompositeLit:
 				if tn := namedTypeOf(pass.TypesInfo, n); tn != nil &&

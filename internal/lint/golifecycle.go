@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetachedDirective is the escape hatch for the rare goroutine that is
+// genuinely meant to outlive its spawner (e.g. a debug pprof listener that
+// dies with the process). It must carry a justification:
+//
+//	//psslint:detached pprof debug listener, dies with the process
+//	go func() { ... }()
+//
+// placed on the line of, or the line directly above, the go statement.
+const DetachedDirective = "psslint:detached"
+
+// GoLifecycleAnalyzer requires every `go` statement in non-test packages to
+// be tied to a lifecycle the spawner (or an owner's Close) can observe.
+// Accepted evidence, checked per goroutine:
+//
+//   - the body calls sync.WaitGroup.Done (typically deferred, paired with
+//     an Add before the spawn);
+//   - the body ranges over a channel (worker drains until close);
+//   - the body receives from a channel (<-ctx.Done(), stop channels,
+//     signal waiters — any select with a cancellation case qualifies);
+//   - every channel send in the body targets a locally made *buffered*
+//     channel (a result handoff that completes even if the receiver has
+//     already abandoned it);
+//   - a //psslint:detached directive with a non-empty justification.
+//
+// Anything else is a fire-and-forget goroutine: nothing can wait for it,
+// cancel it, or observe its panic. Separately, a send in a goroutine body
+// on an *unbuffered* locally made channel whose receiver is a multi-case
+// select is flagged as a potential permanent block: once the select takes
+// its cancellation arm, nobody ever receives, and the goroutine (plus
+// everything it holds) leaks.
+var GoLifecycleAnalyzer = &Analyzer{
+	Name: "golifecycle",
+	Doc:  "flags fire-and-forget goroutines with no lifecycle (WaitGroup, channel drain, cancellation receive) and goroutine sends that can block forever after the receiver cancels",
+	Run:  runGoLifecycle,
+}
+
+func runGoLifecycle(pass *Pass) error {
+	for _, file := range pass.Files {
+		directives := detachedDirectiveLines(pass, file)
+		// Walk with an explicit ancestor stack so each go statement can see
+		// its enclosing function body (for channel decls and select usage).
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g, stack, directives)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// detachedDirectiveLines maps line number -> justification text for every
+// //psslint:detached comment in the file. An empty justification is
+// reported immediately: the directive is an audit trail, not a mute button.
+func detachedDirectiveLines(pass *Pass, file *ast.File) map[int]string {
+	lines := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, DetachedDirective) {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(text, DetachedDirective))
+			if i := strings.Index(reason, "//"); i >= 0 {
+				reason = strings.TrimSpace(reason[:i]) // a trailing comment is not a reason
+			}
+			if reason == "" {
+				pass.Report(c.Pos(), "psslint:detached needs a justification (why may this goroutine outlive its spawner?)")
+				continue
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = reason
+		}
+	}
+	return lines
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, stack []ast.Node, directives map[int]string) {
+	goLine := pass.Fset.Position(g.Pos()).Line
+	if _, ok := directives[goLine]; ok {
+		return
+	}
+	if _, ok := directives[goLine-1]; ok {
+		return
+	}
+
+	enclosing := enclosingFuncBody(stack, g)
+	locals := localChannels(pass.TypesInfo, enclosing)
+
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		// Named function or method value: the body is out of reach, so
+		// accept the spawn only when the enclosing function shows the
+		// WaitGroup idiom around it.
+		if !containsWaitGroupAdd(pass.TypesInfo, enclosing) {
+			pass.Report(g.Pos(), "goroutine is not tied to any lifecycle: no WaitGroup, channel drain, or cancellation receive ties it to its spawner (annotate //psslint:detached <reason> if it must outlive the caller)")
+		}
+		return
+	}
+
+	if !goroutineHasLifecycle(pass.TypesInfo, lit, locals) {
+		pass.Report(g.Pos(), "goroutine is not tied to any lifecycle: no WaitGroup, channel drain, or cancellation receive ties it to its spawner (annotate //psslint:detached <reason> if it must outlive the caller)")
+	}
+	flagAbandonableSends(pass, lit, enclosing, locals)
+}
+
+// localChannel describes a channel variable made in the enclosing function.
+type localChannel struct {
+	buffered bool
+}
+
+// localChannels collects objects of channel variables initialized with
+// make(chan ...) in body, recording whether they are buffered. A
+// non-constant capacity counts as buffered (the spawner sized it).
+func localChannels(info *types.Info, body *ast.BlockStmt) map[types.Object]localChannel {
+	chans := make(map[types.Object]localChannel)
+	if body == nil {
+		return chans
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" || len(call.Args) == 0 {
+			return
+		}
+		if _, ok := info.Types[call].Type.Underlying().(*types.Chan); !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		buffered := false
+		if len(call.Args) >= 2 {
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+				buffered = tv.Value.String() != "0"
+			} else {
+				buffered = true
+			}
+		}
+		chans[obj] = localChannel{buffered: buffered}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					record(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) {
+					record(id, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return chans
+}
+
+// goroutineHasLifecycle reports whether the goroutine body carries any of
+// the accepted lifecycle evidence.
+func goroutineHasLifecycle(info *types.Info, lit *ast.FuncLit, locals map[types.Object]localChannel) bool {
+	evidence := false
+	sends := 0
+	localSends := 0
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if isMethodOf(info.Uses[sel.Sel], "sync", "WaitGroup", "Done") {
+					evidence = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[ast.Unparen(n.X)]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					evidence = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				evidence = true // blocks on a receive: stop channel, ctx.Done(), result wait
+			}
+		case *ast.SendStmt:
+			sends++
+			if obj := chanObject(info, n.Chan); obj != nil {
+				if _, ok := locals[obj]; ok {
+					localSends++
+				}
+			}
+		}
+		return true
+	})
+	if evidence {
+		return true
+	}
+	// A result handoff: the spawner holds the other end of every channel
+	// the goroutine sends on. (Whether an unbuffered handoff can be
+	// abandoned is flagAbandonableSends' separate, sharper finding.)
+	return sends > 0 && localSends == sends
+}
+
+// flagAbandonableSends reports sends inside the goroutine body on unbuffered
+// locally made channels whose only receiver is a multi-case select in the
+// enclosing function: after the select takes another arm (cancellation,
+// timeout), the send blocks forever.
+func flagAbandonableSends(pass *Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt, locals map[types.Object]localChannel) {
+	if enclosing == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		obj := chanObject(pass.TypesInfo, send.Chan)
+		if obj == nil {
+			return true
+		}
+		lc, ok := locals[obj]
+		if !ok || lc.buffered {
+			return true
+		}
+		if receiverMayAbandon(pass.TypesInfo, enclosing, obj) {
+			pass.Report(send.Pos(), "send on an unbuffered channel may block forever once the receiving select takes its cancellation arm; make the channel buffered so the handoff always completes")
+		}
+		return true
+	})
+}
+
+// receiverMayAbandon reports whether body contains a select statement that
+// receives from the channel obj in one case but has other cases too — i.e.
+// the receiver can walk away without ever receiving.
+func receiverMayAbandon(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	abandon := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || len(sel.Body.List) < 2 {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			if commReceivesFrom(info, comm.Comm, obj) {
+				abandon = true
+			}
+		}
+		return true
+	})
+	return abandon
+}
+
+// commReceivesFrom reports whether a select comm clause statement receives
+// from the channel object obj (`<-ch`, `v := <-ch`, `v, ok := <-ch`).
+func commReceivesFrom(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	var expr ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return chanObject(info, u.X) == obj
+}
+
+// chanObject resolves a channel expression to its variable object, or nil.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// enclosingFuncBody returns the body of the innermost function (declaration
+// or literal) containing g, excluding g's own function literal.
+func enclosingFuncBody(stack []ast.Node, g *ast.GoStmt) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(g) {
+			continue
+		}
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			if fn != g.Call.Fun {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// containsWaitGroupAdd reports whether body calls sync.WaitGroup.Add —
+// the only spawn-side evidence available when the goroutine runs a named
+// function whose body the analyzer cannot see.
+func containsWaitGroupAdd(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if isMethodOf(info.Uses[sel.Sel], "sync", "WaitGroup", "Add") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -53,6 +53,54 @@ func TestIOErrAnalyzer(t *testing.T) {
 	checkFixture(t, "testdata/src/ioerr", IOErrAnalyzer)
 }
 
+func TestRCUImmutAnalyzer(t *testing.T) {
+	const fixturePath = "parallelspikesim/internal/lint/testdata/src/rcuimmut"
+	RCUStoreAllowed[fixturePath] = map[string]bool{"publish": true, "republish": true}
+	defer delete(RCUStoreAllowed, fixturePath)
+	checkFixture(t, "testdata/src/rcuimmut", RCUImmutAnalyzer)
+}
+
+// TestRCUImmutUnrestrictedStores proves the Store-site rule is scoped: the
+// same fixture without an RCUStoreAllowed registration keeps its read-side
+// findings but loses the swap-path one.
+func TestRCUImmutUnrestrictedStores(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/rcuimmut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{RCUImmutAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "sanctioned swap path") {
+			t.Errorf("unregistered package produced a swap-path diagnostic: %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("read-side rules should fire without a Store registration")
+	}
+}
+
+func TestGoLifecycleAnalyzer(t *testing.T) {
+	checkFixture(t, "testdata/src/golifecycle", GoLifecycleAnalyzer)
+}
+
+func TestHotAllocAnalyzer(t *testing.T) {
+	checkFixture(t, "testdata/src/hotalloc", HotAllocAnalyzer)
+}
+
+// TestRowShimReintroduction retargets the deprecated analyzer's synapse
+// path at a fixture that redefines Matrix.Row: with the old self-exemption
+// gone, even the defining package cannot bring the shim back.
+func TestRowShimReintroduction(t *testing.T) {
+	const fixturePath = "parallelspikesim/internal/lint/testdata/src/rowshim"
+	old := synapsePkgPath
+	synapsePkgPath = fixturePath
+	defer func() { synapsePkgPath = old }()
+	checkFixture(t, "testdata/src/rowshim", DeprecatedAnalyzer)
+}
+
 // TestSuiteCleanOnOwnPackage runs every analyzer over this package itself —
 // a live example of the tree-wide gate psslint enforces in CI.
 func TestSuiteCleanOnOwnPackage(t *testing.T) {

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadMultiFilePackage checks that every file of a package is parsed
+// and that cross-file references type-check (a.go uses b.go's symbols).
+func TestLoadMultiFilePackage(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/multifile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2", len(pkg.Files))
+	}
+	total := pkg.Types.Scope().Lookup("Total")
+	if total == nil {
+		t.Fatal("Total not found in package scope")
+	}
+	// The cross-file references resolved: the package-level table and bonus
+	// from b.go must be in scope too.
+	for _, name := range []string{"table", "bonus"} {
+		if pkg.Types.Scope().Lookup(name) == nil {
+			t.Errorf("%s from b.go not resolved", name)
+		}
+	}
+}
+
+// TestLoadFailsOnBrokenPackage is the loader's negative path: a package
+// that parses but does not type-check must surface an error instead of
+// handing analyzers a half-typed package.
+func TestLoadFailsOnBrokenPackage(t *testing.T) {
+	_, err := LoadDir("testdata/src/badcompile")
+	if err == nil {
+		t.Fatal("loading a package with a type error should fail")
+	}
+	if !strings.Contains(err.Error(), "badcompile") {
+		t.Errorf("error does not name the failing package: %v", err)
+	}
+}
+
+// TestLoadRespectsBuildTags: the simcheck-gated sibling file is invisible
+// to an untagged load and visible when GOFLAGS carries the tag — the same
+// views the untagged and simcheck CI jobs get.
+func TestLoadRespectsBuildTags(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("untagged load saw %d files, want 1", len(pkg.Files))
+	}
+
+	t.Setenv("GOFLAGS", "-tags=simcheck")
+	pkg, err = LoadDir("testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("simcheck load saw %d files, want 2", len(pkg.Files))
+	}
+}
+
+// TestLoadRejectsEmptyPatterns pins the explicit usage error.
+func TestLoadRejectsEmptyPatterns(t *testing.T) {
+	if _, err := Load("."); err == nil {
+		t.Fatal("Load with no patterns should fail")
+	}
+}
+
+// TestLoadDirRejectsMultiplePackages: a directory is one package; patterns
+// that resolve to more must be rejected by LoadDir's single-package check.
+func TestLoadDirRejectsMultiplePackages(t *testing.T) {
+	// A directory with no Go files errors at go list time instead; build a
+	// scratch dir with a broken layout to hit the count check is not
+	// possible via LoadDir (it always passes "."), so pin the go list error
+	// path: an empty directory.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("no go files"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir on a directory without Go files should fail")
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RCUStoreAllowed restricts atomic.Pointer.Store call sites per package:
+// a package listed here may only call Store inside the named functions.
+// Packages not listed are unrestricted (the read-side rules still apply).
+// The registry's staged validate→fence→swap path funnels every publish
+// through exactly one function, so anything else storing into an entry is
+// a writer bypassing the fence. Variable so tests can register fixtures.
+var RCUStoreAllowed = map[string]map[string]bool{
+	"parallelspikesim/internal/registry": {"publish": true},
+}
+
+// RCUImmutAnalyzer enforces the read-side contract of the RCU-style
+// hot-reload scheme (DESIGN.md §13, §15): a pointer obtained from
+// atomic.Pointer.Load is a published snapshot shared with every concurrent
+// reader, so it is read-only. The analyzer flags, per function:
+//
+//   - writes through a loaded snapshot pointer (field stores, element
+//     stores, ++/--), including through local aliases of it;
+//   - aliasing a snapshot into a longer-lived mutable location (a field or
+//     element store of the pointer itself), which would let a later writer
+//     mutate what readers still see;
+//   - atomic.Pointer.Store of a pointer that itself came from Load
+//     (re-publishing a value still reachable by writers instead of
+//     constructing a fresh one);
+//   - in packages registered in RCUStoreAllowed, any Store outside the
+//     sanctioned swap-path function(s).
+//
+// Reading fields, copying the pointee (`c := *m`) and mutating the copy are
+// all fine — that is the sanctioned way to derive a new value to publish.
+var RCUImmutAnalyzer = &Analyzer{
+	Name: "rcuimmut",
+	Doc:  "treats pointers loaded from atomic.Pointer as immutable snapshots: no writes through them, no aliasing into mutable fields, no re-publishing, Store only on the sanctioned swap path",
+	Run:  runRCUImmut,
+}
+
+func runRCUImmut(pass *Pass) error {
+	allowed := RCUStoreAllowed[pass.Pkg.Path()]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkRCUFunc(pass, fn, allowed)
+		}
+	}
+	return nil
+}
+
+// checkRCUFunc analyzes one top-level function (including any function
+// literals nested in it — taint is tracked by object identity, so shared
+// scope across literals is handled naturally).
+func checkRCUFunc(pass *Pass, fn *ast.FuncDecl, allowedStores map[string]bool) {
+	info := pass.TypesInfo
+	tainted := rcuTaintedVars(info, fn.Body)
+
+	isTainted := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return tainted[obj]
+			}
+		}
+		// x.Load().Field = ... writes through the snapshot without ever
+		// naming it.
+		if call, ok := e.(*ast.CallExpr); ok {
+			return isAtomicPointerCall(info, call, "Load")
+		}
+		return false
+	}
+	rootTainted := func(e ast.Expr) bool { return isTainted(rcuRootExpr(e)) }
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+					continue // rebinding a local is not a write through the pointer
+				}
+				if rootTainted(lhs) {
+					pass.Report(lhs.Pos(), "write through a pointer loaded from atomic.Pointer: published snapshots are immutable; copy the value, mutate the copy, and publish the copy")
+				}
+			}
+			// Aliasing: storing the snapshot pointer (or the address of one
+			// of its fields) into a field/element that outlives this read.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					lhs := ast.Unparen(n.Lhs[i])
+					if _, bare := lhs.(*ast.Ident); bare {
+						continue // local alias; taint tracking follows it
+					}
+					r := ast.Unparen(rhs)
+					if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						r = u.X
+					}
+					if isTainted(r) || (!isTainted(r) && rootTainted(r) && isPointerish(info, rhs)) {
+						pass.Report(rhs.Pos(), "aliasing an atomic.Pointer snapshot into a mutable field lets later writers mutate what readers still see; copy the data instead")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootTainted(n.X) {
+				pass.Report(n.X.Pos(), "write through a pointer loaded from atomic.Pointer: published snapshots are immutable; copy the value, mutate the copy, and publish the copy")
+			}
+		case *ast.CallExpr:
+			if !isAtomicPointerCall(info, n, "Store") {
+				return true
+			}
+			if len(n.Args) == 1 && isTainted(n.Args[0]) {
+				pass.Report(n.Args[0].Pos(), "re-publishing a pointer obtained from atomic.Pointer.Load: the value is still reachable by writers; construct a fresh value and Store that")
+			}
+			if allowedStores != nil && !allowedStores[fn.Name.Name] {
+				pass.Reportf(n.Pos(), "atomic.Pointer.Store outside the sanctioned swap path (%s); route publishes through the staged validate→fence→swap sequence", strings.Join(sortedKeys(allowedStores), ", "))
+			}
+		}
+		return true
+	})
+}
+
+// rcuTaintedVars collects every local variable that (transitively) holds a
+// pointer obtained from atomic.Pointer.Load within body. A small fixpoint
+// follows plain aliases (`snap := m`); copies through a dereference
+// (`c := *m`) are deliberately NOT tainted — they are fresh values.
+func rcuTaintedVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	taintsFrom := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			return isAtomicPointerCall(info, call, "Load")
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return tainted[obj]
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !taintsFrom(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isAtomicPointerCall reports whether call invokes the named method
+// (Load/Store/...) on sync/atomic's generic Pointer[T].
+func isAtomicPointerCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isMethodOf(info.Uses[sel.Sel], "sync/atomic", "Pointer", name)
+}
+
+// rcuRootExpr strips selectors, indexing, slicing and dereferences down to
+// the base expression: m.labels[0] -> m, (*m).gen -> m.
+func rcuRootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// isPointerish reports whether e has reference semantics (pointer, slice or
+// map), i.e. storing it shares the underlying snapshot memory.
+func isPointerish(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// sortedKeys returns the map's keys in a stable order for diagnostics.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

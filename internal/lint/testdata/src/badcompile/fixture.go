@@ -1,0 +1,9 @@
+// Package badcompile is a loader test fixture that parses but fails
+// type-checking: the loader must surface the error instead of analyzing a
+// half-typed package.
+package badcompile
+
+// Broken references an undefined type.
+func Broken() undefinedType {
+	return nil
+}

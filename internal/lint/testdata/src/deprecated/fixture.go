@@ -29,13 +29,9 @@ func BadSplit() {
 	p.Close()
 }
 
-// BadRow calls the sealed-Matrix copy shim through a variable receiver; the
-// method call resolves through the type checker like any qualified call.
-func BadRow(m *synapse.Matrix) []fixed.Weight {
-	return m.Row(0) // want `synapse.Matrix.Row is deprecated`
-}
-
 // GoodMatrix reads through the sealed accessors; none of it may be flagged.
+// (The deprecated Row copy shim itself is gone — the rowshim fixture proves
+// the analyzer flags any reintroduction.)
 func GoodMatrix(m *synapse.Matrix) float64 {
 	total := 0.0
 	m.ForEachRow(func(pre int, row []fixed.Weight) {

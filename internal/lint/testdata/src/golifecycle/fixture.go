@@ -1,0 +1,118 @@
+// Package golifecycle is a psslint test fixture: goroutines with and
+// without a lifecycle, the detached escape hatch, and the abandonable-send
+// hazard.
+package golifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+func work() int { return 42 }
+
+// fireAndForget has no lifecycle at all: nothing waits, cancels or observes.
+func fireAndForget() {
+	go func() { // want `not tied to any lifecycle`
+		work()
+	}()
+}
+
+// namedFireAndForget spawns a named function with no spawn-side evidence.
+func namedFireAndForget() {
+	go helper() // want `not tied to any lifecycle`
+}
+
+func helper() { work() }
+
+// detached is sanctioned: the directive carries its justification.
+func detached() {
+	//psslint:detached debug listener by design, dies with the process
+	go func() {
+		work()
+	}()
+}
+
+// detachedNoReason uses the directive as a mute button; the missing
+// justification is itself a finding (and does not exempt the goroutine).
+func detachedNoReason() {
+	//psslint:detached // want `needs a justification`
+	go func() { // want `not tied to any lifecycle`
+		work()
+	}()
+}
+
+// waited is the WaitGroup idiom.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// namedWaited: a named function under a WaitGroup — spawn-side evidence.
+func namedWaited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper()
+	wg.Wait()
+}
+
+// worker drains a channel until close — the engine-pool pattern.
+func worker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// stopChannel blocks on a cancellation receive.
+func stopChannel(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// bufferedHandoff is the near-miss negative for the send hazard: the
+// result channel has slack for the one send, so the goroutine always
+// terminates even if the select below already took the ctx arm.
+func bufferedHandoff(ctx context.Context) int {
+	done := make(chan int, 1)
+	go func() {
+		done <- work()
+	}()
+	select {
+	case v := <-done:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// abandonedSend is the hazard itself: unbuffered channel, receiver can take
+// the cancellation arm and walk away, sender blocks forever.
+func abandonedSend(ctx context.Context) int {
+	done := make(chan int)
+	go func() {
+		done <- work() // want `may block forever`
+	}()
+	select {
+	case v := <-done:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// dedicatedReceiver is the near-miss negative for the select rule: the
+// receive is unconditional, so an unbuffered handoff is fine.
+func dedicatedReceiver() int {
+	done := make(chan int)
+	go func() {
+		done <- work()
+	}()
+	return <-done
+}

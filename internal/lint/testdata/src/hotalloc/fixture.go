@@ -1,0 +1,69 @@
+// Package hotalloc is a psslint test fixture for the //psslint:noalloc
+// AST pass: heap constructs inside annotated functions are findings;
+// caller-owned buffer reuse and everything in unannotated functions is not.
+package hotalloc
+
+import "fmt"
+
+type kernel struct {
+	buf     []int
+	scratch []int
+}
+
+type stater interface{ state() int }
+
+type point struct{ x, y int }
+
+func (p point) state() int { return p.x }
+
+// bad packs every flagged construct into one annotated body.
+//
+//psslint:noalloc
+func bad(k *kernel, xs []int) int {
+	tmp := make([]int, 8) // want `make allocates`
+	p := new(point)       // want `new allocates`
+	lit := []int{1, 2}    // want `slice literal allocates`
+	m := map[int]int{}    // want `map literal allocates`
+	q := &point{x: 1}     // want `&T\{\} composite literal`
+	f := func() int {     // want `function literal allocates a closure`
+		return len(xs)
+	}
+	go f() // want `go statement allocates`
+	var local []int
+	local = append(local, 1) // want `append to a locally allocated slice`
+	fmt.Println(xs)          // want `fmt.Println allocates`
+	var s stater = stater(p) // want `conversion to interface boxes`
+	name := "a"
+	name = name + "b" // want `string concatenation allocates`
+	return tmp[0] + lit[0] + m[0] + q.y + local[0] + s.state() + len(name)
+}
+
+// good is the sanctioned shape: append into caller-owned buffers, including
+// reslices of receiver fields, plain value literals, constant strings.
+//
+//psslint:noalloc
+func good(k *kernel, out []int, n int) []int {
+	out = out[:0]
+	live := k.scratch[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+		live = append(live, i*2)
+	}
+	k.buf = k.buf[:0]
+	k.buf = append(k.buf, live...)
+	pt := point{x: n, y: len(live)}
+	const tag = "hot" + "path" // constant-folded, no allocation
+	_ = tag
+	return append(out, pt.x)
+}
+
+// coldPath is the near-miss negative: an unannotated function may use every
+// construct freely.
+func coldPath(n int) []int {
+	buf := make([]int, n)
+	f := func(i int) int { return i * i }
+	for i := range buf {
+		buf[i] = f(i)
+	}
+	return append([]int{len(buf)}, buf...)
+}

@@ -1,0 +1,12 @@
+// Package multifile is a loader test fixture: two files, with a.go using a
+// symbol defined in b.go, so type-checking must see both.
+package multifile
+
+// Total sums the package-level table defined in the sibling file.
+func Total() int {
+	sum := 0
+	for _, v := range table {
+		sum += v
+	}
+	return sum + bonus()
+}

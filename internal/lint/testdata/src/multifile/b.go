@@ -1,0 +1,5 @@
+package multifile
+
+var table = []int{1, 2, 3}
+
+func bonus() int { return 10 }

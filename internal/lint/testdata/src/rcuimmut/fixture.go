@@ -1,0 +1,99 @@
+// Package rcuimmut is a psslint test fixture for the RCU read-side rules:
+// pointers loaded from atomic.Pointer are immutable published snapshots.
+// The test registers this package in RCUStoreAllowed with publish and
+// republish as the sanctioned Store sites.
+package rcuimmut
+
+import "sync/atomic"
+
+type model struct {
+	name   string
+	gen    uint64
+	labels []int
+	aux    *model
+}
+
+type slot struct {
+	cur   atomic.Pointer[model]
+	cache *model
+	view  []int
+}
+
+// read is the sanctioned read-side pattern: load, nil-check, read fields.
+func read(s *slot) uint64 {
+	m := s.cur.Load()
+	if m == nil {
+		return 0
+	}
+	return m.gen + uint64(m.labels[0])
+}
+
+// mutate writes through the snapshot — every store is a data race against
+// concurrent readers.
+func mutate(s *slot) {
+	m := s.cur.Load()
+	m.gen = 7          // want `write through a pointer loaded from atomic.Pointer`
+	m.name = "renamed" // want `write through a pointer loaded from atomic.Pointer`
+	m.labels[0] = 1    // want `write through a pointer loaded from atomic.Pointer`
+	m.gen++            // want `write through a pointer loaded from atomic.Pointer`
+}
+
+// mutateThroughAlias proves taint follows plain local aliases.
+func mutateThroughAlias(s *slot) {
+	m := s.cur.Load()
+	snap := m
+	snap.gen = 9 // want `write through a pointer loaded from atomic.Pointer`
+}
+
+// mutateInline writes through the Load result without naming it.
+func mutateInline(s *slot) {
+	s.cur.Load().gen = 3 // want `write through a pointer loaded from atomic.Pointer`
+}
+
+// alias parks the snapshot (and a reference field of it) where later writers
+// can reach it.
+func alias(s *slot) {
+	m := s.cur.Load()
+	s.cache = m       // want `aliasing an atomic.Pointer snapshot`
+	s.view = m.labels // want `aliasing an atomic.Pointer snapshot`
+	s.cache = m.aux   // want `aliasing an atomic.Pointer snapshot`
+}
+
+// republish stores a pointer that is still reachable by writers.
+func republish(s *slot) {
+	m := s.cur.Load()
+	s.cur.Store(m) // want `re-publishing a pointer obtained from atomic.Pointer.Load`
+}
+
+// publish is the sanctioned swap path (registered in RCUStoreAllowed).
+func publish(s *slot, m *model) {
+	s.cur.Store(m)
+}
+
+// storeElsewhere bypasses the staged swap path.
+func storeElsewhere(s *slot, m *model) {
+	s.cur.Store(m) // want `outside the sanctioned swap path`
+}
+
+// copyThenWrite is the near-miss negative: dereference copies the value, and
+// mutating the copy is exactly how a fresh snapshot is prepared.
+func copyThenWrite(s *slot) model {
+	m := s.cur.Load()
+	c := *m
+	c.gen++
+	c.name = "next"
+	return c
+}
+
+// readGen returns a scalar read through the snapshot — reads are free.
+func readGen(s *slot) uint64 {
+	return s.cur.Load().gen
+}
+
+// localOnly proves unrelated pointer writes stay unflagged: p was never
+// loaded from an atomic.Pointer.
+func localOnly() {
+	p := &model{}
+	p.gen = 1
+	p.labels = append(p.labels, 2)
+}

@@ -1,0 +1,34 @@
+// Package rowshim is a psslint test fixture proving the deprecated
+// analyzer flags a reintroduced synapse.Matrix.Row — even from inside the
+// defining package, now that synapse's self-exemption is gone. The test
+// retargets synapsePkgPath at this package, so the local Matrix type plays
+// the role of synapse.Matrix.
+package rowshim
+
+// Matrix stands in for synapse.Matrix.
+type Matrix struct {
+	NPost int
+}
+
+// Row is the removed copying shim, reintroduced.
+func (m *Matrix) Row(pre int) []float64 {
+	out := make([]float64, m.NPost)
+	return out
+}
+
+// useRow calls the shim from inside its own package; no exemption applies.
+func useRow(m *Matrix) []float64 {
+	return m.Row(0) // want `synapse.Matrix.Row was removed`
+}
+
+// other has a Row method on a different type; calling it is fine.
+type other struct{}
+
+func (other) Row(int) int { return 0 }
+
+var _ = other{}.Row(1)
+
+// Row is a package-level function sharing the name; also fine.
+func Row(n int) int { return n }
+
+var _ = Row(2)

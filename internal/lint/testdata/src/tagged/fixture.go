@@ -1,0 +1,8 @@
+// Package tagged is a loader test fixture for build-tag handling: the
+// sibling file is gated behind the simcheck tag, so an untagged load sees
+// one file and a -tags=simcheck load (via GOFLAGS) sees two.
+package tagged
+
+// Mode names the build the loader saw; the simcheck file shadows it via
+// init.
+var Mode = "plain"

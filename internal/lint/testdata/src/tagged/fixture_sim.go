@@ -1,0 +1,5 @@
+//go:build simcheck
+
+package tagged
+
+func init() { Mode = "simcheck" }

@@ -223,6 +223,8 @@ func (p *Population) Inhibited(i int, now float64) bool {
 //   - inhibited or refractory neurons hold at VReset and do not integrate;
 //   - otherwise v += dt·(A + B·v + C·I);
 //   - if v > VThreshold: record a spike, reset v, start refractory timer.
+//
+//psslint:noalloc
 func (p *Population) StepRange(lo, hi int, dt, now float64, current []float64, spikes []int) []int {
 	prm := p.Params
 	adapt := prm.ThetaPlus > 0 && !p.FreezeTheta
@@ -269,6 +271,8 @@ func (p *Population) StepAll(dt, now float64, current []float64, spikes []int) [
 // decides which candidates actually fire (Fire) and which are suppressed
 // (Suppress) — the mechanism behind intra-step winner-take-all, where the
 // earliest crosser's layer-2 inhibition must beat same-step rivals.
+//
+//psslint:noalloc
 func (p *Population) CandidatesRange(lo, hi int, dt, now float64, current []float64, out []int) []int {
 	prm := p.Params
 	adapt := prm.ThetaPlus > 0 && !p.FreezeTheta

@@ -1,0 +1,40 @@
+package neuron
+
+// AllocsPerRun gate for the //psslint:noalloc annotations on the LIF
+// integration loop: with a caller-provided spike buffer of sufficient
+// capacity, StepRange and CandidatesRange must not touch the heap.
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/check"
+)
+
+func TestNoAllocStepRange(t *testing.T) {
+	if check.Enabled {
+		t.Skip("simcheck build: noalloc gates apply to release paths only")
+	}
+	const n = 10
+	p, err := NewPopulation(n, PaperLIF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the population above rheobase so spikes actually fire and the
+	// append paths run; half below so the subthreshold branch runs too.
+	drive := PaperLIF().RheobaseCurrent() * 1.5
+	current := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		current[i] = drive
+	}
+	const dt = 0.5
+	spikes := make([]int, 0, n)
+	now := 0.0
+	avg := testing.AllocsPerRun(200, func() {
+		spikes = p.StepRange(0, n, dt, now, current, spikes[:0])
+		spikes = p.CandidatesRange(0, n, dt, now, current, spikes[:0])
+		now += dt
+	})
+	if avg != 0 {
+		t.Errorf("StepRange/CandidatesRange allocate %.1f per run, want 0", avg)
+	}
+}

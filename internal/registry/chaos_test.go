@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"parallelspikesim/internal/check"
 	"parallelspikesim/internal/fault"
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/obs"
@@ -28,6 +29,7 @@ import (
 // Run under -race (CI does), this is the "zero dropped or torn requests"
 // acceptance gate: ≥100 successful swap cycles concurrent with the flood.
 func TestChaosReloadStormUnderFlood(t *testing.T) {
+	check.NoLeaks(t)
 	const (
 		goodCycles = 120 // successful hot-reloads (≥100 per the acceptance bar)
 		readers    = 8
@@ -162,6 +164,7 @@ func TestChaosReloadStormUnderFlood(t *testing.T) {
 // speed while the reload is stuck — staging I/O happens outside every lock
 // the read path takes.
 func TestChaosSlowReloadDoesNotBlockReads(t *testing.T) {
+	check.NoLeaks(t)
 	mem := fault.NewMemFS()
 	in := fault.NewInjector(mem)
 	r := newTestRegistry(t, in)
@@ -224,6 +227,7 @@ func TestChaosSlowReloadDoesNotBlockReads(t *testing.T) {
 // once: every swap must stay atomic and the final state coherent, with
 // generations advanced by exactly the number of successful swaps.
 func TestChaosConcurrentRescans(t *testing.T) {
+	check.NoLeaks(t)
 	mem := fault.NewMemFS()
 	r := newTestRegistry(t, mem)
 	for _, name := range []string{"a", "b", "c"} {

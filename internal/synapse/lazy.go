@@ -113,6 +113,8 @@ func (q *Queue) MaxPending() int {
 // OnPostSpikeRange restricted to one pre and iterated over events, with the
 // diagnostic counters accumulated locally and published once, so a flush
 // costs two atomic adds instead of one per update.
+//
+//psslint:noalloc
 func (q *Queue) FlushRow(pre int, lastPre float64) {
 	evs := q.events[q.cursor[pre]:]
 	if check.Enabled {
@@ -254,6 +256,8 @@ func (q *Queue) applyPhaseCounts(pk *fixed.Packing, row []fixed.Word, evs []Post
 // FlushRowsRange flushes every row in [lo, hi) — the unit of work for the
 // engine's end-of-presentation full flush. Rows are disjoint, so concurrent
 // calls with disjoint ranges never race.
+//
+//psslint:noalloc
 func (q *Queue) FlushRowsRange(lo, hi int, lastPre []float64) {
 	for pre := lo; pre < hi; pre++ {
 		q.FlushRow(pre, lastPre[pre])

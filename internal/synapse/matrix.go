@@ -150,25 +150,6 @@ func (m *Matrix) Weights() []fixed.Weight {
 	return out
 }
 
-// Row returns a copy of the conductances from input pre to every post
-// neuron.
-//
-// Deprecated: Row predates the sealed storage API and survives one release
-// for diff reviewability. It now returns a copy — mutations no longer write
-// through. Use At or AccumulateCurrentRange for reads on the hot path, and
-// Set/SetWeight to write. psslint's deprecated analyzer flags callers.
-func (m *Matrix) Row(pre int) []fixed.Weight {
-	row := make([]fixed.Weight, m.NPost)
-	if m.pk != nil {
-		for post := range row {
-			row[post] = fixed.Weight(m.pk.Value(m.pk.Get(m.rowWords(pre), post)))
-		}
-		return row
-	}
-	copy(row, m.g[pre*m.NPost:(pre+1)*m.NPost])
-	return row
-}
-
 // Column copies the conductances into post neuron `post` from every input
 // into dst, which must have length NPre. This is the receptive field of one
 // neuron — the paper's "conductance array that learns to recognize a
@@ -252,6 +233,8 @@ func (m *Matrix) Stats() (minG, maxG, mean float64) {
 
 // AccumulateCurrent adds g·amp into current[post] for every post neuron, for
 // a spike on input pre — the per-spike inner loop of eq. 3.
+//
+//psslint:noalloc
 func (m *Matrix) AccumulateCurrent(pre int, amp float64, current []float64) {
 	m.AccumulateCurrentRange(pre, amp, current, 0, m.NPost)
 }
@@ -262,6 +245,8 @@ func (m *Matrix) AccumulateCurrent(pre int, amp float64, current []float64) {
 // dequantized through the format's LUT, so the walk touches 8× less synapse
 // memory than the float64 row it replaced while producing bit-identical
 // sums (lane order matches the scalar accumulation order).
+//
+//psslint:noalloc
 func (m *Matrix) AccumulateCurrentRange(pre int, amp float64, current []float64, lo, hi int) {
 	if m.pk != nil {
 		m.pk.AccumulateRange(m.rowWords(pre), amp, current, lo, hi)

@@ -1,7 +1,6 @@
 package synapse
 
 import (
-	"math"
 	"testing"
 
 	"parallelspikesim/internal/fixed"
@@ -34,8 +33,8 @@ func TestNewMatrixStoreSelection(t *testing.T) {
 }
 
 // TestMatrixAccessorsAgree pins the sealed read API to itself on every
-// store: At, ForEachRow, Weights, the deprecated Row shim and Column must
-// all report the same conductances.
+// store: At, ForEachRow, Weights and Column must all report the same
+// conductances.
 func TestMatrixAccessorsAgree(t *testing.T) {
 	const nPre, nPost = 5, 7 // nPost deliberately straddles lane boundaries
 	for _, f := range matrixFormats {
@@ -59,19 +58,6 @@ func TestMatrixAccessorsAgree(t *testing.T) {
 				}
 			}
 		})
-		for pre := 0; pre < nPre; pre++ {
-			row := m.Row(pre)
-			for post, g := range row {
-				if m.At(pre, post) != g {
-					t.Fatalf("%s: Row(%d)[%d] = %v, At %v", f, pre, post, g, m.At(pre, post))
-				}
-			}
-			// Row is a copy now: scribbling must not write through.
-			row[0] = fixed.Weight(math.Pi)
-			if m.At(pre, 0) == fixed.Weight(math.Pi) {
-				t.Fatalf("%s: Row(%d) aliased the store", f, pre)
-			}
-		}
 		col := make([]float64, nPre)
 		for post := 0; post < nPost; post++ {
 			m.Column(post, col)

@@ -1,0 +1,126 @@
+package synapse
+
+// AllocsPerRun gates for the //psslint:noalloc annotations in this package.
+// Together with the compiler-escape check in scripts/check-allocs.sh they
+// pin the hot paths — current accumulation, STDP application and the lazy
+// flush — at zero heap allocations per call.
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/fixed"
+	"parallelspikesim/internal/rng"
+)
+
+// skipIfInstrumented skips allocation gates on simcheck builds: the
+// assertion paths disable the packed fast step and the guarantee being
+// pinned is a property of release builds.
+func skipIfInstrumented(t *testing.T) {
+	t.Helper()
+	if check.Enabled {
+		t.Skip("simcheck build: noalloc gates apply to release paths only")
+	}
+}
+
+func TestNoAllocAccumulateCurrentRange(t *testing.T) {
+	skipIfInstrumented(t)
+	for _, f := range []fixed.Format{fixed.Q0p2, fixed.Q1p7, fixed.Float32} {
+		m, err := NewMatrix(4, 9, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InitUniform(rng.NewStream(2), 0.1, 0.9)
+		cur := make([]float64, 9)
+		avg := testing.AllocsPerRun(50, func() {
+			for pre := 0; pre < 4; pre++ {
+				m.AccumulateCurrentRange(pre, 0.6, cur, 0, 9)
+			}
+			m.AccumulateCurrent(1, 0.6, cur)
+		})
+		if avg != 0 {
+			t.Errorf("%s: AccumulateCurrent(Range) allocates %.1f per run, want 0", f, avg)
+		}
+	}
+}
+
+func TestNoAllocOnPostSpike(t *testing.T) {
+	skipIfInstrumented(t)
+	for _, kind := range []RuleKind{Deterministic, Stochastic} {
+		cfg, _, err := PresetConfig(Preset8Bit, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 41
+		m, err := NewMatrix(6, 4, cfg.Format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InitUniform(rng.NewStream(1), 0.2, 0.8)
+		p, err := NewPlasticity(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mix of recent (inside the LTP window) and stale pre spikes so
+		// both the potentiation and depression arms run.
+		lastPre := []float64{Never, 38, 12, 39.5, 5, Never}
+		step := uint64(0)
+		avg := testing.AllocsPerRun(50, func() {
+			p.OnPostSpike(1, 40, lastPre, step)
+			p.OnPostSpikeRange(2, 40, lastPre, step, 0, 6)
+			step++
+		})
+		if avg != 0 {
+			t.Errorf("%v: OnPostSpike(Range) allocates %.1f per run, want 0", kind, avg)
+		}
+	}
+}
+
+func TestNoAllocFlushRow(t *testing.T) {
+	skipIfInstrumented(t)
+	if raceEnabled {
+		// The race runtime randomly discards sync.Pool items, so the packed
+		// flush's pooled scratch re-allocates no matter how warm it is.
+		t.Skip("race build: sync.Pool drops items by design")
+	}
+	for _, kind := range []RuleKind{Deterministic, Stochastic} {
+		cfg, _, err := PresetConfig(Preset8Bit, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 77
+		m, err := NewMatrix(6, 4, cfg.Format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InitUniform(rng.NewStream(1), 0.2, 0.8)
+		p, err := NewPlasticity(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQueue(p, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastPre := []float64{Never, 38, 12, 39.5, 5, Never}
+		// Warm the event log's backing array so the Records inside the
+		// measured run never grow it (Reset keeps capacity).
+		for i := 0; i < 32; i++ {
+			q.Record(i%4, 30+float64(i), uint64(i))
+		}
+		q.Reset()
+		avg := testing.AllocsPerRun(20, func() {
+			for i := 0; i < 8; i++ {
+				q.Record(i%4, 30+float64(i), uint64(i))
+			}
+			for pre := 0; pre < 6; pre++ {
+				q.FlushRow(pre, lastPre[pre])
+			}
+			q.FlushRowsRange(0, 6, lastPre) // drained: exercises the empty walk
+			q.Reset()
+		})
+		if avg != 0 {
+			t.Errorf("%v: FlushRow cycle allocates %.1f per run, want 0", kind, avg)
+		}
+	}
+}

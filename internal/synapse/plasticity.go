@@ -93,6 +93,8 @@ func (p *Plasticity) ResetCounters() {
 // rounding option (the fixedrange analyzer forbids raw arithmetic on the
 // Weight). It does not touch the diagnostic counters, so batch callers (the
 // lazy flush) can count locally and publish once per batch.
+//
+//psslint:noalloc
 func (p *Plasticity) applyPot(pre, post int, step uint64) {
 	if p.fastStep && !check.Enabled {
 		// Flat-step LTP on the packed store: a saturating +1 in the code
@@ -123,6 +125,8 @@ func (p *Plasticity) potentiate(pre, post int, step uint64) {
 
 // applyDep performs the arithmetic of one LTD step to synapse (pre, post)
 // through the saturating update helper, without counter bookkeeping.
+//
+//psslint:noalloc
 func (p *Plasticity) applyDep(pre, post int, step uint64) {
 	if p.fastStep && !check.Enabled {
 		p.M.packing().DecSat(p.M.rowWords(pre), post, p.floorCode)
@@ -164,6 +168,8 @@ func (p *Plasticity) depress(pre, post int, step uint64) {
 //     (StochParams.PDepEvent). Loosely correlated events therefore change
 //     conductance only rarely — the paper's explanation for why stochastic
 //     STDP retains memory and survives coarse quantization (§IV-D).
+//
+//psslint:noalloc
 func (p *Plasticity) OnPostSpike(post int, now float64, lastPre []float64, step uint64) {
 	w := p.Cfg.Det.WindowMS
 	switch p.Cfg.Kind {
@@ -199,6 +205,8 @@ func (p *Plasticity) OnPostSpike(post int, now float64, lastPre []float64, step 
 // the parallel engine uses it to partition a post-spike update across
 // workers (each worker owns a contiguous pre range of the same post
 // column, so updates never race).
+//
+//psslint:noalloc
 func (p *Plasticity) OnPostSpikeRange(post int, now float64, lastPre []float64, step uint64, lo, hi int) {
 	w := p.Cfg.Det.WindowMS
 	switch p.Cfg.Kind {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package synapse
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package synapse
+
+// raceEnabled mirrors the race build tag for tests: the race runtime makes
+// sync.Pool drop items at random to widen race coverage, which defeats
+// pool-warmth-based allocation gates.
+const raceEnabled = true
