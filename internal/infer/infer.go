@@ -111,6 +111,7 @@ type Engine struct {
 type scratch struct {
 	pop     *neuron.Population
 	src     *encode.Source // created on first use, then Rebind per image
+	plan    *encode.Plan   // sparse spike schedule, rebuilt in place per image
 	current []float64
 	in      []int
 	cand    []int
@@ -263,7 +264,16 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 		return network.PresentResult{}, err
 	}
 	dt := e.cfg.DTms
-	s.src.Prepare(dt)
+	// Materialize the presentation's sparse event schedule up front (the
+	// builder prepares the source's thresholds itself). Identical spikes to
+	// stepping the source densely — see the encode differential wall — at a
+	// fraction of the hash work, into recycled plan storage.
+	s.plan = s.src.BuildPlanInto(s.plan, startStep, dt, e.steps, e.ctl.Band)
+	if check.Enabled {
+		if err := s.plan.Validate(); err != nil {
+			check.Assert(false, "infer: spike plan failed validation: %v", err)
+		}
+	}
 
 	pop := s.pop
 	pop.ResetMembranes()
@@ -273,7 +283,7 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 	}
 
 	res := network.PresentResult{Steps: e.steps}
-	res.InputSpikes = e.run(s, startStep, dt)
+	res.InputSpikes = e.run(s, dt)
 
 	res.SpikeCounts = make([]int, e.cfg.NumNeurons)
 	for i, c := range pop.SpikeCounts() {
@@ -297,17 +307,18 @@ func (e *Engine) forward(s *scratch, img []uint8, startStep uint64) (network.Pre
 // allocations (TestNoAllocRun). Returns the total input spike count.
 //
 //psslint:noalloc
-func (e *Engine) run(s *scratch, startStep uint64, dt float64) int {
+func (e *Engine) run(s *scratch, dt float64) int {
 	pop := s.pop
 	amp := e.cfg.SpikeAmp
 	inputSpikes := 0
 	for step := 0; step < e.steps; step++ {
 		now := float64(step) * dt
 
-		// (1) Input spikes for this step, ascending by pixel — the order the
-		// training path's chunk merge produces, which fixes the float
-		// summation order below.
-		s.in = s.src.Step(startStep+uint64(step), dt, s.in[:0])
+		// (1) Input spikes for this step from the presentation's sparse
+		// event schedule, ascending by pixel — the order the training
+		// path's plan replay produces, which fixes the float summation
+		// order below.
+		s.in = s.plan.Step(step, s.in[:0])
 		inputSpikes += len(s.in)
 
 		// (2) Input current accumulation (eq. 3), spike-major like the

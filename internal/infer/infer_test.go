@@ -1,6 +1,7 @@
 package infer_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -96,6 +97,74 @@ func TestForwardMatchesPresent(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestForwardMatchesPresentAtBandEdges pushes the same differential through
+// the encoding band edges — the 0 Hz silent floor, the 5 Hz and 78 Hz
+// high-frequency edges and a degenerate zero-width band — for both train
+// kinds, pinning the sparse plan builder's boundary behaviour inside the
+// full inference pipeline.
+func TestForwardMatchesPresentAtBandEdges(t *testing.T) {
+	bands := []encode.Band{
+		{MinHz: 0, MaxHz: 78},
+		{MinHz: 5, MaxHz: 78},
+		{MinHz: 0, MaxHz: 5},
+		{MinHz: 78, MaxHz: 78},
+	}
+	base := golden.Cases()[0]
+	data := golden.CaseImages()
+	for _, kind := range []encode.TrainKind{encode.Poisson, encode.Regular} {
+		for _, band := range bands {
+			cfg, ctl, err := golden.CaseConfig(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.TrainKind = kind
+			ctl.Band = band
+			net, err := network.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weights := net.Syn.Weights()
+			g := make([]float64, len(weights))
+			for i, w := range weights {
+				g[i] = float64(w)
+			}
+			eng, err := infer.New(infer.Params{
+				Net:         cfg,
+				Control:     ctl,
+				G:           g,
+				Theta:       net.Exc.Theta(),
+				Assignments: golden.InferAssignments(cfg.NumNeurons),
+				NumClasses:  golden.InferClasses,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%v/[%v,%v]Hz", kind, band.MinHz, band.MaxHz)
+			for i := 0; i < data.Len(); i++ {
+				start := net.Step()
+				want, err := net.Present(data.Images[i], ctl, false, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Forward(data.Images[i], start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.InputSpikes != want.InputSpikes {
+					t.Fatalf("%s image %d: %d input spikes, Present %d",
+						label, i, got.InputSpikes, want.InputSpikes)
+				}
+				for n := range want.SpikeCounts {
+					if got.SpikeCounts[n] != want.SpikeCounts[n] {
+						t.Fatalf("%s image %d: neuron %d spiked %d times, Present %d",
+							label, i, n, got.SpikeCounts[n], want.SpikeCounts[n])
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -123,9 +123,13 @@ type Trainer struct {
 
 	// Batched presentation: a window of prefetched spike-train plans for
 	// upcoming training images. batchBase is the dataset index of
-	// batchPlans[0]; consumed or invalidated entries are nil.
+	// batchPlans[0]; consumed or invalidated entries are nil. planFree
+	// recycles the storage of consumed plans back into the next refill
+	// (network.PlanPresentationInto), so steady-state prefetch rebuilds
+	// in place instead of allocating a fresh CSR + bitset per image.
 	batchPlans []*encode.Plan
 	batchBase  int
+	planFree   []*encode.Plan
 	obsPlanHit *obs.Counter // presentations served from a prefetched plan
 
 	// ImagesSeen counts training presentations (excluding boost repeats).
@@ -236,6 +240,7 @@ func (t *Trainer) trainImage(img []uint8, label uint8, plan *encode.Plan) (netwo
 		return network.PresentResult{}, fmt.Errorf("learn: label %d out of range", label)
 	}
 	res, err := t.present(img, true, plan)
+	t.recyclePlan(plan) // consumed (or unused): its storage can back the next refill
 	if err != nil {
 		return res, err
 	}
@@ -314,8 +319,10 @@ func (t *Trainer) takePlan(ds *dataset.Dataset, i int) *encode.Plan {
 	}
 	if plan.StartStep() != t.Net.Step() {
 		// The prediction drifted; every later plan in the window shares the
-		// stale clock, so drop them all rather than miss one by one.
+		// stale clock, so drop them all rather than miss one by one. The
+		// popped plan's storage is still good for the next refill.
 		t.batchPlans = nil
+		t.recyclePlan(plan)
 		return nil
 	}
 	t.PlanHits++
@@ -335,16 +342,46 @@ func (t *Trainer) refillPlans(ds *dataset.Dataset, i int) {
 	}
 	t.batchPlans = make([]*encode.Plan, b)
 	t.batchBase = i
+	// Seed each slot with a recycled plan before the parallel dispatch: the
+	// free list is single-owner (Train's goroutine), so recycled storage
+	// must be claimed here, not inside the workers.
+	for j := 0; j < b; j++ {
+		t.batchPlans[j] = t.grabFreePlan()
+	}
 	stepsPer := uint64(t.Opts.Control.TLearnMS / t.Net.Cfg.DTms)
 	start := t.Net.Step()
 	t.Net.Executor().For(b, func(chunk, lo, hi int) {
 		for j := lo; j < hi; j++ {
-			plan, err := t.Net.PlanPresentation(ds.Images[i+j], t.Opts.Control, start+uint64(j)*stepsPer)
+			plan, err := t.Net.PlanPresentationInto(t.batchPlans[j], ds.Images[i+j], t.Opts.Control, start+uint64(j)*stepsPer)
 			if err == nil {
 				t.batchPlans[j] = plan
+			} else {
+				t.batchPlans[j] = nil
 			}
 		}
 	})
+}
+
+// recyclePlan returns a consumed plan's storage to the prefetch free list.
+// The list is bounded by the batch width: each refill claims at most Batch
+// plans, so anything beyond that would only pin dead memory.
+func (t *Trainer) recyclePlan(p *encode.Plan) {
+	if p == nil || t.Opts.Batch <= 1 || len(t.planFree) >= t.Opts.Batch {
+		return
+	}
+	t.planFree = append(t.planFree, p)
+}
+
+// grabFreePlan pops a recycled plan, or nil when the free list is empty
+// (PlanPresentationInto then allocates fresh storage).
+func (t *Trainer) grabFreePlan() *encode.Plan {
+	if n := len(t.planFree); n > 0 {
+		p := t.planFree[n-1]
+		t.planFree[n-1] = nil
+		t.planFree = t.planFree[:n-1]
+		return p
+	}
+	return nil
 }
 
 // predict votes with the current training-time response counts.

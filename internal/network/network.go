@@ -158,7 +158,8 @@ type Network struct {
 	lazy *synapse.Queue // deferred-update queue; nil in dense mode
 
 	// Phase timers and event counters; all nil (no-op) without an observer.
-	obsEncode    *obs.Timer
+	obsEncode    *obs.Timer // per-step sparse plan lookup
+	obsEncodeBld *obs.Timer // per-presentation sparse plan construction
 	obsIntegrate *obs.Timer
 	obsPlast     *obs.Timer
 	obsInhibit   *obs.Timer
@@ -171,9 +172,14 @@ type Network struct {
 	lastPost []float64 // last spike time per first-layer neuron
 	current  []float64 // per-neuron input current (trace)
 
-	inputBufs [][]int // per-chunk input spike scratch
 	spikeBufs [][]int // per-chunk neuron spike scratch
 	planBuf   []int   // scratch for consuming precomputed spike plans
+
+	// Inline (plan-less) presentations build their sparse spike schedule
+	// here, recycling the source's rate/threshold buffers and the plan's
+	// CSR/bitset storage across images — allocation-free once warm.
+	inlineSrc  *encode.Source
+	inlinePlan *encode.Plan
 
 	step uint64  // global step counter (keys RNG draws)
 	now  float64 // absolute simulation time, ms
@@ -271,6 +277,7 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 
 		// All handles are nil (free no-ops) when bo.reg is nil.
 		obsEncode:    bo.reg.Timer("network_phase_encode_ns"),
+		obsEncodeBld: bo.reg.Timer("network_phase_encode_build_ns"),
 		obsIntegrate: bo.reg.Timer("network_phase_integrate_ns"),
 		obsPlast:     bo.reg.Timer("network_phase_plasticity_ns"),
 		obsInhibit:   bo.reg.Timer("network_phase_inhibit_ns"),
@@ -286,9 +293,7 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 		}
 		n.lazy = q
 	}
-	w := exec.Workers()
-	n.inputBufs = make([][]int, w)
-	n.spikeBufs = make([][]int, w)
+	n.spikeBufs = make([][]int, exec.Workers())
 	n.resetTimers()
 	return n, nil
 }
@@ -389,6 +394,15 @@ func (r PresentResult) TotalSpikes() int {
 // predicted start step turns out wrong (e.g. an adaptive boost shifted the
 // clock).
 func (n *Network) PlanPresentation(img []uint8, ctl encode.Control, startStep uint64) (*encode.Plan, error) {
+	return n.PlanPresentationInto(nil, img, ctl, startStep)
+}
+
+// PlanPresentationInto is PlanPresentation recycling the buffers of a
+// previously built (and no longer referenced) plan; nil allocates a fresh
+// one. learn.Trainer's batch prefetch keeps a free list of consumed plans
+// and rebuilds into them, so a steady-state batched run stops allocating
+// plan storage altogether.
+func (n *Network) PlanPresentationInto(p *encode.Plan, img []uint8, ctl encode.Control, startStep uint64) (*encode.Plan, error) {
 	if len(img) != n.Cfg.NumInputs {
 		return nil, fmt.Errorf("network: image has %d pixels, network expects %d", len(img), n.Cfg.NumInputs)
 	}
@@ -399,8 +413,25 @@ func (n *Network) PlanPresentation(img []uint8, ctl encode.Control, startStep ui
 	if err != nil {
 		return nil, err
 	}
-	src.Prepare(n.Cfg.DTms)
-	return src.BuildPlan(startStep, n.Cfg.DTms, int(ctl.TLearnMS/n.Cfg.DTms), ctl.Band), nil
+	return src.BuildPlanInto(p, startStep, n.Cfg.DTms, int(ctl.TLearnMS/n.Cfg.DTms), ctl.Band), nil
+}
+
+// buildInlinePlan materializes the sparse spike schedule for a plan-less
+// presentation into the network's recycled inline source and plan. The
+// source is rebound (not rebuilt) per image, so steady-state inline
+// presentations allocate nothing for encoding.
+func (n *Network) buildInlinePlan(img []uint8, ctl encode.Control, startStep uint64, steps int) (*encode.Plan, error) {
+	if n.inlineSrc == nil {
+		src, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), startStep)
+		if err != nil {
+			return nil, err
+		}
+		n.inlineSrc = src
+	} else if err := n.inlineSrc.Rebind(img, ctl.Band, startStep); err != nil {
+		return nil, err
+	}
+	n.inlinePlan = n.inlineSrc.BuildPlanInto(n.inlinePlan, startStep, n.Cfg.DTms, steps, ctl.Band)
+	return n.inlinePlan, nil
 }
 
 // Present shows one image to the network for ctl.TLearnMS milliseconds.
@@ -427,17 +458,32 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 		return PresentResult{}, err
 	}
 	presentation := n.step // unique per presentation; decorrelates spike trains
-	var src *encode.Source
-	if plan != nil && !plan.Matches(presentation, ctl.Band, n.Cfg.TrainKind, n.Cfg.DTms, int(ctl.TLearnMS/n.Cfg.DTms)) {
+	steps := int(ctl.TLearnMS / n.Cfg.DTms)
+	if plan != nil && (!plan.Matches(presentation, ctl.Band, n.Cfg.TrainKind, n.Cfg.DTms, steps) ||
+		plan.NumTrains() != n.Cfg.NumInputs) {
 		plan = nil
 	}
 	if plan == nil {
-		s, err := encode.NewSource(img, ctl.Band, n.Cfg.TrainKind, rng.Hash64(n.Cfg.Seed, 0x50c), presentation)
+		// Inline fallback: build the sparse event schedule up front — the
+		// event-driven builder visits work proportional to spikes, not
+		// steps × pixels, so the build replaces the per-step dense scans
+		// this loop used to run (DESIGN.md §16). Source and plan storage
+		// are recycled across presentations.
+		tBld := n.obsEncodeBld.Start()
+		var err error
+		plan, err = n.buildInlinePlan(img, ctl, presentation, steps)
+		n.obsEncodeBld.Stop(tBld)
 		if err != nil {
 			return PresentResult{}, err
 		}
-		s.Prepare(n.Cfg.DTms) // precompute spike thresholds before parallel stepping
-		src = s
+	}
+	if check.Enabled {
+		// Every presentation replays from a plan now; a malformed one —
+		// hostile offsets, out-of-range pixels, a bitset out of sync with
+		// the CSR rows — must die here, not corrupt the simulation.
+		if err := plan.Validate(); err != nil {
+			check.Assert(false, "network: spike plan failed validation: %v", err)
+		}
 	}
 
 	n.Exc.ResetMembranes()
@@ -445,7 +491,6 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 	n.resetTimers()
 	countsBefore := append([]int(nil), asInts(n.Exc.SpikeCounts())...)
 
-	steps := int(ctl.TLearnMS / n.Cfg.DTms)
 	dt := n.Cfg.DTms
 	decay := 0.0
 	if n.Cfg.TauSynMS > 0 {
@@ -457,21 +502,14 @@ func (n *Network) PresentPlan(img []uint8, ctl encode.Control, learn bool, rec *
 		now := n.now
 		step := n.step
 
-		// (1) Input spikes: replayed from the precomputed plan when one was
-		// supplied, otherwise generated chunk-parallel over pixels. Both
-		// paths draw from the same counter-based stream, so the spikes are
-		// identical.
+		// (1) Input spikes: replayed from the sparse event schedule —
+		// prefetched by the caller or built inline above. Both draw from
+		// the same counter-based stream as a dense per-pixel scan, so the
+		// spikes are identical; the lookup is a CSR row copy whose cost
+		// scales with the spikes of this step, not NumInputs.
 		tEnc := n.obsEncode.Start()
-		var inputSpikes []int
-		if plan != nil {
-			n.planBuf = plan.Step(s, n.planBuf[:0])
-			inputSpikes = n.planBuf
-		} else {
-			n.exec.For(n.Cfg.NumInputs, func(chunk, lo, hi int) {
-				n.inputBufs[chunk] = src.StepRange(step, dt, lo, hi, n.inputBufs[chunk][:0])
-			})
-			inputSpikes = mergeBufs(n.inputBufs[:n.exec.Workers()])
-		}
+		n.planBuf = plan.Step(s, n.planBuf[:0])
+		inputSpikes := n.planBuf
 		n.obsEncode.Stop(tEnc)
 		res.InputSpikes += len(inputSpikes)
 		n.TotalInputSpikes += uint64(len(inputSpikes))

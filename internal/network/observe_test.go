@@ -43,6 +43,11 @@ func TestWithObserverRecordsPhasesAndCounters(t *testing.T) {
 	if net.TotalExcSpikes > 0 && reg.Timer("network_phase_plasticity_ns").Count() == 0 {
 		t.Error("plasticity timer empty despite post spikes during learning")
 	}
+	// The sparse plan build is a per-presentation cost, not a per-step one:
+	// one inline presentation records exactly one build observation.
+	if got := reg.Timer("network_phase_encode_build_ns").Count(); got != 1 {
+		t.Errorf("encode build count = %d, want 1 per inline presentation", got)
+	}
 
 	// Counters must mirror the legacy diagnostic totals exactly.
 	if got := reg.Counter("network_input_spikes_total").Value(); got != net.TotalInputSpikes {

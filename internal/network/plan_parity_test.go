@@ -1,0 +1,109 @@
+package network
+
+// Plan/no-plan parity at the encoding band edges (DESIGN.md §16). A
+// presentation replayed from a prefetched sparse plan must be bit-identical
+// to the same presentation encoded inline, and the inline path itself now
+// runs through the sparse builder — so these tests pin the sparse/dense
+// boundary cases where skip-ahead and threshold saturation are most fragile:
+// the 0 Hz silent floor, the 5 Hz and 78 Hz high-frequency edges, and a
+// degenerate zero-width band.
+
+import (
+	"fmt"
+	"testing"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/synapse"
+)
+
+func TestPlanParityAtBandEdges(t *testing.T) {
+	bands := []encode.Band{
+		{MinHz: 0, MaxHz: 78},  // silent floor: zero-intensity pixels never spike
+		{MinHz: 5, MaxHz: 78},  // the paper's high-frequency band edges
+		{MinHz: 0, MaxHz: 5},   // everything near the floor
+		{MinHz: 78, MaxHz: 78}, // zero-width: every pixel at the top edge
+	}
+	img := testImage()
+	for _, kind := range []encode.TrainKind{encode.Poisson, encode.Regular} {
+		for _, band := range bands {
+			cfg := presetConfig(t, synapse.PresetFloat, synapse.Stochastic, 9)
+			cfg.TrainKind = kind
+			inline, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planned, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl := encode.Control{Band: band, TLearnMS: 120}
+			label := fmt.Sprintf("%v/[%v,%v]Hz", kind, band.MinHz, band.MaxHz)
+			for i := 0; i < 3; i++ {
+				plan, err := planned.PlanPresentation(img, ctl, planned.Step())
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				ri, err1 := inline.Present(img, ctl, true, nil)
+				rp, err2 := planned.PresentPlan(img, ctl, true, nil, plan)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: %v %v", label, err1, err2)
+				}
+				if ri.InputSpikes != rp.InputSpikes || ri.InputSpikes != plan.Spikes() {
+					t.Fatalf("%s pres %d: inline %d spikes, planned %d, plan holds %d",
+						label, i, ri.InputSpikes, rp.InputSpikes, plan.Spikes())
+				}
+				if band.MinHz == 0 {
+					// Plans over a 0 Hz floor must skip silent pixels entirely.
+					for st := 0; st < plan.Steps(); st++ {
+						for _, px := range plan.StepView(st) {
+							if img[px] == 0 {
+								t.Fatalf("%s: silent pixel %d spiked at step %d", label, px, st)
+							}
+						}
+					}
+				}
+				for n := range ri.SpikeCounts {
+					if ri.SpikeCounts[n] != rp.SpikeCounts[n] {
+						t.Fatalf("%s pres %d neuron %d spikes differ", label, i, n)
+					}
+				}
+			}
+			wi, wp := inline.Syn.Weights(), planned.Syn.Weights()
+			for j := range wi {
+				if wi[j] != wp[j] {
+					t.Fatalf("%s: conductance %d diverged under plan replay", label, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefetchedPlanSkipsBuildTimer(t *testing.T) {
+	// A presentation served from a prefetched plan must not pay (or record)
+	// an encode build; only inline presentations do.
+	cfg := testConfig(t, synapse.Deterministic, 8)
+	reg := obs.NewRegistry()
+	net, err := New(cfg, WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := testImage()
+	ctl := encode.Control{Band: encode.BaselineBand(), TLearnMS: 100}
+	plan, err := net.PlanPresentation(img, ctl, net.Step())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.PresentPlan(img, ctl, true, nil, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Timer("network_phase_encode_build_ns").Count(); got != 0 {
+		t.Errorf("prefetched presentation recorded %d build observations, want 0", got)
+	}
+	if _, err := net.Present(img, ctl, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Timer("network_phase_encode_build_ns").Count(); got != 1 {
+		t.Errorf("inline presentation recorded %d build observations, want 1", got)
+	}
+}

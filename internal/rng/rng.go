@@ -36,13 +36,40 @@ func SplitMix64(state *uint64) uint64 {
 // Hash64 mixes a seed with an arbitrary list of counters into a single
 // well-distributed 64-bit value. It is the basis of every counter-based
 // (stateless) draw in the simulator.
+//
+// The computation is exposed piecewise as HashInit / HashMix / HashFin so
+// hot loops that share a counter prefix (the sparse spike-train builder
+// hashes (step, pixel) for every pixel of one step) can fold the shared
+// counters once and reuse the intermediate state — bit-identical to calling
+// Hash64 with the full counter list, because Hash64 itself is defined in
+// terms of the same three functions.
 func Hash64(seed uint64, counters ...uint64) uint64 {
-	h := seed ^ 0x6a09e667f3bcc908 // sqrt(2) fractional bits: fixed tweak
+	h := HashInit(seed)
 	for _, c := range counters {
-		h ^= c + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h = SplitMix64(&h)
+		h = HashMix(h, c)
 	}
-	// One extra finalization round so short counter lists are fully mixed.
+	return HashFin(h)
+}
+
+// HashInit begins a piecewise Hash64 computation: it returns the internal
+// mixing state for a counter-free hash of seed. Fold counters in with
+// HashMix and finish with HashFin.
+func HashInit(seed uint64) uint64 {
+	return seed ^ 0x6a09e667f3bcc908 // sqrt(2) fractional bits: fixed tweak
+}
+
+// HashMix folds one counter into a piecewise Hash64 state. HashMix(h, c) on
+// a state built from counters c1..cn yields the state for c1..cn,c, so a
+// shared counter prefix can be mixed once and fanned out.
+func HashMix(h, c uint64) uint64 {
+	h ^= c + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	return SplitMix64(&h)
+}
+
+// HashFin applies Hash64's finalization round to a piecewise state:
+// HashFin(HashMix(...HashMix(HashInit(seed), c1)..., cn)) == Hash64(seed,
+// c1, ..., cn). The extra round keeps short counter lists fully mixed.
+func HashFin(h uint64) uint64 {
 	return SplitMix64(&h)
 }
 

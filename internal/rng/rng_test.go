@@ -52,6 +52,54 @@ func TestHash64CounterOrderMatters(t *testing.T) {
 	}
 }
 
+func TestHashDecompositionMatchesHash64(t *testing.T) {
+	// The piecewise HashInit/HashMix/HashFin pipeline is the contract the
+	// sparse encoder's shared-prefix optimisation rests on: folding any
+	// prefix of counters early must yield exactly the variadic Hash64.
+	prop := func(seed, a, b, c uint64) bool {
+		want := Hash64(seed, a, b, c)
+		full := HashFin(HashMix(HashMix(HashMix(HashInit(seed), a), b), c))
+		// Prefix-folded: (seed, a) folded once, (b, c) appended later — the
+		// exact shape of the per-step/per-pixel split in encode.
+		pre := HashMix(HashInit(seed), a)
+		split := HashFin(HashMix(HashMix(pre, b), c))
+		return want == full && want == split
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if Hash64(9) != HashFin(HashInit(9)) {
+		t.Fatal("zero-counter decomposition drifted")
+	}
+}
+
+func TestHashDecompositionFrozenVectors(t *testing.T) {
+	// Frozen outputs: the decomposition (and therefore every committed
+	// golden digest built on it) must never change across refactors.
+	vectors := []struct {
+		seed     uint64
+		counters []uint64
+		want     uint64
+	}{
+		{0, nil, 0x1ac046dda8e86e2a},
+		{42, []uint64{1, 2, 3}, 0xca1b6631eef3e254},
+		{0x50c, []uint64{0, 0}, 0xdfdc2f4577c2b32d},
+		{^uint64(0), []uint64{^uint64(0)}, 0x0201cbaf5776c8d5},
+	}
+	for _, v := range vectors {
+		if got := Hash64(v.seed, v.counters...); got != v.want {
+			t.Errorf("Hash64(%#x, %v) = %#x, want %#x", v.seed, v.counters, got, v.want)
+		}
+		h := HashInit(v.seed)
+		for _, c := range v.counters {
+			h = HashMix(h, c)
+		}
+		if got := HashFin(h); got != v.want {
+			t.Errorf("decomposed Hash64(%#x, %v) = %#x, want %#x", v.seed, v.counters, got, v.want)
+		}
+	}
+}
+
 func TestHash64EmptyCountersStillMixed(t *testing.T) {
 	if Hash64(0) == 0 {
 		t.Fatal("Hash64(0) should not be zero after finalization")

@@ -15,7 +15,7 @@ floors='
 internal/fixed 92
 internal/synapse 94
 internal/network 87
-internal/encode 78
+internal/encode 91
 internal/learn 88
 internal/netio 92
 internal/infer 85
