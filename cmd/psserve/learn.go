@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"parallelspikesim/internal/continual"
+)
+
+// learnResponse reports how a learn batch fared against the bounded ingest
+// queue: accepted examples will be trained (at-most-once); dropped ones
+// were shed because the trainer is falling behind and should be resubmitted
+// after backoff.
+type learnResponse struct {
+	Model    string `json:"model"`
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped"`
+}
+
+// learner resolves the continual trainer for a model name. A model can be
+// served without being trainable, so this is a separate namespace from the
+// registry.
+func (s *server) learner(w http.ResponseWriter, name string) *continual.Trainer {
+	tr, ok := s.learners[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "model %q is not accepting training traffic (start psserve with -learn)", name)
+		return nil
+	}
+	return tr
+}
+
+// handleLearn is POST/GET /models/{name}/learn: POST feeds labeled examples
+// into the model's continual trainer, GET reports its status and recent
+// audit trail. Ingest never blocks the request: a full queue sheds the
+// overflow with 429 so serving latency can never wait on training.
+func (s *server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Inc()
+	tr := s.learner(w, r.PathValue("name"))
+	if tr == nil {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": tr.Status(),
+			"audits": tr.Audits(),
+		})
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody(tr.NumInputs())))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.fail(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+				return
+			}
+			s.fail(w, http.StatusBadRequest, "reading request: %v", err)
+			return
+		}
+		examples, err := continual.ParseLearnRequest(body, tr.NumInputs(), tr.NumClasses(), s.cfg.maxBatch)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp := learnResponse{Model: tr.Name()}
+		for _, ex := range examples {
+			if err := tr.Submit(ex.Image, ex.Label); err != nil {
+				// Only queue pressure gets here: geometry and labels were
+				// validated by the parse above.
+				resp.Dropped++
+				continue
+			}
+			resp.Accepted++
+		}
+		status := http.StatusAccepted
+		if resp.Dropped > 0 {
+			status = http.StatusTooManyRequests
+			s.learnShed.Add(uint64(resp.Dropped))
+		}
+		writeJSON(w, status, resp)
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "use POST or GET")
+	}
+}
+
+// handleTune is POST/GET /models/{name}/tune: the runtime knobs of the
+// continual trainer — the 5–78 Hz encode band, the candidate cadence K and
+// the promotion gate. POST applies a partial JSON patch; absent fields keep
+// their value, invalid or non-finite values are rejected atomically (the
+// old tune stays in force).
+func (s *server) handleTune(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Inc()
+	tr := s.learner(w, r.PathValue("name"))
+	if tr == nil {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, tr.Tune())
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "reading request: %v", err)
+			return
+		}
+		next, err := continual.ParseTune(tr.Tune(), body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := tr.SetTune(next); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.retunes.Inc()
+		writeJSON(w, http.StatusOK, next)
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "use POST or GET")
+	}
+}

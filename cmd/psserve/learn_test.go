@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/continual"
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/fault"
+	"parallelspikesim/internal/learn"
+	"parallelspikesim/internal/network"
+	"parallelspikesim/internal/obs"
+	"parallelspikesim/internal/registry"
+	"parallelspikesim/internal/synapse"
+)
+
+// testLearner is a 9-pixel × 4-class continual trainer on an in-memory
+// filesystem. It is deliberately left unstarted: nothing drains the queue,
+// so tests control exactly how many submissions fit before shedding.
+func testLearner(t *testing.T, queueSize int) *continual.Trainer {
+	t.Helper()
+	syn, _, err := synapse.PresetConfig(synapse.Preset8Bit, synapse.Stochastic)
+	if err != nil {
+		t.Fatalf("preset: %v", err)
+	}
+	syn.Seed = 0x5eed
+	netCfg := network.DefaultConfig(9, 4, syn)
+	lo := learn.DefaultOptions()
+	lo.Control = encode.Control{Band: encode.HighFrequencyBand(), TLearnMS: 20}
+	lo.NumClasses = 4
+	models, err := registry.New(noBuilder, 4)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	cfg := continual.Config{Name: "default", Dir: "ckpt", QueueSize: queueSize}
+	tr, err := continual.New(cfg, netCfg, lo, nil, models,
+		continual.WithFS(fault.NewInjector(fault.NewMemFS())))
+	if err != nil {
+		t.Fatalf("continual.New: %v", err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func newLearnServer(t *testing.T, tr *continual.Trainer, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	models := defaultRegistry(t, &stubModel{inputs: 9, classes: 4})
+	h, err := newHandler(models, map[string]*continual.Trainer{"default": tr}, reg, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+const nineZeros = `[0,0,0,0,0,0,0,0,0]`
+
+func TestLearnEndpointAcceptsAndReportsStatus(t *testing.T) {
+	check.NoLeaks(t)
+	tr := testLearner(t, 64)
+	srv := newLearnServer(t, tr, nil)
+
+	resp, body := postJSON(t, srv.URL+"/models/default/learn",
+		`{"examples":[{"image":`+nineZeros+`,"label":1},{"image":`+nineZeros+`,"label":3}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out learnResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if out.Model != "default" || out.Accepted != 2 || out.Dropped != 0 {
+		t.Fatalf("response %+v, want 2 accepted for default", out)
+	}
+
+	// The shorthand single-example form also lands.
+	resp, body = postJSON(t, srv.URL+"/models/default/learn", `{"image":`+nineZeros+`,"label":0}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("shorthand status %d: %s", resp.StatusCode, body)
+	}
+
+	// GET reports the trainer's status and audit trail.
+	getResp, err := http.Get(srv.URL + "/models/default/learn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getBody, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", getResp.StatusCode, getBody)
+	}
+	var report struct {
+		Status continual.Status `json:"status"`
+		Audits []continual.Audit `json:"audits"`
+	}
+	if err := json.Unmarshal(getBody, &report); err != nil {
+		t.Fatalf("decoding %s: %v", getBody, err)
+	}
+	if report.Status.Name != "default" || report.Status.QueueDepth != 3 {
+		t.Fatalf("status %+v, want 3 queued for default", report.Status)
+	}
+}
+
+func TestLearnEndpointShedsWith429(t *testing.T) {
+	check.NoLeaks(t)
+	tr := testLearner(t, 1) // one slot, no drain: the second example sheds
+	reg := obs.NewRegistry()
+	srv := newLearnServer(t, tr, reg)
+
+	resp, body := postJSON(t, srv.URL+"/models/default/learn",
+		`{"examples":[{"image":`+nineZeros+`,"label":1},{"image":`+nineZeros+`,"label":2}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out learnResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if out.Accepted != 1 || out.Dropped != 1 {
+		t.Fatalf("response %+v, want 1 accepted + 1 dropped", out)
+	}
+	if got := reg.Counter("psserve_http_learn_shed_total").Value(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+}
+
+func TestLearnEndpointRejections(t *testing.T) {
+	check.NoLeaks(t)
+	tr := testLearner(t, 4)
+	srv := newLearnServer(t, tr, nil)
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"unknown model", "/models/ghost/learn", `{"image":` + nineZeros + `,"label":1}`, http.StatusNotFound},
+		{"bad json", "/models/default/learn", `{`, http.StatusBadRequest},
+		{"wrong pixels", "/models/default/learn", `{"image":[1,2,3],"label":1}`, http.StatusBadRequest},
+		{"label out of range", "/models/default/learn", `{"image":` + nineZeros + `,"label":4}`, http.StatusBadRequest},
+		{"missing label", "/models/default/learn", `{"image":` + nineZeros + `}`, http.StatusBadRequest},
+		{"batch over limit", "/models/default/learn",
+			`{"examples":[` + strings.Repeat(`{"image":`+nineZeros+`,"label":0},`, 4) + `{"image":` + nineZeros + `,"label":0}]}`,
+			http.StatusBadRequest},
+		{"oversized body", "/models/default/learn", `{"examples":[` + strings.Repeat("9", 1<<17), http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, srv.URL+c.url, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d (%s), want %d", c.name, resp.StatusCode, body, c.want)
+		}
+	}
+	if got := tr.Status().QueueDepth; got != 0 {
+		t.Fatalf("rejected requests leaked %d examples into the queue", got)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/models/default/learn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestTuneEndpoint(t *testing.T) {
+	check.NoLeaks(t)
+	tr := testLearner(t, 4)
+	reg := obs.NewRegistry()
+	srv := newLearnServer(t, tr, reg)
+
+	getResp, err := http.Get(srv.URL + "/models/default/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getBody, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	var cur continual.Tune
+	if err := json.Unmarshal(getBody, &cur); err != nil {
+		t.Fatalf("decoding %s: %v", getBody, err)
+	}
+	if cur != continual.DefaultTune() {
+		t.Fatalf("initial tune %+v, want default", cur)
+	}
+
+	// A partial patch moves only the named knobs.
+	resp, body := postJSON(t, srv.URL+"/models/default/tune", `{"max_hz":50,"emit_every":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status %d: %s", resp.StatusCode, body)
+	}
+	var next continual.Tune
+	if err := json.Unmarshal(body, &next); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if next.MaxHz != 50 || next.EmitEvery != 8 || next.MinHz != cur.MinHz {
+		t.Fatalf("patched tune %+v, want max_hz 50, emit_every 8, min_hz untouched", next)
+	}
+	if got := tr.Tune(); got != next {
+		t.Fatalf("trainer tune %+v, response said %+v", got, next)
+	}
+	if got := reg.Counter("psserve_http_retunes_total").Value(); got != 1 {
+		t.Fatalf("retune counter %d, want 1", got)
+	}
+
+	// Invalid patches are rejected atomically: the old tune stays in force.
+	for _, bad := range []string{`{"emit_every":0}`, `{"min_delta":7}`, `{"max_hz":"fast"}`, `{"typo_knob":1}`, `not json`} {
+		resp, body := postJSON(t, srv.URL+"/models/default/tune", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("patch %s: status %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+	if got := tr.Tune(); got != next {
+		t.Fatalf("rejected patch changed the tune: %+v", got)
+	}
+
+	// Unknown model.
+	resp, _ = postJSON(t, srv.URL+"/models/ghost/tune", `{}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost tune status %d, want 404", resp.StatusCode)
+	}
+}

@@ -23,6 +23,14 @@
 // generation keeps serving. Responses carry the model name and generation
 // so clients can audit exactly which snapshot answered.
 //
+// With -learn, psserve also trains while it serves: POST
+// /models/{name}/learn feeds labeled examples to a continual trainer
+// (internal/continual) that emits a candidate checkpoint every K examples,
+// shadow-evaluates it against the live generation on mirrored traffic, and
+// hot-promotes it through the registry when it clears the accuracy gate.
+// POST /models/{name}/tune moves the encode band, K and the gate at
+// runtime; GET /models/{name}/learn reports the promotion audit trail.
+//
 // Classification is deterministic: the same pixels against the same
 // generation always produce the same prediction, regardless of request
 // interleaving or worker count. Request cost is bounded by -max-batch,
@@ -40,13 +48,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"parallelspikesim/internal/continual"
 	"parallelspikesim/internal/encode"
 	"parallelspikesim/internal/engine"
 	"parallelspikesim/internal/fixed"
 	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/learn"
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/network"
 	"parallelspikesim/internal/obs"
@@ -71,6 +82,15 @@ type options struct {
 
 	sc serverConfig
 
+	learn         bool    // enable train-while-serve for the default model
+	learnDir      string  // checkpoint dir ("" = models dir, else dir of -load)
+	learnEvery    int     // candidate cadence K
+	learnQueue    int     // ingest queue bound
+	learnShadow   int     // mirrored-sample size for shadow eval
+	learnMinDelta float64 // promotion gate accuracy delta
+	learnMinHz    float64 // initial encode band override (0 = preset band)
+	learnMaxHz    float64
+
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
@@ -93,6 +113,14 @@ func main() {
 	flag.IntVar(&o.sc.maxBatch, "max-batch", 256, "images per /classify request")
 	flag.IntVar(&o.sc.maxInflight, "max-inflight", 4, "concurrent classification requests")
 	flag.IntVar(&o.sc.shrinkAt, "shrink-at", 0, "busy slots at which the deadline shrinks (0 = half of -max-inflight)")
+	flag.BoolVar(&o.learn, "learn", false, "enable train-while-serve: POST /models/{name}/learn feeds the default model's continual trainer")
+	flag.StringVar(&o.learnDir, "learn-dir", "", "directory for continual-learning checkpoints (default: -models dir, else the -load snapshot's dir)")
+	flag.IntVar(&o.learnEvery, "learn-every", 64, "emit and shadow-evaluate a candidate every K trained examples")
+	flag.IntVar(&o.learnQueue, "learn-queue", 256, "bounded ingest queue size; overflow is shed with 429")
+	flag.IntVar(&o.learnShadow, "learn-shadow", 64, "mirrored traffic sample size for shadow evaluation")
+	flag.Float64Var(&o.learnMinDelta, "learn-min-delta", 0, "promotion gate: candidate accuracy must beat live by at least this delta")
+	flag.Float64Var(&o.learnMinHz, "learn-min-hz", 0, "initial encode band lower edge for online training (0 = preset band)")
+	flag.Float64Var(&o.learnMaxHz, "learn-max-hz", 0, "initial encode band upper edge for online training (0 = preset band)")
 	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "time a client gets to send the request headers")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 15*time.Second, "time a client gets to send the whole request")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 60*time.Second, "time an idle keep-alive connection is kept open")
@@ -104,43 +132,105 @@ func main() {
 	}
 }
 
-// newBuilder compiles the preset flags into a registry.Builder: the
-// electrical constants are fixed once at startup, and every (re)loaded
-// snapshot is assembled into an engine exactly as pssim's serving-path
-// evaluation does, so served predictions match the accuracy pssim
-// reported.
-func newBuilder(rule, preset, rounding string, seed uint64, classes int, tlearn float64,
-	exec engine.Executor, reg *obs.Registry) (registry.Builder, error) {
-
+// presetSetup compiles the preset flags into the synapse configuration and
+// encode control every engine — serving or training — is built with. The
+// electrical constants are fixed once at startup.
+func presetSetup(rule, preset, rounding string, seed uint64, tlearn float64) (synapse.Config, encode.Control, error) {
 	kind, err := synapse.ParseRule(rule)
 	if err != nil {
-		return nil, err
+		return synapse.Config{}, encode.Control{}, err
 	}
 	syn, band, err := synapse.PresetConfig(synapse.Preset(preset), kind)
 	if err != nil {
-		return nil, err
+		return synapse.Config{}, encode.Control{}, err
 	}
 	if rounding != "" {
 		r, err := fixed.ParseRounding(rounding)
 		if err != nil {
-			return nil, err
+			return synapse.Config{}, encode.Control{}, err
 		}
 		syn.Rounding = r
 	}
 	syn.Seed = seed
+	ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: encode.BaselineControl().TLearnMS}
+	if preset == string(synapse.PresetHighFreq) {
+		ctl = encode.HighFrequencyControl()
+	}
+	if tlearn > 0 {
+		ctl.TLearnMS = tlearn
+	}
+	return syn, ctl, nil
+}
 
+// newBuilder compiles the preset flags into a registry.Builder: every
+// (re)loaded snapshot is assembled into an engine exactly as pssim's
+// serving-path evaluation does, so served predictions match the accuracy
+// pssim reported.
+func newBuilder(rule, preset, rounding string, seed uint64, classes int, tlearn float64,
+	exec engine.Executor, reg *obs.Registry) (registry.Builder, error) {
+
+	syn, ctl, err := presetSetup(rule, preset, rounding, seed, tlearn)
+	if err != nil {
+		return nil, err
+	}
 	return func(snap *netio.Snapshot) (registry.Engine, error) {
 		cfg := network.DefaultConfig(snap.NumInputs, snap.NumNeurons, syn)
-		ctl := encode.Control{Band: encode.Band{MinHz: band.MinHz, MaxHz: band.MaxHz}, TLearnMS: encode.BaselineControl().TLearnMS}
-		if preset == string(synapse.PresetHighFreq) {
-			ctl = encode.HighFrequencyControl()
-		}
-		if tlearn > 0 {
-			ctl.TLearnMS = tlearn
-		}
 		return infer.FromSnapshot(snap, cfg, ctl, classes,
 			infer.WithExecutor(exec), infer.WithObserver(reg))
 	}, nil
+}
+
+// newLearner builds, from the same preset flags the serving engines use, a
+// continual trainer seeded with the default model's snapshot. The trainer
+// gets a private network (lazy plasticity, sequential executor) so online
+// presentations never contend with batch fan-out, and its checkpoints —
+// base replay anchor and candidates — live in o.learnDir.
+func newLearner(o options, models *registry.Registry, reg *obs.Registry) (*continual.Trainer, error) {
+	m, ok := models.Get(o.modelName)
+	if !ok {
+		return nil, fmt.Errorf("learn: default model %q is not loaded", o.modelName)
+	}
+	if m.Path == "" {
+		return nil, fmt.Errorf("learn: model %q has no backing snapshot", o.modelName)
+	}
+	base, err := netio.LoadFile(m.Path)
+	if err != nil {
+		return nil, fmt.Errorf("learn: loading base snapshot: %w", err)
+	}
+	syn, ctl, err := presetSetup(o.rule, o.preset, o.rounding, o.seed, o.tlearn)
+	if err != nil {
+		return nil, err
+	}
+	dir := o.learnDir
+	if dir == "" {
+		dir = o.modelsDir
+	}
+	if dir == "" {
+		dir = filepath.Dir(o.load)
+	}
+	tune := continual.DefaultTune()
+	tune.MinHz, tune.MaxHz = ctl.Band.MinHz, ctl.Band.MaxHz
+	if o.learnMinHz > 0 {
+		tune.MinHz = o.learnMinHz
+	}
+	if o.learnMaxHz > 0 {
+		tune.MaxHz = o.learnMaxHz
+	}
+	tune.EmitEvery = o.learnEvery
+	tune.MinDelta = o.learnMinDelta
+	tune.ShadowSample = o.learnShadow
+
+	lopts := learn.DefaultOptions()
+	lopts.Control = ctl
+	lopts.NumClasses = o.classes
+	cfg := continual.Config{
+		Name:      o.modelName,
+		Dir:       dir,
+		QueueSize: o.learnQueue,
+		Tune:      tune,
+	}
+	netCfg := network.DefaultConfig(base.NumInputs, base.NumNeurons, syn)
+	return continual.New(cfg, netCfg, lopts, base, models, continual.WithObserver(reg))
 }
 
 // loadModels seeds the registry: a directory scan in -models mode, one
@@ -214,9 +304,25 @@ func run(o options) error {
 	if err := loadModels(models, o); err != nil {
 		return err
 	}
+	learners := map[string]*continual.Trainer{}
+	if o.learn {
+		tr, err := newLearner(o, models, reg)
+		if err != nil {
+			return err
+		}
+		if err := tr.Start(); err != nil {
+			return err
+		}
+		defer tr.Close()
+		learners[o.modelName] = tr
+		tune := tr.Tune()
+		fmt.Printf("psserve: continual learning enabled for %q (band %g-%g Hz, K=%d, gate %+g, shadow %d)\n",
+			o.modelName, tune.MinHz, tune.MaxHz, tune.EmitEvery, tune.MinDelta, tune.ShadowSample)
+	}
+
 	o.sc.defaultModel = o.modelName
 	o.sc.modelsDir = o.modelsDir
-	handler, err := newHandler(models, reg, o.sc)
+	handler, err := newHandler(models, learners, reg, o.sc)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"parallelspikesim/internal/continual"
 	"parallelspikesim/internal/infer"
 	"parallelspikesim/internal/obs"
 	"parallelspikesim/internal/registry"
@@ -71,21 +72,27 @@ type errorResponse struct {
 // server wires the model registry, its limits, the degradation ladder and
 // the serving metrics.
 type server struct {
-	models *registry.Registry
-	cfg    serverConfig
-	ladder *ladder
+	models   *registry.Registry
+	learners map[string]*continual.Trainer // per-model continual trainers (may be empty)
+	cfg      serverConfig
+	ladder   *ladder
 
-	reqs     *obs.Counter // psserve_http_requests_total: every request seen
-	rejected *obs.Counter // psserve_http_rejected_total: 4xx/5xx request errors
-	timeouts *obs.Counter // psserve_http_timeouts_total: compute overran the deadline
-	reloads  *obs.Counter // psserve_http_reloads_total: admin reloads served
-	latency  *obs.Timer   // psserve_http_classify_ns
+	reqs      *obs.Counter // psserve_http_requests_total: every request seen
+	rejected  *obs.Counter // psserve_http_rejected_total: 4xx/5xx request errors
+	timeouts  *obs.Counter // psserve_http_timeouts_total: compute overran the deadline
+	reloads   *obs.Counter // psserve_http_reloads_total: admin reloads served
+	retunes   *obs.Counter // psserve_http_retunes_total: accepted tune changes
+	learnShed *obs.Counter // psserve_http_learn_shed_total: examples shed with 429
+	latency   *obs.Timer   // psserve_http_classify_ns
 }
 
 // newHandler builds the psserve HTTP API over a model registry:
 //
 //	POST /classify                  classify against the default model
 //	POST /models/{name}/classify    classify against a named model
+//	POST /models/{name}/learn       feed labeled examples to the continual trainer
+//	GET  /models/{name}/learn       trainer status + promotion audit trail
+//	POST /models/{name}/tune        adjust band/K/gate at runtime (GET reads back)
 //	POST /reload                    rescan/reload snapshots (admin)
 //	GET  /healthz                   liveness + per-model generation and shape
 //	GET  /metrics                   Prometheus text exposition of reg
@@ -96,7 +103,9 @@ type server struct {
 // compute-timeout and per-rung degradation counters are disjoint: each
 // failed request increments exactly one of them. A nil registry disables
 // metric recording but keeps /metrics serving an empty exposition.
-func newHandler(models *registry.Registry, reg *obs.Registry, sc serverConfig) (http.Handler, error) {
+// learners maps model names to their continual trainers; models without one
+// answer the learn/tune routes with 404.
+func newHandler(models *registry.Registry, learners map[string]*continual.Trainer, reg *obs.Registry, sc serverConfig) (http.Handler, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -104,19 +113,24 @@ func newHandler(models *registry.Registry, reg *obs.Registry, sc serverConfig) (
 		return nil, fmt.Errorf("psserve: nil model registry")
 	}
 	s := &server{
-		models: models,
-		cfg:    sc,
-		ladder: newLadder(sc, reg),
+		models:   models,
+		learners: learners,
+		cfg:      sc,
+		ladder:   newLadder(sc, reg),
 
-		reqs:     reg.Counter("psserve_http_requests_total"),
-		rejected: reg.Counter("psserve_http_rejected_total"),
-		timeouts: reg.Counter("psserve_http_timeouts_total"),
-		reloads:  reg.Counter("psserve_http_reloads_total"),
-		latency:  reg.Timer("psserve_http_classify_ns"),
+		reqs:      reg.Counter("psserve_http_requests_total"),
+		rejected:  reg.Counter("psserve_http_rejected_total"),
+		timeouts:  reg.Counter("psserve_http_timeouts_total"),
+		reloads:   reg.Counter("psserve_http_reloads_total"),
+		retunes:   reg.Counter("psserve_http_retunes_total"),
+		learnShed: reg.Counter("psserve_http_learn_shed_total"),
+		latency:   reg.Timer("psserve_http_classify_ns"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/models/{name}/classify", s.handleModelClassify)
+	mux.HandleFunc("/models/{name}/learn", s.handleLearn)
+	mux.HandleFunc("/models/{name}/tune", s.handleTune)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", reg.Handler())

@@ -111,7 +111,7 @@ func defaultConfig() serverConfig {
 
 func newTestServer(t *testing.T, models *registry.Registry, reg *obs.Registry, sc serverConfig) *httptest.Server {
 	t.Helper()
-	h, err := newHandler(models, reg, sc)
+	h, err := newHandler(models, nil, reg, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,11 +480,11 @@ func TestHandlerRejectsBadConfig(t *testing.T) {
 		{maxBatch: 1, maxInflight: 1, timeout: time.Second},
 		{maxBatch: 1, maxInflight: 1, timeout: time.Second, defaultModel: "default", shrinkAt: 2},
 	} {
-		if _, err := newHandler(models, nil, sc); err == nil {
+		if _, err := newHandler(models, nil, nil, sc); err == nil {
 			t.Fatalf("config %+v accepted", sc)
 		}
 	}
-	if _, err := newHandler(nil, nil, defaultConfig()); err == nil {
+	if _, err := newHandler(nil, nil, nil, defaultConfig()); err == nil {
 		t.Fatal("nil registry accepted")
 	}
 }
@@ -590,7 +590,7 @@ func TestReloadEndpoint(t *testing.T) {
 func TestGracefulDrainCompletesInflight(t *testing.T) {
 	check.NoLeaks(t)
 	models := defaultRegistry(t, &stubModel{inputs: 3, classes: 4, delay: 400 * time.Millisecond})
-	h, err := newHandler(models, nil, serverConfig{maxBatch: 4, maxInflight: 2, timeout: 5 * time.Second, defaultModel: "default"})
+	h, err := newHandler(models, nil, nil, serverConfig{maxBatch: 4, maxInflight: 2, timeout: 5 * time.Second, defaultModel: "default"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,338 @@
+// Chaos suite for the promotion state machine: injected candidate-write
+// failures, corrupted candidate bytes, a crash between emit and promote,
+// and a concurrent registry reload racing a shadow evaluation. In every
+// scenario the serving path must never observe a torn or regressed model:
+// failures roll back with the live generation untouched, and recovery is
+// automatic at the next candidate boundary.
+package continual_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/continual"
+	"parallelspikesim/internal/fault"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/registry"
+)
+
+func TestChaosWriteFailureRollsBackThenRecovers(t *testing.T) {
+	tune := fastTune(2, 4, -1)
+	h := newHarness(t, tune)
+	h.start() // base write happens before the fault is armed
+
+	h.inj.FailOnce(fault.OpSync, errors.New("device on fire"))
+	h.feed(2)
+	h.waitFor("rollback", func(s continual.Status) bool {
+		return s.Candidates == 1 && s.Rollbacks == 1
+	})
+	if _, ok := h.models.Get(hModel); ok {
+		t.Fatalf("failed candidate reached the registry")
+	}
+
+	// The next boundary recovers without intervention.
+	h.feed(2)
+	h.waitFor("recovery", func(s continual.Status) bool { return s.Promotions == 1 })
+	h.tr.Close()
+
+	m, ok := h.models.Get(hModel)
+	if !ok || m.Gen != 1 {
+		t.Fatalf("recovered model: %+v ok=%v, want gen 1", m, ok)
+	}
+	audits := h.tr.Audits()
+	if audits[0].Outcome != continual.OutcomeRolledBack || !strings.Contains(audits[0].Err, "writing candidate") {
+		t.Fatalf("first audit: %+v, want rolled back on candidate write", audits[0])
+	}
+	if audits[1].Outcome != continual.OutcomeBootstrapped || audits[1].Examples != 4 {
+		t.Fatalf("recovery audit: %+v, want bootstrap over 4 examples", audits[1])
+	}
+}
+
+func TestChaosCorruptCandidateNeverServes(t *testing.T) {
+	tune := fastTune(2, 4, -1)
+	h := newHarness(t, tune)
+	h.start()
+
+	// One-shot hook: the first Open after Start is the trainer's read-back
+	// of the candidate it just wrote — flip a payload byte on disk first,
+	// as a failing device would. The CRC trailer must catch it before the
+	// bytes get anywhere near the registry.
+	var once sync.Once
+	corrupted := make(chan bool, 1)
+	h.inj.Hook(fault.OpOpen, func() {
+		once.Do(func() {
+			corrupted <- h.mem.Corrupt(h.tr.CandidatePath(), 40)
+			h.inj.Hook(fault.OpOpen, nil)
+		})
+	})
+
+	h.feed(2)
+	h.waitFor("corruption rollback", func(s continual.Status) bool { return s.Rollbacks == 1 })
+	if !<-corrupted {
+		t.Fatalf("corruption hook missed the candidate file")
+	}
+	if _, ok := h.models.Get(hModel); ok {
+		t.Fatalf("corrupt candidate reached the registry")
+	}
+	aud := h.tr.Audits()[0]
+	if aud.Outcome != continual.OutcomeRolledBack || !strings.Contains(aud.Err, "reading candidate back") {
+		t.Fatalf("corruption audit: %+v, want rollback on read-back", aud)
+	}
+
+	// Recovery: a clean candidate promotes, and the engine it serves is
+	// built from verified bytes.
+	h.feed(2)
+	h.waitFor("clean promotion", func(s continual.Status) bool { return s.Promotions == 1 })
+	h.tr.Close()
+	m, ok := h.models.Get(hModel)
+	if !ok || m.Gen != 1 {
+		t.Fatalf("recovered model: %+v ok=%v", m, ok)
+	}
+	preds, err := m.Engine.PredictBatch([][]uint8{classImage(0)})
+	if err != nil || len(preds) != 1 {
+		t.Fatalf("serving recovered engine: preds %v err %v", preds, err)
+	}
+	loaded, err := netio.LoadFileFS(h.inj, m.Path)
+	if err != nil {
+		t.Fatalf("published path unreadable: %v", err)
+	}
+	if got := loaded.PayloadCRC(); got != h.tr.Audits()[1].PayloadCRC {
+		t.Fatalf("published bytes CRC %#x, audit %#x", got, h.tr.Audits()[1].PayloadCRC)
+	}
+}
+
+func TestChaosCrashBetweenEmitAndPromoteRestarts(t *testing.T) {
+	tune := fastTune(2, 4, -1)
+	h := newHarness(t, tune)
+	h.start()
+
+	// The candidate lands on disk, then the process "dies" before it can
+	// be staged or promoted: the read-back crashes and the trainer is torn
+	// down, leaving a stale unpromoted candidate next to the base.
+	h.inj.FailOnce(fault.OpOpen, fault.ErrCrash)
+	h.feed(2)
+	h.waitFor("crash rollback", func(s continual.Status) bool { return s.Rollbacks == 1 })
+	h.tr.Close()
+	if _, ok := h.mem.ReadFile(h.tr.CandidatePath()); !ok {
+		t.Fatalf("stale candidate missing — scenario needs the write to have completed")
+	}
+	if _, ok := h.models.Get(hModel); ok {
+		t.Fatalf("candidate promoted across a crash")
+	}
+
+	// A directory rescan over the checkpoint dir must not adopt the stale
+	// candidate (or the base) as a servable model: only the promotion gate
+	// publishes checkpoints.
+	if rep := h.models.Rescan(hDir); len(rep) != 0 {
+		t.Fatalf("rescan adopted trainer checkpoints: %+v", rep)
+	}
+
+	// Restart: a new trainer resumes from the durable base checkpoint and
+	// the stale candidate is simply overwritten at the next boundary.
+	base, err := netio.LoadFileFS(h.inj, h.tr.BasePath())
+	if err != nil {
+		t.Fatalf("loading base after crash: %v", err)
+	}
+	if base.Trainer == nil {
+		t.Fatalf("base checkpoint lost its trainer section")
+	}
+	cfg := continual.Config{Name: hModel, Dir: hDir, QueueSize: 64, Tune: tune}
+	tr2, err := continual.New(cfg, h.netCfg, testLearnOptions(), base, h.models, continual.WithFS(h.inj))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	t.Cleanup(tr2.Close)
+	if err := tr2.Start(); err != nil {
+		t.Fatalf("restart Start: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := tr2.Submit(classImage(i), uint8(i)); err != nil {
+			t.Fatalf("restart submit: %v", err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for tr2.Status().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted trainer never promoted; status %+v", tr2.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tr2.Close()
+
+	m, ok := h.models.Get(hModel)
+	if !ok || m.Gen != 1 {
+		t.Fatalf("post-restart model: %+v ok=%v", m, ok)
+	}
+	// What serves is the restarted trainer's verified candidate, never the
+	// pre-crash leftover.
+	published, err := netio.LoadFileFS(h.inj, m.Path)
+	if err != nil {
+		t.Fatalf("published path: %v", err)
+	}
+	aud := tr2.Audits()[0]
+	if aud.Outcome != continual.OutcomeBootstrapped || published.PayloadCRC() != aud.PayloadCRC {
+		t.Fatalf("published bytes do not match the restart audit: %+v vs CRC %#x", aud, published.PayloadCRC())
+	}
+}
+
+// gatedEngine is a stub engine whose PredictBatch can be frozen on a
+// channel, letting the reload race park a shadow evaluation mid-flight.
+type gatedEngine struct {
+	inputs, classes int
+	gate            <-chan struct{}
+	entered         chan<- struct{}
+}
+
+func (e *gatedEngine) PredictBatch(imgs [][]uint8) ([]infer.Prediction, error) {
+	if e.gate != nil {
+		select {
+		case e.entered <- struct{}{}:
+		default:
+		}
+		<-e.gate
+	}
+	out := make([]infer.Prediction, len(imgs))
+	for i, img := range imgs {
+		out[i] = infer.Prediction{Class: int(img[0]) % e.classes, Winner: -1}
+	}
+	return out, nil
+}
+
+func (e *gatedEngine) NumInputs() int  { return e.inputs }
+func (e *gatedEngine) NumClasses() int { return e.classes }
+
+func TestChaosConcurrentReloadDuringShadowEval(t *testing.T) {
+	check.NoLeaks(t)
+	mem := fault.NewMemFS()
+	inj := fault.NewInjector(mem)
+	netCfg := testNetConfig(t)
+
+	// Engines built while armed block their first PredictBatch on gate —
+	// which freezes the trainer inside the candidate's shadow evaluation.
+	var armed atomic.Bool
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	build := func(s *netio.Snapshot) (registry.Engine, error) {
+		e := &gatedEngine{inputs: s.NumInputs, classes: hClasses}
+		if armed.Load() {
+			e.gate = gate
+			e.entered = entered
+		}
+		return e, nil
+	}
+	models, err := registry.New(build, hClasses, registry.WithFS(inj))
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	tune := fastTune(2, 4, -1)
+	cfg := continual.Config{Name: hModel, Dir: hDir, QueueSize: 64, Tune: tune}
+	tr, err := continual.New(cfg, netCfg, testLearnOptions(), nil, models, continual.WithFS(inj))
+	if err != nil {
+		t.Fatalf("continual.New: %v", err)
+	}
+	t.Cleanup(tr.Close)
+	if err := tr.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	feed := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			for {
+				err := tr.Submit(classImage(i%hClasses), uint8(i%hClasses))
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, continual.ErrQueueFull) {
+					t.Fatalf("Submit: %v", err)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	wait := func(what string, cond func(continual.Status) bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond(tr.Status()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out on %s; status %+v", what, tr.Status())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Bootstrap an ungated generation, then arm the gate.
+	feed(2)
+	wait("bootstrap", func(s continual.Status) bool { return s.Promotions == 1 })
+	armed.Store(true)
+
+	// Flood readers: every resolved model must be whole — engine present,
+	// shape constant, generation monotonic — throughout the race.
+	stopFlood := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				m, ok := models.Get(hModel)
+				if !ok {
+					t.Errorf("model vanished mid-race")
+					return
+				}
+				if m.Gen < lastGen {
+					t.Errorf("generation went backwards: %d after %d", m.Gen, lastGen)
+					return
+				}
+				lastGen = m.Gen
+				if m.Engine == nil || m.Engine.NumInputs() != hInputs || m.Engine.NumClasses() != hClasses {
+					t.Errorf("torn model at gen %d: %+v", m.Gen, m)
+					return
+				}
+			}
+		}()
+	}
+
+	// Next candidate freezes inside its shadow evaluation...
+	feed(2)
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("shadow evaluation never reached the gated engine")
+	}
+	// ...while an operator reload mints the next generation underneath it.
+	reloaded, err := models.Load(hModel, tr.CandidatePath())
+	if err != nil {
+		t.Fatalf("concurrent reload: %v", err)
+	}
+	if reloaded.Gen != 2 {
+		t.Fatalf("concurrent reload minted gen %d, want 2", reloaded.Gen)
+	}
+	// Release the evaluation; the trainer's promotion lands on top.
+	close(gate)
+	wait("promotion over the reload", func(s continual.Status) bool { return s.Promotions == 2 })
+	close(stopFlood)
+	wg.Wait()
+	tr.Close()
+
+	m, ok := models.Get(hModel)
+	if !ok || m.Gen != 3 {
+		t.Fatalf("final model: %+v ok=%v, want gen 3 (bootstrap, reload, promotion)", m, ok)
+	}
+	audits := tr.Audits()
+	last := audits[len(audits)-1]
+	if last.Outcome != continual.OutcomePromoted || last.Gen != 3 || last.LiveGen != 1 {
+		t.Fatalf("race audit: %+v, want promotion to gen 3 shadowed against gen 1", last)
+	}
+}

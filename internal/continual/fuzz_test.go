@@ -1,0 +1,63 @@
+// Fuzzers for the HTTP-facing parsers — the hostile side of the trust
+// boundary. Neither may panic on any input, and anything they accept must
+// already satisfy the invariants the trainer relies on (geometry, label
+// range, finite validated knobs). CI runs both in the fuzz-smoke step.
+package continual_test
+
+import (
+	"testing"
+
+	"parallelspikesim/internal/continual"
+)
+
+func FuzzParseLearnRequest(f *testing.F) {
+	f.Add([]byte(`{"image":[0,1,2,3,4,5,6,7,8],"label":1}`))
+	f.Add([]byte(`{"examples":[{"image":[0,0,0,0,0,0,0,0,255],"label":3},{"image":[9,9,9,9,9,9,9,9,9],"label":0}]}`))
+	f.Add([]byte(`{"image":"AAAAAAAAAAAA","label":1}`)) // base64 string form
+	f.Add([]byte(`{"image":[0,1,2,3,4,5,6,7,8],"label":-1}`))
+	f.Add([]byte(`{"image":[0,1,2,3,4,5,6,7,8],"label":1e99}`))
+	f.Add([]byte(`{"examples":[]}{"trailing":"garbage"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exs, err := continual.ParseLearnRequest(data, hInputs, hClasses, 8)
+		if err != nil {
+			return
+		}
+		if len(exs) == 0 || len(exs) > 8 {
+			t.Fatalf("accepted batch of %d examples (limit 8, empty forbidden)", len(exs))
+		}
+		for i, ex := range exs {
+			if len(ex.Image) != hInputs {
+				t.Fatalf("example %d accepted with %d pixels", i, len(ex.Image))
+			}
+			if int(ex.Label) >= hClasses {
+				t.Fatalf("example %d accepted with label %d", i, ex.Label)
+			}
+		}
+	})
+}
+
+func FuzzParseTune(f *testing.F) {
+	f.Add([]byte(`{"min_hz":1,"max_hz":22}`))
+	f.Add([]byte(`{"emit_every":0}`))
+	f.Add([]byte(`{"min_delta":2}`))
+	f.Add([]byte(`{"max_hz":1e308}`))
+	f.Add([]byte(`{"shadow_sample":-5}`))
+	f.Add([]byte(`{"min_hz":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cur := continual.DefaultTune()
+		next, err := continual.ParseTune(cur, data)
+		if err != nil {
+			if next != cur {
+				t.Fatalf("rejected patch still changed the tune: %+v", next)
+			}
+			return
+		}
+		if err := next.Validate(); err != nil {
+			t.Fatalf("accepted tune fails validation: %+v: %v", next, err)
+		}
+	})
+}

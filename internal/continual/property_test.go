@@ -1,0 +1,109 @@
+// Property tests for the shadow-evaluation/promotion gate pair:
+//
+//   - shadow evaluation is order-independent — the accuracy a candidate is
+//     judged on is a function of the mirrored sample *set*, so no ingest
+//     interleaving can bias a promotion decision;
+//   - the gate never promotes when the accuracy delta is below threshold,
+//     including the NaN corner where naive IEEE comparisons invert.
+package continual_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parallelspikesim/internal/check"
+	"parallelspikesim/internal/continual"
+	"parallelspikesim/internal/infer"
+	"parallelspikesim/internal/netio"
+	"parallelspikesim/internal/network"
+)
+
+// shuffleExamples returns a seeded xorshift permutation of sample.
+func shuffleExamples(sample []continual.Example, seed uint64) []continual.Example {
+	out := append([]continual.Example(nil), sample...)
+	s := seed | 1
+	for i := len(out) - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func TestShadowEvalOrderIndependent(t *testing.T) {
+	check.NoLeaks(t)
+	netCfg := testNetConfig(t)
+	net, err := network.New(netCfg)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	snap := netio.Capture(net, nil)
+	snap.Assignments = []int{0, 1, 2, 3} // one neuron per class
+	eng, err := infer.FromSnapshot(snap, netCfg, testControl(), hClasses)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	// A mixed sample: every class, with per-example pixel perturbations so
+	// the predictions are not all identical.
+	sample := make([]continual.Example, 16)
+	for i := range sample {
+		img := classImage(i % hClasses)
+		img[i%hInputs] = uint8(40 * (i % 5))
+		sample[i] = continual.Example{Image: img, Label: uint8(i % hClasses)}
+	}
+	baseline, err := continual.ShadowEval(eng, sample)
+	if err != nil {
+		t.Fatalf("baseline eval: %v", err)
+	}
+
+	if err := quick.Check(func(seed uint64) bool {
+		correct, err := continual.ShadowEval(eng, shuffleExamples(sample, seed))
+		return err == nil && correct == baseline
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatalf("shadow evaluation depends on sample order: %v", err)
+	}
+}
+
+func TestGateNeverPromotesBelowThreshold(t *testing.T) {
+	check.NoLeaks(t)
+	// Safety property over arbitrary accuracies and gates: whenever the
+	// gate admits, the delta really did clear the threshold (and was a
+	// number at all).
+	if err := quick.Check(func(live, cand, minDelta float64) bool {
+		tn := continual.DefaultTune()
+		tn.MinDelta = minDelta
+		if !tn.Admits(live, cand) {
+			return true
+		}
+		delta := cand - live
+		return !math.IsNaN(delta) && delta >= minDelta
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("gate admitted a below-threshold candidate: %v", err)
+	}
+
+	nan := math.NaN()
+	corners := []struct {
+		name             string
+		live, cand, gate float64
+		want             bool
+	}{
+		{"nan-candidate", 0.5, nan, -1, false},
+		{"nan-live", nan, 0.9, -1, false},
+		{"both-inf", math.Inf(1), math.Inf(1), -1, false}, // Inf-Inf = NaN
+		{"equal-at-zero-gate", 0.7, 0.7, 0, true},
+		{"just-below-gate", 0.5, 0.59, 0.1, false},
+		{"tolerated-regression", 0.9, 0.85, -0.1, true},
+		{"regression-past-tolerance", 0.9, 0.7, -0.1, false},
+	}
+	for _, c := range corners {
+		tn := continual.DefaultTune()
+		tn.MinDelta = c.gate
+		if got := tn.Admits(c.live, c.cand); got != c.want {
+			t.Errorf("%s: Admits(%v, %v) gate %v = %v, want %v", c.name, c.live, c.cand, c.gate, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Runtime knobs and ingest parsing for the continual trainer.
+//
+// Everything in this file sits on the hostile side of the trust boundary:
+// Tune patches and learn payloads arrive over HTTP, so every field is
+// range-checked and NaN/Inf-rejected before it can reach the trainer. The
+// encode.Band validator alone is not enough here — IEEE comparisons against
+// NaN are all false, so a NaN band edge would sail through `MinHz < 0`
+// style checks and poison every subsequent presentation.
+package continual
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"parallelspikesim/internal/encode"
+	"parallelspikesim/internal/registry"
+)
+
+// Bounds for runtime knobs. EmitEvery and ShadowSample are capped so a
+// hostile tune request cannot park the trainer behind a near-infinite
+// candidate interval or an unboundedly expensive shadow evaluation.
+const (
+	maxEmitEvery    = 1 << 20
+	maxShadowSample = 1 << 16
+	maxBandHz       = 100_000 // far above any physical spike rate
+)
+
+// Tune is the runtime-adjustable operating point of a continual trainer:
+// the input-frequency band examples are encoded with (the paper's 5–78 Hz
+// fast-learning knob), the candidate cadence K, and the promotion gate.
+// All fields are plain data; a Tune travels by value and is swapped
+// atomically under the trainer's mutex, so a presentation always sees one
+// consistent operating point.
+type Tune struct {
+	// MinHz/MaxHz are the encode band for subsequent presentations.
+	MinHz float64 `json:"min_hz"`
+	MaxHz float64 `json:"max_hz"`
+
+	// EmitEvery is K: a candidate checkpoint is emitted and shadow-evaluated
+	// after every K trained examples.
+	EmitEvery int `json:"emit_every"`
+
+	// MinDelta is the promotion gate: a candidate is published only when
+	// candidateAccuracy - liveAccuracy >= MinDelta on the mirrored sample.
+	// Zero promotes on "no worse"; positive demands strict improvement;
+	// negative tolerates bounded regression (useful for forced rollover).
+	MinDelta float64 `json:"min_delta"`
+
+	// ShadowSample is the size of the mirrored traffic sample retained for
+	// shadow evaluation.
+	ShadowSample int `json:"shadow_sample"`
+}
+
+// DefaultTune is the paper's fast-learning operating point with a
+// promote-on-no-worse gate.
+func DefaultTune() Tune {
+	band := encode.HighFrequencyBand()
+	return Tune{
+		MinHz:        band.MinHz,
+		MaxHz:        band.MaxHz,
+		EmitEvery:    64,
+		MinDelta:     0,
+		ShadowSample: 64,
+	}
+}
+
+// Band returns the encode band the tune prescribes.
+func (t Tune) Band() encode.Band { return encode.Band{MinHz: t.MinHz, MaxHz: t.MaxHz} }
+
+// Validate rejects non-finite, out-of-range or degenerate knobs. It is the
+// single gate between HTTP input and the trainer, so it must hold against
+// adversarial values (FuzzParseTune pins this).
+func (t Tune) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"min_hz", t.MinHz}, {"max_hz", t.MaxHz}, {"min_delta", t.MinDelta}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("continual: %s is %v, must be finite", f.name, f.v)
+		}
+	}
+	if t.MinHz < 0 || t.MaxHz <= 0 || t.MaxHz < t.MinHz || t.MaxHz > maxBandHz {
+		return fmt.Errorf("continual: band [%v, %v] Hz out of range (0 <= min <= max <= %d)", t.MinHz, t.MaxHz, maxBandHz)
+	}
+	if t.EmitEvery < 1 || t.EmitEvery > maxEmitEvery {
+		return fmt.Errorf("continual: emit_every %d out of range [1, %d]", t.EmitEvery, maxEmitEvery)
+	}
+	// Accuracies live in [0, 1], so any useful gate lives in [-1, 1];
+	// anything outside either always or never promotes and is a config bug.
+	if t.MinDelta < -1 || t.MinDelta > 1 {
+		return fmt.Errorf("continual: min_delta %v out of range [-1, 1]", t.MinDelta)
+	}
+	if t.ShadowSample < 1 || t.ShadowSample > maxShadowSample {
+		return fmt.Errorf("continual: shadow_sample %d out of range [1, %d]", t.ShadowSample, maxShadowSample)
+	}
+	return nil
+}
+
+// Admits is the promotion gate: true when the candidate's mirrored-sample
+// accuracy beats the live engine's by at least MinDelta. The comparison is
+// written so a NaN delta (which IEEE would let slip through a bare `>=`
+// rewrite) can never promote — the property test pins "never promotes when
+// the delta is below threshold" including the NaN corner.
+func (t Tune) Admits(liveAcc, candAcc float64) bool {
+	delta := candAcc - liveAcc
+	return !math.IsNaN(delta) && delta >= t.MinDelta
+}
+
+// tunePatch is the over-the-wire patch form of Tune: absent fields keep
+// their current value, present fields replace it.
+type tunePatch struct {
+	MinHz        *float64 `json:"min_hz"`
+	MaxHz        *float64 `json:"max_hz"`
+	EmitEvery    *int     `json:"emit_every"`
+	MinDelta     *float64 `json:"min_delta"`
+	ShadowSample *int     `json:"shadow_sample"`
+}
+
+// ParseTune applies a JSON patch to the current tune and validates the
+// result. Unknown fields are rejected so a typoed knob fails loudly instead
+// of silently tuning nothing. The current tune is returned unchanged on any
+// error.
+func ParseTune(cur Tune, data []byte) (Tune, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p tunePatch
+	if err := dec.Decode(&p); err != nil {
+		return cur, fmt.Errorf("continual: parsing tune: %w", err)
+	}
+	if dec.More() {
+		return cur, fmt.Errorf("continual: trailing data after tune object")
+	}
+	next := cur
+	if p.MinHz != nil {
+		next.MinHz = *p.MinHz
+	}
+	if p.MaxHz != nil {
+		next.MaxHz = *p.MaxHz
+	}
+	if p.EmitEvery != nil {
+		next.EmitEvery = *p.EmitEvery
+	}
+	if p.MinDelta != nil {
+		next.MinDelta = *p.MinDelta
+	}
+	if p.ShadowSample != nil {
+		next.ShadowSample = *p.ShadowSample
+	}
+	if err := next.Validate(); err != nil {
+		return cur, err
+	}
+	return next, nil
+}
+
+// Example is one labeled training example. Band records the encode band in
+// force when the example was trained (tune requests can move it between
+// examples), which is exactly what offline replay needs to reproduce the
+// presentation bit-identically.
+type Example struct {
+	Image []uint8
+	Label uint8
+	Band  encode.Band
+}
+
+// learnRequest is the wire form of POST /models/{name}/learn: either one
+// inline example or a batch, mirroring the /classify request shape.
+type learnRequest struct {
+	Image    []uint8        `json:"image,omitempty"`
+	Label    *int           `json:"label,omitempty"`
+	Examples []learnExample `json:"examples,omitempty"`
+}
+
+type learnExample struct {
+	Image []uint8 `json:"image"`
+	Label *int    `json:"label"`
+}
+
+// ParseLearnRequest decodes and validates a learn payload against the
+// model's geometry and label arity. Hostile inputs — out-of-range labels,
+// wrong pixel counts, oversized batches, trailing garbage — are rejected
+// with an error and can never panic (FuzzParseLearnRequest pins this).
+// Band is left zero; the trainer stamps it at training time.
+func ParseLearnRequest(data []byte, numInputs, numClasses, maxBatch int) ([]Example, error) {
+	if numInputs <= 0 || numClasses <= 0 || numClasses > 256 || maxBatch <= 0 {
+		return nil, fmt.Errorf("continual: bad parse bounds (%d inputs, %d classes, batch %d)", numInputs, numClasses, maxBatch)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req learnRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("continual: parsing learn request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("continual: trailing data after learn request")
+	}
+	if req.Image != nil && len(req.Examples) > 0 {
+		return nil, fmt.Errorf("continual: use either \"image\"+\"label\" or \"examples\", not both")
+	}
+	if req.Image != nil {
+		req.Examples = []learnExample{{Image: req.Image, Label: req.Label}}
+	}
+	if len(req.Examples) == 0 {
+		return nil, fmt.Errorf("continual: no examples in learn request")
+	}
+	if len(req.Examples) > maxBatch {
+		return nil, fmt.Errorf("continual: %d examples exceeds batch limit %d", len(req.Examples), maxBatch)
+	}
+	out := make([]Example, len(req.Examples))
+	for i, ex := range req.Examples {
+		if len(ex.Image) != numInputs {
+			return nil, fmt.Errorf("continual: example %d has %d pixels, model takes %d", i, len(ex.Image), numInputs)
+		}
+		if ex.Label == nil {
+			return nil, fmt.Errorf("continual: example %d has no label", i)
+		}
+		if *ex.Label < 0 || *ex.Label >= numClasses {
+			return nil, fmt.Errorf("continual: example %d label %d out of range [0, %d)", i, *ex.Label, numClasses)
+		}
+		out[i] = Example{Image: ex.Image, Label: uint8(*ex.Label)}
+	}
+	return out, nil
+}
+
+// ShadowEval classifies every mirrored example through eng one image at a
+// time — each as its own single-image batch, so every presentation runs at
+// start step 0, the stateless form the serving path's Classify uses. The
+// tally is therefore a pure function of the sample *set*: reordering the
+// mirror cannot change the accuracy a candidate is judged on (the
+// order-independence property test pins this).
+func ShadowEval(eng registry.Engine, sample []Example) (correct int, err error) {
+	single := make([][]uint8, 1)
+	for i, ex := range sample {
+		single[0] = ex.Image
+		preds, err := eng.PredictBatch(single)
+		if err != nil {
+			return 0, fmt.Errorf("continual: shadow eval example %d: %w", i, err)
+		}
+		if len(preds) != 1 {
+			return 0, fmt.Errorf("continual: shadow eval example %d: %d predictions for 1 image", i, len(preds))
+		}
+		if preds[0].Class == int(ex.Label) {
+			correct++
+		}
+	}
+	return correct, nil
+}
+
+// accuracy is the shadow-eval tally as a fraction; an empty sample counts
+// as zero so a gate with MinDelta > 0 can never promote on no evidence.
+func accuracy(correct, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -262,6 +262,14 @@ func HighFrequencyControl() Control {
 	return Control{Band: HighFrequencyBand(), TLearnMS: 100}
 }
 
+// WithBand returns a copy of the control with the whole band replaced —
+// the runtime retuning knob train-while-serve exposes through
+// POST /models/{name}/tune.
+func (c Control) WithBand(b Band) Control {
+	c.Band = b
+	return c
+}
+
 // WithMaxHz returns a copy of the control with the band's upper edge moved
 // to maxHz — the Fig 7(a) sweep knob.
 func (c Control) WithMaxHz(maxHz float64) Control {

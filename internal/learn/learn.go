@@ -389,6 +389,13 @@ func (t *Trainer) predict(spikes []int) int {
 	return Vote(spikes, Assign(t.resp), t.numClasses)
 }
 
+// Assignments votes the current training-time response counts into the
+// neuron→class label table Label would produce from the traffic trained on
+// so far — the readout the continual trainer freezes into each candidate
+// checkpoint. Unlike Label it does not present anything or switch the
+// network into evaluation mode, so training continues unaffected.
+func (t *Trainer) Assignments() []int { return Assign(t.resp) }
+
 // MovingError returns the current training moving error rate.
 func (t *Trainer) MovingError() float64 { return t.moving.Rate() }
 

@@ -148,6 +148,27 @@ func (s *Snapshot) Restore(net *network.Network) error {
 	return nil
 }
 
+// PayloadCRC digests the served payload — geometry, format, conductances,
+// thresholds and label table — into one CRC32 (IEEE, big-endian field
+// order). Continual-learning audit records use it to tie a published
+// generation to the exact candidate bytes offline replay must reproduce.
+// The trainer-progress section is deliberately excluded: two snapshots that
+// serve identically digest identically.
+func (s *Snapshot) PayloadCRC() uint32 {
+	sum := crc32.NewIEEE()
+	fw := &fieldWriter{w: sum}
+	fw.u32(uint32(s.NumInputs))
+	fw.u32(uint32(s.NumNeurons))
+	fw.u32(formatCode(s.Format))
+	fw.f64s(s.G)
+	fw.f64s(s.Theta)
+	fw.u32(uint32(len(s.Assignments)))
+	for _, a := range s.Assignments {
+		fw.u32(uint32(int32(a)))
+	}
+	return sum.Sum32()
+}
+
 // ValidateInference checks that the snapshot can back a frozen-weight
 // inference engine with the given class arity. Read already guarantees
 // structural integrity (shape, checksum, plausibility bounds); this pass

@@ -214,6 +214,30 @@ func (r *Registry) Load(name, path string) (Model, error) {
 	return m, nil
 }
 
+// Stage runs the staging phase of a reload on an in-memory snapshot:
+// inference-validate and build, touching nothing the registry serves. The
+// continual trainer uses this to put a freshly emitted candidate through
+// the exact gate Load applies, then decides separately (after shadow
+// evaluation) whether to Publish the returned engine.
+func (r *Registry) Stage(snap *netio.Snapshot) (Engine, error) {
+	t := r.loadNs.Start()
+	if snap == nil {
+		r.failures.Inc()
+		return nil, fmt.Errorf("registry: nil snapshot")
+	}
+	if err := snap.ValidateInference(r.classes); err != nil {
+		r.failures.Inc()
+		return nil, fmt.Errorf("registry: validating staged snapshot: %w", err)
+	}
+	eng, err := r.build(snap)
+	if err != nil {
+		r.failures.Inc()
+		return nil, fmt.Errorf("registry: building staged snapshot: %w", err)
+	}
+	r.loadNs.Stop(t)
+	return eng, nil
+}
+
 // Publish atomically installs a prebuilt engine as the next generation of
 // name, bypassing snapshot I/O and validation — the seam for engines
 // constructed in-process (tests, future train-while-serve promotion).

@@ -411,3 +411,61 @@ func (p plainFS) Create(name string) (fault.File, error)  { return p.mem.Create(
 func (p plainFS) Open(name string) (io.ReadCloser, error) { return p.mem.Open(name) }
 func (p plainFS) Rename(oldpath, newpath string) error    { return p.mem.Rename(oldpath, newpath) }
 func (p plainFS) Remove(name string) error                { return p.mem.Remove(name) }
+
+// TestStageValidatesWithoutPublishing pins the Stage contract: an in-memory
+// snapshot passes the same inference-validation and builder gate a Load
+// does, but nothing the registry serves changes — Stage is the half of a
+// reload the continual trainer runs before shadow evaluation decides
+// whether the engine is worth a Publish.
+func TestStageValidatesWithoutPublishing(t *testing.T) {
+	fs := fault.NewMemFS()
+	reg := obs.NewRegistry()
+	r := newTestRegistry(t, fs, WithObserver(reg))
+
+	eng, err := r.Stage(testSnapshot(9))
+	if err != nil {
+		t.Fatalf("staging a valid snapshot: %v", err)
+	}
+	preds, err := eng.PredictBatch([][]uint8{{0, 0}})
+	if err != nil || preds[0].Winner != 9 {
+		t.Fatalf("staged engine served (%v, %v), want version 9", preds, err)
+	}
+	if _, ok := r.Get("m"); ok {
+		t.Fatal("Stage published a model")
+	}
+	if v := reg.Counter("registry_swaps_total").Value(); v != 0 {
+		t.Fatalf("swaps counter %d after Stage, want 0", v)
+	}
+
+	if _, err := r.Stage(nil); err == nil {
+		t.Error("nil snapshot staged")
+	}
+	bad := testSnapshot(1)
+	bad.Assignments = bad.Assignments[:1]
+	if _, err := r.Stage(bad); err == nil {
+		t.Error("snapshot with truncated assignments staged")
+	}
+	if v := reg.Counter("registry_reload_failures_total").Value(); v != 2 {
+		t.Fatalf("failure counter %d after two rejections, want 2", v)
+	}
+}
+
+// TestStageSurfacesBuilderFailure proves a builder error during staging is
+// reported and counted rather than handing back a half-built engine.
+func TestStageSurfacesBuilderFailure(t *testing.T) {
+	build := func(s *netio.Snapshot) (Engine, error) {
+		return nil, errors.New("builder exploded")
+	}
+	reg := obs.NewRegistry()
+	r, err := New(build, testClasses, WithFS(fault.NewMemFS()), WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := r.Stage(testSnapshot(3))
+	if err == nil || !strings.Contains(err.Error(), "builder exploded") {
+		t.Fatalf("stage with failing builder: engine %v, err %v", eng, err)
+	}
+	if v := reg.Counter("registry_reload_failures_total").Value(); v != 1 {
+		t.Fatalf("failure counter %d, want 1", v)
+	}
+}

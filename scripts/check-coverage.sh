@@ -20,6 +20,7 @@ internal/learn 88
 internal/netio 92
 internal/infer 85
 internal/registry 89
+internal/continual 80
 cmd/psserve 60
 '
 

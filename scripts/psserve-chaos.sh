@@ -11,6 +11,12 @@
 # real binary on a real socket exercises the signal handler, the listener
 # timeouts and the full HTTP stack at once.
 #
+# A second phase drives the train-while-serve loop end to end: a -learn
+# server ingests labeled traffic over POST /models/digits/learn, emits a
+# candidate, shadow-evaluates and promotes it (generation must advance under
+# live traffic), survives a kill -9 between promotions, and promotes again
+# after restarting from the durable base checkpoint.
+#
 # Usage: scripts/psserve-chaos.sh [port] [cycles]
 set -eu
 cd "$(dirname "$0")/.."
@@ -20,16 +26,19 @@ CYCLES="${2:-30}"
 WORK="$(mktemp -d)"
 MODELS="$WORK/models"
 SERVER_PID=""
+LEARN_PID=""
 FLOOD_PIDS=""
 
 cleanup() {
 	for p in $FLOOD_PIDS; do
 		kill "$p" 2>/dev/null || true
 	done
-	if [ -n "$SERVER_PID" ]; then
-		kill "$SERVER_PID" 2>/dev/null || true
-		wait "$SERVER_PID" 2>/dev/null || true
-	fi
+	for p in "$SERVER_PID" "$LEARN_PID"; do
+		if [ -n "$p" ]; then
+			kill "$p" 2>/dev/null || true
+			wait "$p" 2>/dev/null || true
+		fi
+	done
 	rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
@@ -188,4 +197,87 @@ if grep -q 'DATA RACE' "$WORK/server.log"; then
 fi
 grep -q 'drained, bye' "$WORK/server.log" || { echo "psserve-chaos: FAIL: no graceful drain in log"; cat "$WORK/server.log"; exit 1; }
 
-echo "psserve-chaos: PASS ($CYCLES reload cycles, final generation $(tail -1 "$WORK/published"))"
+# ---------------------------------------------------------------------------
+# Phase 2: train -> shadow -> promote -> kill -9 -> restart -> promote again.
+# ---------------------------------------------------------------------------
+LPORT=$((PORT + 1))
+LBASE="http://127.0.0.1:$LPORT"
+printf '{"image":[%s],"label":0}' "$ZEROS" >"$WORK/learnreq.json"
+
+lgen() {
+	curl -sf "$LBASE/healthz" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p'
+}
+
+start_learner() {
+	"$WORK/psserve" -models "$MODELS" -model digits -preset "$PRESET" -rule "$RULE" \
+		-seed 7 -tlearn "$TLEARN" -classes 10 -max-inflight 8 \
+		-learn -learn-every 8 -learn-shadow 8 -learn-min-delta=-1 -learn-queue 64 \
+		-addr "127.0.0.1:$LPORT" >>"$1" 2>&1 &
+	LEARN_PID=$!
+	for _ in $(seq 1 50); do
+		curl -sf "$LBASE/healthz" >/dev/null 2>&1 && return 0
+		kill -0 "$LEARN_PID" 2>/dev/null || { echo "psserve-chaos: FAIL: learn server exited early"; cat "$1"; exit 1; }
+		sleep 0.2
+	done
+	echo "psserve-chaos: FAIL: learn server never became healthy"
+	exit 1
+}
+
+# feed_until_gen posts labeled examples (retrying 429 shed) until the served
+# generation reaches $1; classification traffic keeps flowing the whole time.
+feed_until_gen() {
+	want="$1"
+	tries=0
+	while [ "$(lgen)" -lt "$want" ]; do
+		tries=$((tries + 1))
+		[ "$tries" -le 400 ] || { echo "psserve-chaos: FAIL: generation never reached $want"; curl -s "$LBASE/models/digits/learn"; exit 1; }
+		CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$WORK/learnreq.json" "$LBASE/models/digits/learn")
+		case "$CODE" in
+		202) ;;
+		429) sleep 0.1 ;;
+		*) echo "psserve-chaos: FAIL: learn ingest gave $CODE"; exit 1 ;;
+		esac
+		curl -sf -X POST --data-binary @"$WORK/req.json" "$LBASE/models/digits/classify" >/dev/null ||
+			{ echo "psserve-chaos: FAIL: classify dropped during training"; exit 1; }
+	done
+}
+
+echo "psserve-chaos: train-while-serve phase on :$LPORT"
+start_learner "$WORK/learn.log"
+[ "$(lgen)" = "1" ] || { echo "psserve-chaos: FAIL: learn server initial generation $(lgen)"; exit 1; }
+
+# Runtime knobs answer over HTTP before training starts.
+CODE=$(curl -s -o "$WORK/tune.json" -w '%{http_code}' -X POST -d '{"emit_every":8,"max_hz":78}' "$LBASE/models/digits/tune")
+[ "$CODE" = "200" ] || { echo "psserve-chaos: FAIL: tune gave $CODE: $(cat "$WORK/tune.json")"; exit 1; }
+grep -q '"emit_every":8' "$WORK/tune.json" || { echo "psserve-chaos: FAIL: tune not applied: $(cat "$WORK/tune.json")"; exit 1; }
+
+# Labeled traffic until the trainer promotes over the live generation.
+feed_until_gen 2
+curl -sf "$LBASE/models/digits/learn" >"$WORK/learnstat.json"
+grep -q '"outcome":"promoted"' "$WORK/learnstat.json" ||
+	grep -q '"outcome":"bootstrapped"' "$WORK/learnstat.json" ||
+	{ echo "psserve-chaos: FAIL: no promotion audit: $(cat "$WORK/learnstat.json")"; exit 1; }
+[ -f "$MODELS/digits.base.ckpt" ] || { echo "psserve-chaos: FAIL: no base checkpoint on disk"; exit 1; }
+
+# Crash hard between promotions: no drain, no goodbye. The durable base and
+# candidate checkpoints are whatever the filesystem kept.
+kill -9 "$LEARN_PID"
+wait "$LEARN_PID" 2>/dev/null || true
+LEARN_PID=""
+
+# Restart over the same models dir and train to a fresh promotion.
+start_learner "$WORK/learn2.log"
+feed_until_gen 2
+curl -sf "$LBASE/models/digits/learn" >"$WORK/learnstat2.json"
+grep -q '"promotions":[1-9]' "$WORK/learnstat2.json" || { echo "psserve-chaos: FAIL: no promotion after restart: $(cat "$WORK/learnstat2.json")"; exit 1; }
+
+kill -TERM "$LEARN_PID"
+wait "$LEARN_PID" 2>/dev/null || { echo "psserve-chaos: FAIL: learn server exited non-zero"; cat "$WORK/learn2.log"; exit 1; }
+LEARN_PID=""
+if grep -q 'DATA RACE' "$WORK/learn.log" "$WORK/learn2.log"; then
+	echo "psserve-chaos: FAIL: race detector fired in train-while-serve phase"
+	cat "$WORK/learn.log" "$WORK/learn2.log"
+	exit 1
+fi
+
+echo "psserve-chaos: PASS ($CYCLES reload cycles, final generation $(tail -1 "$WORK/published"); train-while-serve promoted, survived kill -9, promoted again)"
