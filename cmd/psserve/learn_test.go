@@ -110,7 +110,7 @@ func TestLearnEndpointAcceptsAndReportsStatus(t *testing.T) {
 		t.Fatalf("GET status %d: %s", getResp.StatusCode, getBody)
 	}
 	var report struct {
-		Status continual.Status `json:"status"`
+		Status continual.Status  `json:"status"`
 		Audits []continual.Audit `json:"audits"`
 	}
 	if err := json.Unmarshal(getBody, &report); err != nil {

@@ -67,7 +67,7 @@ func TestChaosCorruptCandidateNeverServes(t *testing.T) {
 	corrupted := make(chan bool, 1)
 	h.inj.Hook(fault.OpOpen, func() {
 		once.Do(func() {
-			corrupted <- h.mem.Corrupt(h.tr.CandidatePath(), 40)
+			corrupted <- h.mem.Corrupt(h.tr.CandidatePath(1), 40)
 			h.inj.Hook(fault.OpOpen, nil)
 		})
 	})
@@ -114,12 +114,15 @@ func TestChaosCrashBetweenEmitAndPromoteRestarts(t *testing.T) {
 
 	// The candidate lands on disk, then the process "dies" before it can
 	// be staged or promoted: the read-back crashes and the trainer is torn
-	// down, leaving a stale unpromoted candidate next to the base.
+	// down, leaving a stale unpromoted candidate next to the base. A dead
+	// process performs no more syscalls, so the rollback's best-effort
+	// cleanup of the candidate file never runs either.
 	h.inj.FailOnce(fault.OpOpen, fault.ErrCrash)
+	h.inj.FailOnce(fault.OpRemove, fault.ErrCrash)
 	h.feed(2)
 	h.waitFor("crash rollback", func(s continual.Status) bool { return s.Rollbacks == 1 })
 	h.tr.Close()
-	if _, ok := h.mem.ReadFile(h.tr.CandidatePath()); !ok {
+	if _, ok := h.mem.ReadFile(h.tr.CandidatePath(1)); !ok {
 		t.Fatalf("stale candidate missing — scenario needs the write to have completed")
 	}
 	if _, ok := h.models.Get(hModel); ok {
@@ -311,16 +314,33 @@ func TestChaosConcurrentReloadDuringShadowEval(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("shadow evaluation never reached the gated engine")
 	}
-	// ...while an operator reload mints the next generation underneath it.
-	reloaded, err := models.Load(hModel, tr.CandidatePath())
+	// ...while an operator reload mints the next generation underneath it
+	// (from the promoted bootstrap file — the only bytes the gate ever
+	// approved).
+	reloaded, err := models.Load(hModel, tr.CandidatePath(1))
 	if err != nil {
 		t.Fatalf("concurrent reload: %v", err)
 	}
 	if reloaded.Gen != 2 {
 		t.Fatalf("concurrent reload minted gen %d, want 2", reloaded.Gen)
 	}
-	// Release the evaluation; the trainer's promotion lands on top.
+	// Release the evaluation. The candidate was shadowed against gen 1 but
+	// gen 2 is now live: the CAS fence must roll the promotion back rather
+	// than let it replace a generation it was never judged against.
 	close(gate)
+	wait("CAS rollback", func(s continual.Status) bool { return s.Rollbacks == 1 })
+	armed.Store(false)
+	if m, ok := models.Get(hModel); !ok || m.Gen != 2 {
+		t.Fatalf("model after fenced rollback: %+v ok=%v, want the operator's gen 2", m, ok)
+	}
+	rb := tr.Audits()[len(tr.Audits())-1]
+	if rb.Outcome != continual.OutcomeRolledBack || !strings.Contains(rb.Err, "live generation changed") {
+		t.Fatalf("fence audit: %+v, want rollback on generation mismatch", rb)
+	}
+
+	// The next boundary re-evaluates against the operator's generation and
+	// promotes on top of it.
+	feed(2)
 	wait("promotion over the reload", func(s continual.Status) bool { return s.Promotions == 2 })
 	close(stopFlood)
 	wg.Wait()
@@ -332,7 +352,7 @@ func TestChaosConcurrentReloadDuringShadowEval(t *testing.T) {
 	}
 	audits := tr.Audits()
 	last := audits[len(audits)-1]
-	if last.Outcome != continual.OutcomePromoted || last.Gen != 3 || last.LiveGen != 1 {
-		t.Fatalf("race audit: %+v, want promotion to gen 3 shadowed against gen 1", last)
+	if last.Outcome != continual.OutcomePromoted || last.Gen != 3 || last.LiveGen != 2 {
+		t.Fatalf("race audit: %+v, want promotion to gen 3 shadowed against gen 2", last)
 	}
 }

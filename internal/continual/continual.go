@@ -4,12 +4,15 @@
 //
 // One goroutine owns a private network copy (lazy plasticity by default) and
 // drains a bounded ingest queue fed by POST /models/{name}/learn. Every K
-// trained examples it emits a crash-safe PSS2 candidate checkpoint, reads it
-// back from disk (so what is judged is the exact bytes an operator could
-// replay), shadow-evaluates old and new engines on a mirrored sample of
-// recent traffic, and promotes through registry.Publish — an RCU swap that
-// drops zero requests — only when the accuracy delta clears a configurable
-// gate. Every decision is recorded as a generation-tagged Audit.
+// trained examples it emits a crash-safe PSS2 candidate checkpoint to an
+// immutable per-candidate path, reads it back from disk (so what is judged
+// is the exact bytes an operator could replay), shadow-evaluates old and
+// new engines on a mirrored sample of recent traffic, and promotes through
+// registry.PublishCAS — an RCU swap that drops zero requests, fenced on the
+// generation the shadow eval ran against — only when the accuracy delta
+// clears a configurable gate. Gated and failed candidates are deleted, so
+// no path the registry could re-stage ever holds bytes the gate rejected.
+// Every decision is recorded as a generation-tagged Audit.
 //
 // The promotion state machine per candidate:
 //
@@ -61,10 +64,10 @@ const (
 // everything an operator needs to reconstruct why a model is (or is not)
 // serving, and everything Replay needs to reproduce a promoted one.
 type Audit struct {
-	Seq      int `json:"seq"`       // candidate number, 1-based, monotonic
-	BaseSeq  int `json:"base_seq"`  // which base checkpoint the example log replays from
-	Examples int `json:"examples"`  // log length at emit: replay trains log[:Examples]
-	Seed     uint64 `json:"seed"`   // network master seed (the RNG is counter-based)
+	Seq      int    `json:"seq"`      // candidate number, 1-based, monotonic
+	BaseSeq  int    `json:"base_seq"` // which base checkpoint the example log replays from
+	Examples int    `json:"examples"` // log length at emit: replay trains log[:Examples]
+	Seed     uint64 `json:"seed"`     // network master seed (the RNG is counter-based)
 
 	Path       string `json:"path"`        // candidate snapshot file
 	PayloadCRC uint32 `json:"payload_crc"` // digest of the served payload (netio.Snapshot.PayloadCRC)
@@ -175,6 +178,11 @@ type Trainer struct {
 	queue chan Example
 	stop  chan struct{}
 	done  chan struct{}
+
+	// published is the candidate file backing the generation the trainer
+	// last promoted; it is deleted only after a newer candidate supersedes
+	// it. Owned by the run goroutine (emit), so it needs no lock.
+	published string
 
 	mu          sync.Mutex
 	started     bool
@@ -290,12 +298,15 @@ const ckptExt = ".ckpt"
 // writes, carrying weights plus full trainer progress.
 func (t *Trainer) BasePath() string { return t.cfg.Dir + "/" + t.cfg.Name + ".base" + ckptExt }
 
-// CandidatePath is where candidate checkpoints are emitted. Promotion
-// publishes this path, so Reload re-stages the promoted bytes; Rescan skips
-// the file (it is not *.pss), which keeps an unpromoted or stale candidate
-// from ever entering the registry without passing the gate.
-func (t *Trainer) CandidatePath() string {
-	return t.cfg.Dir + "/" + t.cfg.Name + ".candidate" + ckptExt
+// CandidatePath is where candidate seq is emitted. Each candidate gets its
+// own path and the file is never rewritten once judged: promotion publishes
+// it (so Reload re-stages exactly the gate-approved bytes), while gated and
+// rolled-back candidates are deleted — a later Reload can never resurrect
+// bytes the gate rejected. Rescan skips these files regardless (they are
+// not *.pss), which keeps an unpromoted or stale candidate from ever
+// entering the registry without passing the gate.
+func (t *Trainer) CandidatePath(seq int) string {
+	return fmt.Sprintf("%s/%s.cand-%d%s", t.cfg.Dir, t.cfg.Name, seq, ckptExt)
 }
 
 // Name returns the registry model the trainer feeds.
@@ -434,17 +445,17 @@ func (t *Trainer) emit(tune Tune) {
 	age := t.obsAge.Start()
 	snap := candidateSnapshot(t.net, t.lt)
 	crc := snap.PayloadCRC()
-	path := t.CandidatePath()
 
 	t.mu.Lock()
 	t.seq++
+	path := t.CandidatePath(t.seq)
 	aud := Audit{
-		Seq:      t.seq,
-		BaseSeq:  t.baseSeq,
-		Examples: len(t.log),
-		Seed:     t.net.Cfg.Seed,
-		Path:     path,
-		PayloadCRC: crc,
+		Seq:          t.seq,
+		BaseSeq:      t.baseSeq,
+		Examples:     len(t.log),
+		Seed:         t.net.Cfg.Seed,
+		Path:         path,
+		PayloadCRC:   crc,
 		ShadowSample: len(t.mirror),
 	}
 	mirror := append([]Example(nil), t.mirror...)
@@ -474,12 +485,17 @@ func (t *Trainer) emit(tune Tune) {
 
 	live, ok := t.models.Get(t.cfg.Name)
 	if !ok {
-		// Nothing is serving yet: publish without a shadow comparison.
-		m, err := t.models.Publish(t.cfg.Name, path, eng)
+		// Nothing is serving yet: publish without a shadow comparison. The
+		// CAS fence (expect generation 0) means a generation published
+		// concurrently by an operator is never clobbered by an unshadowed
+		// bootstrap — the mismatch rolls back and the next boundary
+		// shadow-evaluates against it.
+		m, err := t.models.PublishCAS(t.cfg.Name, path, eng, 0)
 		if err != nil {
 			t.rollback(aud, fmt.Errorf("publishing bootstrap candidate: %w", err))
 			return
 		}
+		t.promote(path)
 		t.obsAge.Stop(age)
 		t.obsPromoted.Inc()
 		aud.Outcome, aud.Gen = OutcomeBootstrapped, m.Gen
@@ -503,26 +519,53 @@ func (t *Trainer) emit(tune Tune) {
 
 	if !tune.Admits(aud.LiveAcc, aud.CandAcc) {
 		t.obsGated.Inc()
+		t.discard(path)
 		aud.Outcome = OutcomeGated
 		t.record(aud, &t.gated)
 		return
 	}
-	m, err := t.models.Publish(t.cfg.Name, path, eng)
+	// The CAS fence pins the swap to the generation the shadow eval ran
+	// against: if an operator reload published a new generation mid-eval,
+	// this candidate's verdict no longer describes what is live, so it
+	// rolls back and the next boundary re-evaluates against the newcomer.
+	m, err := t.models.PublishCAS(t.cfg.Name, path, eng, live.Gen)
 	if err != nil {
 		t.rollback(aud, fmt.Errorf("publishing candidate: %w", err))
 		return
 	}
+	t.promote(path)
 	t.obsAge.Stop(age)
 	t.obsPromoted.Inc()
 	aud.Outcome, aud.Gen = OutcomePromoted, m.Gen
 	t.record(aud, &t.promoted)
 }
 
-// rollback records a failed candidate. The registry was never touched, so
-// "rolling back" is purely an audit-trail event: the previous generation
-// keeps serving and the trainer keeps training.
+// promote retires the previously promoted candidate file now that path has
+// superseded it as the registry's backing Path. Deletion is best-effort:
+// a leftover file is only wasted disk, never servable without the gate.
+func (t *Trainer) promote(path string) {
+	if t.published != "" && t.published != path {
+		_ = t.fs.Remove(t.published)
+	}
+	t.published = path
+}
+
+// discard deletes a candidate file the gate or a failure rejected, so no
+// on-disk path ever holds bytes a Reload could re-stage behind the gate.
+// Best-effort: after a simulated crash (or a dead device) the file stays,
+// but it is unreachable from the registry — promotion never published it
+// and Rescan does not adopt *.ckpt files.
+func (t *Trainer) discard(path string) {
+	_ = t.fs.Remove(path)
+}
+
+// rollback records a failed candidate and discards whatever the emit left
+// on disk. The registry was never touched, so "rolling back" is purely an
+// audit-trail + cleanup event: the previous generation keeps serving and
+// the trainer keeps training.
 func (t *Trainer) rollback(aud Audit, err error) {
 	t.obsRollback.Inc()
+	t.discard(aud.Path)
 	aud.Outcome, aud.Err = OutcomeRolledBack, err.Error()
 	t.record(aud, &t.rolledBack)
 }
@@ -553,8 +596,12 @@ func (t *Trainer) maybeRebase() {
 	}
 	if err := t.writeBase(); err != nil {
 		// Keep the log: replay from the old base still works, and the next
-		// boundary retries the rebase.
+		// boundary retries the rebase. Counted as a train error in both the
+		// Prometheus counter and Status so the two can never drift apart.
 		t.obsTrainErr.Inc()
+		t.mu.Lock()
+		t.trainErrors++
+		t.mu.Unlock()
 		return
 	}
 	t.obsRebase.Inc()

@@ -187,12 +187,17 @@ func TestLifecyclePromoteAndReplay(t *testing.T) {
 	}
 
 	m, ok := h.models.Get(hModel)
-	if !ok || m.Gen != 2 || m.Path != h.tr.CandidatePath() {
-		t.Fatalf("published model: %+v ok=%v, want gen 2 at %s", m, ok, h.tr.CandidatePath())
+	if !ok || m.Gen != 2 || m.Path != h.tr.CandidatePath(2) {
+		t.Fatalf("published model: %+v ok=%v, want gen 2 at %s", m, ok, h.tr.CandidatePath(2))
+	}
+	// Candidate files are immutable per-seq; the superseded promoted file
+	// is retired once a newer candidate takes over.
+	if _, ok := h.mem.ReadFile(h.tr.CandidatePath(1)); ok {
+		t.Fatalf("superseded candidate file still on disk")
 	}
 
 	// The published file's payload digest is the one the audit recorded.
-	published, err := netio.LoadFileFS(h.inj, h.tr.CandidatePath())
+	published, err := netio.LoadFileFS(h.inj, h.tr.CandidatePath(2))
 	if err != nil {
 		t.Fatalf("loading published candidate: %v", err)
 	}
@@ -387,5 +392,28 @@ func TestGateDemotesRegressingCandidate(t *testing.T) {
 		if aud.Gen != 0 {
 			t.Fatalf("gated audit %d carries published generation %d", aud.Seq, aud.Gen)
 		}
+		// Rejected bytes must not linger at any path a Reload could
+		// re-stage.
+		if _, ok := h.mem.ReadFile(aud.Path); ok {
+			t.Fatalf("gated candidate %d left its file on disk at %s", aud.Seq, aud.Path)
+		}
+	}
+
+	// The registry's backing path holds exactly the gate-approved bytes, so
+	// an operator /reload after the demotions republishes them — never a
+	// rejected candidate's.
+	reloaded, err := h.models.Reload(hModel)
+	if err != nil {
+		t.Fatalf("reload after demotions: %v", err)
+	}
+	if reloaded.Gen != 2 || reloaded.Path != audits[0].Path {
+		t.Fatalf("reload: %+v, want gen 2 from %s", reloaded, audits[0].Path)
+	}
+	snap, err := netio.LoadFileFS(h.inj, reloaded.Path)
+	if err != nil {
+		t.Fatalf("loading reloaded path: %v", err)
+	}
+	if got := snap.PayloadCRC(); got != audits[0].PayloadCRC {
+		t.Fatalf("reload re-staged CRC %#x, gate approved %#x", got, audits[0].PayloadCRC)
 	}
 }

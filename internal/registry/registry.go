@@ -35,6 +35,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,6 +47,12 @@ import (
 	"parallelspikesim/internal/netio"
 	"parallelspikesim/internal/obs"
 )
+
+// ErrGenMismatch is returned by PublishCAS when the named model's current
+// generation is not the one the caller staged against — something else
+// published in between, and the caller's validation no longer describes
+// what is live.
+var ErrGenMismatch = errors.New("registry: live generation changed")
 
 // Engine is the classification surface one registry generation serves.
 // *infer.Engine satisfies it; tests substitute controllable fakes.
@@ -205,7 +212,7 @@ func (r *Registry) Load(name, path string) (Model, error) {
 		r.failures.Inc()
 		return Model{}, fmt.Errorf("registry: building %q from %s: %w", name, path, err)
 	}
-	m, err := r.publish(name, path, eng)
+	m, err := r.publish(name, path, eng, nil)
 	if err != nil {
 		r.failures.Inc()
 		return Model{}, err
@@ -249,12 +256,30 @@ func (r *Registry) Publish(name, path string, eng Engine) (Model, error) {
 	if eng == nil {
 		return Model{}, fmt.Errorf("registry: nil engine for %q", name)
 	}
-	return r.publish(name, path, eng)
+	return r.publish(name, path, eng, nil)
 }
 
-// publish is the fence+swap: generation minting and the shape check under
-// the write lock, then one atomic pointer store.
-func (r *Registry) publish(name, path string, eng Engine) (Model, error) {
+// PublishCAS is Publish fenced on the generation the caller validated
+// against: eng is installed only if name's current generation is exactly
+// expect (0 = nothing published yet); otherwise nothing changes and the
+// error wraps ErrGenMismatch. The continual trainer promotes through this
+// so a candidate shadow-evaluated against generation G can never replace a
+// generation it was not judged against — a concurrent operator reload
+// surfaces as a mismatch instead of being silently overwritten.
+func (r *Registry) PublishCAS(name, path string, eng Engine, expect uint64) (Model, error) {
+	if name == "" {
+		return Model{}, fmt.Errorf("registry: empty model name")
+	}
+	if eng == nil {
+		return Model{}, fmt.Errorf("registry: nil engine for %q", name)
+	}
+	return r.publish(name, path, eng, &expect)
+}
+
+// publish is the fence+swap: generation minting, the optional
+// compare-and-swap fence, and the shape check under the write lock, then
+// one atomic pointer store.
+func (r *Registry) publish(name, path string, eng Engine, expect *uint64) (Model, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := r.entries[name]
@@ -262,8 +287,17 @@ func (r *Registry) publish(name, path string, eng Engine) (Model, error) {
 		e = &entry{}
 		r.entries[name] = e
 	}
+	old := e.cur.Load()
+	var cur uint64
+	if old != nil {
+		cur = old.Gen
+	}
+	if expect != nil && *expect != cur {
+		return Model{}, fmt.Errorf("registry: %q is at generation %d, publish staged against %d: %w",
+			name, cur, *expect, ErrGenMismatch)
+	}
 	gen := uint64(1)
-	if old := e.cur.Load(); old != nil {
+	if old != nil {
 		if old.Engine.NumInputs() != eng.NumInputs() || old.Engine.NumClasses() != eng.NumClasses() {
 			return Model{}, fmt.Errorf(
 				"registry: refusing reshape of %q: serving %d inputs × %d classes, reload has %d × %d — restart to change model shape",

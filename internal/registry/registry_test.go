@@ -292,6 +292,41 @@ func TestPublishRefusesReshape(t *testing.T) {
 	}
 }
 
+func TestPublishCASFencesOnLiveGeneration(t *testing.T) {
+	fs := fault.NewMemFS()
+	r := newTestRegistry(t, fs)
+	eng := func(v int) *stubEngine { return &stubEngine{version: v, inputs: 4, classes: testClasses} }
+
+	// Nothing published: only expect 0 may install.
+	if _, err := r.PublishCAS("m", "", eng(1), 1); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("CAS against empty slot with expect 1: %v, want ErrGenMismatch", err)
+	}
+	m, err := r.PublishCAS("m", "", eng(1), 0)
+	if err != nil || m.Gen != 1 {
+		t.Fatalf("bootstrap CAS: %+v, %v", m, err)
+	}
+
+	// Live at gen 1: a stale expectation must not clobber it.
+	if _, err := r.PublishCAS("m", "", eng(2), 0); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("stale CAS: %v, want ErrGenMismatch", err)
+	}
+	if cur, _ := r.Get("m"); cur.Gen != 1 {
+		t.Fatalf("gen %d after refused CAS, want 1", cur.Gen)
+	}
+	m, err = r.PublishCAS("m", "", eng(2), 1)
+	if err != nil || m.Gen != 2 {
+		t.Fatalf("matched CAS: %+v, %v", m, err)
+	}
+
+	// Argument validation mirrors Publish.
+	if _, err := r.PublishCAS("", "", eng(3), 2); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.PublishCAS("m", "", nil, 2); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
 func TestRescanDirectory(t *testing.T) {
 	fs := fault.NewMemFS()
 	saveSnapshot(t, fs, "models/alpha.pss", 1)
